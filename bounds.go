@@ -1,0 +1,26 @@
+package ted
+
+import "repro/internal/bounds"
+
+// LowerBound returns a cheap lower bound on the unit-cost tree edit
+// distance: the best of the size bound, the label-histogram bound, the
+// binary-branch bound (Yang et al.) and the serialization string-edit
+// bound (Guha et al.). It never exceeds Distance(f, g) under UnitCost
+// and costs O(|f|·|g|) in the worst case (the string bound) with much
+// cheaper early components.
+func LowerBound(f, g *Tree) float64 { return bounds.Lower(f, g) }
+
+// ConstrainedDistance returns the ordered constrained edit distance
+// (Zhang-style), an upper bound on the unit-cost tree edit distance that
+// is computable in O(|f|·|g|) — typically orders of magnitude faster
+// than the exact distance. Every constrained mapping is a valid edit
+// mapping, and for many tree pairs the bound is tight.
+func ConstrainedDistance(f, g *Tree) float64 { return bounds.Constrained(f, g) }
+
+// PQGramDistance returns the normalized pq-gram distance in [0, 1]
+// (Augsten et al., cited in Section 7 of the RTED paper), a fast
+// pseudo-metric over label p,q-gram profiles used for approximate tree
+// joins and candidate generation. It is not a lower bound of the
+// unit-cost edit distance (it bounds a fanout-weighted variant); use
+// LowerBound for exact pruning. Typical parameters are p=2, q=3.
+func PQGramDistance(f, g *Tree, p, q int) float64 { return bounds.PQGram(f, g, p, q) }

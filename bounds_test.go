@@ -1,0 +1,67 @@
+package ted_test
+
+import (
+	"testing"
+
+	ted "repro"
+	"repro/gen"
+)
+
+func TestPublicBounds(t *testing.T) {
+	for i := int64(0); i < 20; i++ {
+		f := gen.Random(i, gen.RandomSpec{Size: 30, MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		g := gen.Random(i+100, gen.RandomSpec{Size: 25, MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		exact := ted.Distance(f, g)
+		if lb := ted.LowerBound(f, g); lb > exact {
+			t.Fatalf("LowerBound %v > exact %v", lb, exact)
+		}
+		if ub := ted.ConstrainedDistance(f, g); ub < exact {
+			t.Fatalf("ConstrainedDistance %v < exact %v", ub, exact)
+		}
+	}
+}
+
+func TestPublicPQGram(t *testing.T) {
+	f := ted.MustParse("{a{b}{c}}")
+	g := ted.MustParse("{a{b}{d}}")
+	d := ted.PQGramDistance(f, g, 2, 3)
+	if d <= 0 || d >= 1 {
+		t.Fatalf("pq-gram distance %v, want strictly inside (0,1)", d)
+	}
+	if ted.PQGramDistance(f, f, 2, 3) != 0 {
+		t.Fatal("pq-gram self distance")
+	}
+}
+
+func TestJoinWorkersAndFilters(t *testing.T) {
+	var trees []*ted.Tree
+	for i := int64(0); i < 8; i++ {
+		trees = append(trees, gen.TreeFamLike(i, 41))
+	}
+	tau := 30.0
+	base := ted.Join(trees, tau)
+	par := ted.Join(trees, tau, ted.WithWorkers(4))
+	if len(par.Pairs) != len(base.Pairs) || par.Subproblems != base.Subproblems {
+		t.Fatalf("parallel join differs: %d/%d pairs, %d/%d subproblems",
+			len(par.Pairs), len(base.Pairs), par.Subproblems, base.Subproblems)
+	}
+	filt := ted.Join(trees, tau, ted.WithFilters())
+	if len(filt.Pairs) != len(base.Pairs) {
+		t.Fatalf("filtered join found %d pairs, want %d", len(filt.Pairs), len(base.Pairs))
+	}
+	if filt.LowerPruned+filt.UpperAccepted+filt.ExactComputed != filt.Comparisons {
+		t.Fatalf("filter accounting inconsistent: %+v", filt)
+	}
+	// Filters skip work: never more subproblems than the plain join.
+	if filt.Subproblems > base.Subproblems {
+		t.Fatalf("filtered join computed more subproblems (%d) than plain (%d)",
+			filt.Subproblems, base.Subproblems)
+	}
+	// Filtered joins reject non-unit cost models loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("filtered join with weighted costs did not panic")
+		}
+	}()
+	ted.Join(trees, tau, ted.WithFilters(), ted.WithCost(ted.WeightedCost(2, 2, 2)))
+}

@@ -1,0 +1,195 @@
+// Command ted computes the tree edit distance between two trees.
+//
+// Trees are read from files (or literals with -e) in bracket notation
+// ({a{b}{c}}), Newick (-format newick) or XML (-format xml).
+//
+// Usage:
+//
+//	ted [-algorithm rted] [-format bracket] [-stats] [-mapping] F G
+//	ted -e '{a{b}}' -e '{a{c}}'
+//	ted -join -tau 12 trees.txt     # one bracket tree per line
+//
+// Exit status 0; the distance (or join result) is printed to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	ted "repro"
+)
+
+type literals []string
+
+func (l *literals) String() string     { return strings.Join(*l, ",") }
+func (l *literals) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	var (
+		algName  = flag.String("algorithm", "rted", "rted | zhang-l | zhang-r | klein-h | demaine-h | zs")
+		format   = flag.String("format", "bracket", "bracket | newick | xml")
+		stats    = flag.Bool("stats", false, "print subproblem and timing statistics to stderr")
+		mapping  = flag.Bool("mapping", false, "print the edit mapping")
+		joinMode = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
+		tau      = flag.Float64("tau", 10, "join distance threshold")
+		workers  = flag.Int("workers", 1, "join worker goroutines")
+		filters  = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
+		exprs    literals
+	)
+	flag.Var(&exprs, "e", "tree literal (repeatable; used instead of file arguments)")
+	flag.Parse()
+
+	alg, ok := parseAlgorithm(*algName)
+	if !ok {
+		fail("unknown algorithm %q", *algName)
+	}
+
+	if *joinMode {
+		if flag.NArg() != 1 {
+			fail("-join needs one file of trees (one bracket tree per line)")
+		}
+		if err := runJoin(flag.Arg(0), *tau, alg, *workers, *filters); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	var sources []string
+	if len(exprs) > 0 {
+		sources = exprs
+	} else {
+		if flag.NArg() != 2 {
+			fail("need two tree files (or two -e literals)")
+		}
+		for _, p := range flag.Args() {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				fail("%v", err)
+			}
+			sources = append(sources, string(b))
+		}
+	}
+	if len(sources) != 2 {
+		fail("need exactly two trees, got %d", len(sources))
+	}
+
+	trees := make([]*ted.Tree, 2)
+	for i, s := range sources {
+		t, err := parseTree(s, *format)
+		if err != nil {
+			fail("tree %d: %v", i+1, err)
+		}
+		trees[i] = t
+	}
+
+	var st ted.Stats
+	d := ted.Distance(trees[0], trees[1], ted.WithAlgorithm(alg), ted.WithStats(&st))
+	fmt.Println(d)
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "algorithm    %s\n", alg)
+		fmt.Fprintf(os.Stderr, "sizes        |F|=%d |G|=%d\n", trees[0].Len(), trees[1].Len())
+		fmt.Fprintf(os.Stderr, "subproblems  %d\n", st.Subproblems)
+		fmt.Fprintf(os.Stderr, "spf calls    %d\n", st.SPFCalls)
+		if alg == ted.RTED {
+			fmt.Fprintf(os.Stderr, "strategy     %v (%.1f%% of %v)\n",
+				st.StrategyTime, 100*st.StrategyTime.Seconds()/st.TotalTime.Seconds(), st.TotalTime)
+		} else {
+			fmt.Fprintf(os.Stderr, "total        %v\n", st.TotalTime)
+		}
+	}
+	if *mapping {
+		for _, op := range ted.Mapping(trees[0], trees[1]) {
+			switch op.Kind {
+			case ted.OpMatch:
+				kind := "match "
+				if op.FLabel != op.GLabel {
+					kind = "rename"
+				}
+				fmt.Printf("%s  F:%d %q -> G:%d %q (cost %g)\n", kind, op.FNode, op.FLabel, op.GNode, op.GLabel, op.Cost)
+			case ted.OpDelete:
+				fmt.Printf("delete  F:%d %q (cost %g)\n", op.FNode, op.FLabel, op.Cost)
+			case ted.OpInsert:
+				fmt.Printf("insert  G:%d %q (cost %g)\n", op.GNode, op.GLabel, op.Cost)
+			}
+		}
+	}
+}
+
+func runJoin(path string, tau float64, alg ted.Algorithm, workers int, filters bool) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	var trees []*ted.Tree
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		t, err := ted.Parse(line)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %v", path, ln, err)
+		}
+		trees = append(trees, t)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	opts := []ted.Option{ted.WithAlgorithm(alg), ted.WithWorkers(workers)}
+	if filters {
+		opts = append(opts, ted.WithFilters())
+	}
+	r := ted.Join(trees, tau, opts...)
+	fmt.Printf("# %d trees, %d comparisons, %d subproblems, %v\n",
+		len(trees), r.Comparisons, r.Subproblems, r.Elapsed)
+	if filters {
+		fmt.Printf("# filters: %d lb-pruned, %d ub-accepted, %d exact\n",
+			r.LowerPruned, r.UpperAccepted, r.ExactComputed)
+	}
+	for _, p := range r.Pairs {
+		fmt.Printf("%d\t%d\t%g\n", p.I, p.J, p.Dist)
+	}
+	return nil
+}
+
+func parseAlgorithm(s string) (ted.Algorithm, bool) {
+	switch strings.ToLower(s) {
+	case "rted":
+		return ted.RTED, true
+	case "zhang-l", "zhangl":
+		return ted.ZhangL, true
+	case "zhang-r", "zhangr":
+		return ted.ZhangR, true
+	case "klein-h", "klein":
+		return ted.KleinH, true
+	case "demaine-h", "demaine":
+		return ted.DemaineH, true
+	case "zs", "zs-classic":
+		return ted.ZhangShashaClassic, true
+	}
+	return 0, false
+}
+
+func parseTree(s, format string) (*ted.Tree, error) {
+	switch format {
+	case "bracket":
+		return ted.Parse(strings.TrimSpace(s))
+	case "newick":
+		return ted.ParseNewick(strings.TrimSpace(s))
+	case "xml":
+		return ted.FromXML(strings.NewReader(s), ted.XMLOptions{IncludeAttributes: true, IncludeText: true})
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ted: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	ted "repro"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]ted.Algorithm{
+		"rted":      ted.RTED,
+		"RTED":      ted.RTED,
+		"zhang-l":   ted.ZhangL,
+		"zhangl":    ted.ZhangL,
+		"zhang-r":   ted.ZhangR,
+		"klein":     ted.KleinH,
+		"klein-h":   ted.KleinH,
+		"demaine":   ted.DemaineH,
+		"demaine-h": ted.DemaineH,
+		"zs":        ted.ZhangShashaClassic,
+	}
+	for s, want := range cases {
+		got, ok := parseAlgorithm(s)
+		if !ok || got != want {
+			t.Errorf("parseAlgorithm(%q) = %v,%v want %v", s, got, ok, want)
+		}
+	}
+	if _, ok := parseAlgorithm("made-up"); ok {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestParseTreeFormats(t *testing.T) {
+	b, err := parseTree(" {a{b}} \n", "bracket")
+	if err != nil || b.Len() != 2 {
+		t.Fatalf("bracket: %v %v", b, err)
+	}
+	n, err := parseTree("(A,B)r;", "newick")
+	if err != nil || n.Len() != 3 {
+		t.Fatalf("newick: %v %v", n, err)
+	}
+	x, err := parseTree(`<a><b/></a>`, "xml")
+	if err != nil || x.Len() != 2 {
+		t.Fatalf("xml: %v %v", x, err)
+	}
+	if _, err := parseTree("{a}", "nope"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := parseTree("{a", "bracket"); err == nil {
+		t.Fatal("malformed bracket accepted")
+	}
+}
+
+func TestRunJoin(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.txt")
+	content := "{a{b}{c}}\n{a{b}{d}}\n\n{x{y{z}}}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, filters := range []bool{false, true} {
+		if err := runJoin(path, 2, ted.RTED, 2, filters); err != nil {
+			t.Fatalf("filters=%v: %v", filters, err)
+		}
+	}
+	if err := runJoin(filepath.Join(dir, "missing.txt"), 2, ted.RTED, 1, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("{oops\n"), 0o644)
+	if err := runJoin(bad, 2, ted.RTED, 1, false); err == nil {
+		t.Fatal("malformed tree file accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Command tedbench regenerates the figures and tables of the RTED paper
+// (and this repository's ablations) as plain-text series.
+//
+// Usage:
+//
+//	tedbench -list
+//	tedbench -exp fig8a [-scale 1.0] [-seed 42]
+//	tedbench -all -scale 0.25
+//
+// Scale 1.0 reproduces the paper's size grids (minutes to hours for the
+// runtime figures); the default 0.25 keeps every experiment laptop-sized
+// while preserving the qualitative results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Float64("scale", 0.25, "size-grid scale; 1.0 = the paper's ranges")
+		seed  = flag.Int64("seed", 20111229, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, r := range experiments.All() {
+			fmt.Printf("%-18s %s\n", r.ID, r.Title)
+		}
+	case *all:
+		for _, r := range experiments.All() {
+			if err := run(r, *scale, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "tedbench: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *exp != "":
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tedbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := run(r, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tedbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(r experiments.Runner, scale float64, seed int64) error {
+	cfg := experiments.Config{Scale: scale, Seed: seed, Out: os.Stdout}
+	return r.Run(cfg)
+}

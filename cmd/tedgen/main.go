@@ -1,0 +1,64 @@
+// Command tedgen emits synthetic trees in bracket notation, one per
+// line: the paper's shapes (Figure 7), bounded random trees, and the
+// dataset simulators.
+//
+// Usage:
+//
+//	tedgen -shape zz -size 1000
+//	tedgen -shape random -size 500 -count 10 -seed 3 -max-depth 15 -max-fanout 6
+//	tedgen -shape treefam -size 800 -count 20 > phylo.trees
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	ted "repro"
+	"repro/gen"
+)
+
+func main() {
+	var (
+		shape     = flag.String("shape", "random", "lb | rb | fb | zz | mx | random | swissprot | treebank | treefam")
+		size      = flag.Int("size", 100, "nodes per tree")
+		count     = flag.Int("count", 1, "number of trees")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		maxDepth  = flag.Int("max-depth", 15, "random: maximum depth")
+		maxFanout = flag.Int("max-fanout", 6, "random: maximum fanout")
+		labels    = flag.Int("labels", 8, "random: label pool size")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < *count; i++ {
+		s := *seed + int64(i)
+		var t *ted.Tree
+		switch *shape {
+		case "lb":
+			t = gen.LeftBranch(*size)
+		case "rb":
+			t = gen.RightBranch(*size)
+		case "fb":
+			t = gen.FullBinary(*size)
+		case "zz":
+			t = gen.ZigZag(*size)
+		case "mx":
+			t = gen.Mixed(*size)
+		case "random":
+			t = gen.Random(s, gen.RandomSpec{Size: *size, MaxDepth: *maxDepth, MaxFanout: *maxFanout, Labels: *labels})
+		case "swissprot":
+			t = gen.SwissProtLike(s, *size)
+		case "treebank":
+			t = gen.TreeBankLike(s, *size)
+		case "treefam":
+			t = gen.TreeFamLike(s, *size)
+		default:
+			fmt.Fprintf(os.Stderr, "tedgen: unknown shape %q\n", *shape)
+			os.Exit(2)
+		}
+		fmt.Fprintln(w, t.String())
+	}
+}

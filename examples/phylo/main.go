@@ -1,0 +1,64 @@
+// phylo: compare phylogenetic trees, one of the paper's motivating
+// domains (the TreeFam experiments of Table 2). Gene trees for the same
+// family reconstructed with different methods differ in topology; the
+// tree edit distance quantifies by how much. The example parses Newick
+// trees, computes all pairwise distances with RTED, and shows why a
+// robust strategy matters on deep unbalanced phylogenies.
+package main
+
+import (
+	"fmt"
+
+	ted "repro"
+	"repro/gen"
+)
+
+// Three reconstructions of the same five-taxon family: the first two
+// differ in one internal rearrangement, the third is an outgroup-rooted
+// variant.
+var newicks = map[string]string{
+	"ml":        "(((human,chimp)hc,gorilla)hcg,(mouse,rat)mr)root;",
+	"parsimony": "((human,(chimp,gorilla)cg)hcg,(mouse,rat)mr)root;",
+	"bayesian":  "((((human,chimp)hc,gorilla)hcg,mouse)x,rat)root;",
+}
+
+func main() {
+	trees := map[string]*ted.Tree{}
+	for name, nw := range newicks {
+		t, err := ted.ParseNewick(nw)
+		if err != nil {
+			panic(err)
+		}
+		trees[name] = t
+	}
+
+	order := []string{"ml", "parsimony", "bayesian"}
+	fmt.Println("pairwise edit distances between reconstructions:")
+	for i, a := range order {
+		for _, b := range order[i+1:] {
+			fmt.Printf("  %-9s vs %-9s : %g\n", a, b, ted.Distance(trees[a], trees[b]))
+		}
+	}
+
+	// Large phylogenies are where the strategy choice matters: deep
+	// binary trees sit between the extremes that favour Zhang's and
+	// Demaine's algorithms. Compare the work on a TreeFam-sized pair.
+	f := gen.TreeFamLike(1, 901)
+	g := gen.TreeFamLike(2, 901)
+	fmt.Printf("\nsimulated gene trees: |F|=%d |G|=%d\n", f.Len(), g.Len())
+	fmt.Println("relevant subproblems per algorithm:")
+	var best ted.Algorithm
+	var bestCount int64 = -1
+	for _, alg := range []ted.Algorithm{ted.ZhangL, ted.ZhangR, ted.KleinH, ted.DemaineH} {
+		c := ted.CountSubproblems(f, g, alg)
+		fmt.Printf("  %-10s %12d\n", alg, c)
+		if bestCount == -1 || c < bestCount {
+			best, bestCount = alg, c
+		}
+	}
+	rted := ted.CountSubproblems(f, g, ted.RTED)
+	fmt.Printf("  %-10s %12d (%.1f%% of the best competitor, %s)\n",
+		ted.RTED, rted, 100*float64(rted)/float64(bestCount), best)
+
+	fmt.Printf("\ndistance: %g\n", ted.Distance(f, g))
+}

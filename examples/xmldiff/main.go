@@ -1,0 +1,77 @@
+// xmldiff: measure how much two versions of an XML document differ, the
+// motivating application of the paper's introduction (change detection
+// between document versions). The example diffs two revisions of a small
+// product catalog and reports the distance, a normalized similarity, and
+// the concrete node edits.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	ted "repro"
+)
+
+const catalogV1 = `
+<catalog>
+  <product sku="A-100">
+    <name>Espresso Machine</name>
+    <price currency="EUR">349</price>
+    <tags><tag>kitchen</tag><tag>coffee</tag></tags>
+  </product>
+  <product sku="B-200">
+    <name>Milk Frother</name>
+    <price currency="EUR">49</price>
+  </product>
+  <product sku="C-300">
+    <name>Grinder</name>
+    <price currency="EUR">129</price>
+  </product>
+</catalog>`
+
+const catalogV2 = `
+<catalog>
+  <product sku="A-100">
+    <name>Espresso Machine</name>
+    <price currency="EUR">329</price>
+    <tags><tag>kitchen</tag><tag>coffee</tag><tag>sale</tag></tags>
+  </product>
+  <product sku="C-300">
+    <name>Burr Grinder</name>
+    <price currency="EUR">129</price>
+  </product>
+  <product sku="D-400">
+    <name>Kettle</name>
+    <price currency="EUR">39</price>
+  </product>
+</catalog>`
+
+func main() {
+	opts := ted.XMLOptions{IncludeAttributes: true, IncludeText: true}
+	v1, err := ted.FromXML(strings.NewReader(catalogV1), opts)
+	if err != nil {
+		panic(err)
+	}
+	v2, err := ted.FromXML(strings.NewReader(catalogV2), opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("v1: %d nodes, v2: %d nodes\n", v1.Len(), v2.Len())
+
+	d := ted.Distance(v1, v2)
+	// Normalize to [0,1]: distance relative to replacing everything.
+	sim := 1 - d/float64(v1.Len()+v2.Len())
+	fmt.Printf("edit distance: %g (similarity %.1f%%)\n", d, 100*sim)
+
+	fmt.Println("changes:")
+	for _, op := range ted.Mapping(v1, v2) {
+		switch {
+		case op.Kind == ted.OpDelete:
+			fmt.Printf("  - removed %s\n", op.FLabel)
+		case op.Kind == ted.OpInsert:
+			fmt.Printf("  + added   %s\n", op.GLabel)
+		case op.Kind == ted.OpMatch && op.Cost > 0:
+			fmt.Printf("  ~ changed %s -> %s\n", op.FLabel, op.GLabel)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package gen
+
+import (
+	"testing"
+
+	ted "repro"
+)
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		t    *ted.Tree
+		size int
+	}{
+		{"lb", LeftBranch(101), 101},
+		{"rb", RightBranch(101), 101},
+		{"fb", FullBinary(101), 101},
+		{"zz", ZigZag(101), 101},
+		{"mx", Mixed(101), 101},
+		{"random", Random(1, RandomSpec{Size: 101, MaxDepth: 15, MaxFanout: 6, Labels: 8}), 101},
+		{"swissprot", SwissProtLike(1, 101), 101},
+		{"treebank", TreeBankLike(1, 101), 101},
+	}
+	for _, c := range cases {
+		if c.t.Len() != c.size {
+			t.Errorf("%s: size %d want %d", c.name, c.t.Len(), c.size)
+		}
+		if err := c.t.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	// TreeFam rounds even sizes up to the next odd (strict binary trees).
+	tf := TreeFamLike(1, 100)
+	if tf.Len() != 101 {
+		t.Errorf("treefam: size %d want 101", tf.Len())
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a := Random(7, RandomSpec{Size: 300, MaxDepth: 10, MaxFanout: 5, Labels: 4})
+	b := Random(7, RandomSpec{Size: 300, MaxDepth: 10, MaxFanout: 5, Labels: 4})
+	if a.String() != b.String() {
+		t.Fatal("Random not deterministic in seed")
+	}
+	if SwissProtLike(3, 200).String() != SwissProtLike(3, 200).String() {
+		t.Fatal("SwissProtLike not deterministic")
+	}
+	if TreeFamLike(3, 201).String() != TreeFamLike(3, 201).String() {
+		t.Fatal("TreeFamLike not deterministic")
+	}
+	if TreeBankLike(3, 80).String() != TreeBankLike(3, 80).String() {
+		t.Fatal("TreeBankLike not deterministic")
+	}
+}

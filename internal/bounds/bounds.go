@@ -1,0 +1,179 @@
+// Package bounds implements lower and upper bounds for the unit-cost
+// tree edit distance. Section 7 of the RTED paper surveys them as the
+// standard way to prune exact distance computations in similarity joins:
+// a pair whose lower bound reaches the threshold cannot match, and a
+// pair whose upper bound stays below it must match, so the expensive
+// exact algorithm only runs on the undecided middle.
+//
+// Lower bounds (ordered by cost):
+//
+//   - Size: | |F| − |G| | — every size difference needs an insert/delete.
+//   - LabelHistogram: max(|F|,|G|) − (multiset label intersection); at
+//     most that many nodes can be matched without a rename.
+//   - StringEdit: the unit string edit distance between the preorder
+//     (and postorder) label sequences lower-bounds the tree edit
+//     distance [Guha et al., SIGMOD 2002]; the maximum of the two
+//     serializations is used.
+//   - BinaryBranch: the binary-branch distance of Yang et al. (SIGMOD
+//     2005): L1 distance between binary-branch histograms, divided by 5.
+//
+// Upper bound:
+//
+//   - Constrained: Zhang's constrained edit distance (ordered variant),
+//     which restricts mappings so that disjoint subtrees map to disjoint
+//     subtrees; computable in O(|F||G|) with a children-sequence DP and
+//     never below the unrestricted distance.
+//
+// All bounds assume the unit cost model (the model of the paper's
+// experiments and of every published filter).
+package bounds
+
+import (
+	"repro/internal/tree"
+)
+
+// Size returns the size lower bound ||F| − |G||.
+func Size(f, g *tree.Tree) float64 {
+	d := f.Len() - g.Len()
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// LabelHistogram returns the label multiset lower bound
+// max(|F|,|G|) − Σ_label min(count_F, count_G).
+func LabelHistogram(f, g *tree.Tree) float64 {
+	counts := make(map[string]int, f.Len())
+	for i := 0; i < f.Len(); i++ {
+		counts[f.Label(i)]++
+	}
+	common := 0
+	for i := 0; i < g.Len(); i++ {
+		if counts[g.Label(i)] > 0 {
+			counts[g.Label(i)]--
+			common++
+		}
+	}
+	m := f.Len()
+	if g.Len() > m {
+		m = g.Len()
+	}
+	return float64(m - common)
+}
+
+// StringEdit returns the serialization lower bound: the maximum of the
+// unit string edit distances between the preorder and the postorder
+// label sequences of the two trees.
+func StringEdit(f, g *tree.Tree) float64 {
+	post := stringEditDistance(
+		func(i int) string { return f.Label(i) }, f.Len(),
+		func(j int) string { return g.Label(j) }, g.Len(),
+	)
+	pre := stringEditDistance(
+		func(i int) string { return f.Label(f.ByPre(i)) }, f.Len(),
+		func(j int) string { return g.Label(g.ByPre(j)) }, g.Len(),
+	)
+	if pre > post {
+		return float64(pre)
+	}
+	return float64(post)
+}
+
+// stringEditDistance is the classic O(nm)-time, O(min(n,m))-space unit
+// edit distance between two label sequences.
+func stringEditDistance(a func(int) string, n int, b func(int) string, m int) int {
+	if m > n {
+		a, b = b, a
+		n, m = m, n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		ai := a(i - 1)
+		for j := 1; j <= m; j++ {
+			c := prev[j-1]
+			if ai != b(j-1) {
+				c++
+			}
+			if d := prev[j] + 1; d < c {
+				c = d
+			}
+			if d := cur[j-1] + 1; d < c {
+				c = d
+			}
+			cur[j] = c
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// BinaryBranch returns the binary-branch lower bound of Yang et al.:
+// the L1 distance between the binary-branch histograms divided by 5.
+//
+// The binary branch of a node in the first-child/next-sibling binary
+// transform is the triple (label, first-child label, next-sibling
+// label), with "" for missing positions.
+func BinaryBranch(f, g *tree.Tree) float64 {
+	hf := binaryBranches(f)
+	l1 := 0
+	for k, c := range binaryBranches(g) {
+		cf := hf[k]
+		if cf > c {
+			hf[k] = cf - c
+		} else {
+			delete(hf, k)
+			l1 += c - cf
+		}
+	}
+	for _, c := range hf {
+		l1 += c
+	}
+	return float64(l1) / 5
+}
+
+type branch struct {
+	label, firstChild, nextSibling string
+}
+
+func binaryBranches(t *tree.Tree) map[branch]int {
+	h := make(map[branch]int, t.Len())
+	for v := 0; v < t.Len(); v++ {
+		var b branch
+		b.label = t.Label(v)
+		if fc := t.LeftChild(v); fc != -1 {
+			b.firstChild = t.Label(fc)
+		}
+		if p := t.Parent(v); p != -1 {
+			kids := t.Children(p)
+			for i, c := range kids {
+				if c == v && i+1 < len(kids) {
+					b.nextSibling = t.Label(kids[i+1])
+					break
+				}
+			}
+		}
+		h[b]++
+	}
+	return h
+}
+
+// Lower returns the best (largest) of the cheap lower bounds.
+func Lower(f, g *tree.Tree) float64 {
+	lb := Size(f, g)
+	if b := LabelHistogram(f, g); b > lb {
+		lb = b
+	}
+	if b := BinaryBranch(f, g); b > lb {
+		lb = b
+	}
+	if b := StringEdit(f, g); b > lb {
+		lb = b
+	}
+	return lb
+}

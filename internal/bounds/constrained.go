@@ -1,0 +1,123 @@
+package bounds
+
+import "repro/internal/tree"
+
+// Constrained computes the ordered constrained edit distance between f
+// and g under the unit cost model (Zhang-style: mappings are restricted
+// so that the children forests of matched nodes align as sequences and
+// a forest may otherwise only descend into a single subtree). Every
+// constrained mapping is a valid edit mapping, so the result is an upper
+// bound on the tree edit distance; for many practical tree pairs the two
+// coincide. Runtime is O(|f|·|g|) (the children-sequence DPs telescope),
+// space O(|f|·|g|).
+func Constrained(f, g *tree.Tree) float64 {
+	nf, ng := f.Len(), g.Len()
+	// d[v][w]: constrained distance between subtrees F_v and G_w.
+	// df[v][w]: constrained distance between their children forests.
+	d := make([]float64, nf*ng)
+	df := make([]float64, nf*ng)
+
+	// Unit-cost deletion/insertion of whole subtrees = subtree sizes.
+	delTree := func(v int) float64 { return float64(f.Size(v)) }
+	insTree := func(w int) float64 { return float64(g.Size(w)) }
+	delForest := func(v int) float64 { return float64(f.Size(v) - 1) }
+	insForest := func(w int) float64 { return float64(g.Size(w) - 1) }
+
+	// Scratch for the children-sequence alignment.
+	maxDeg := 0
+	for v := 0; v < nf; v++ {
+		if k := f.NumChildren(v); k > maxDeg {
+			maxDeg = k
+		}
+	}
+	degG := 0
+	for w := 0; w < ng; w++ {
+		if k := g.NumChildren(w); k > degG {
+			degG = k
+		}
+	}
+	seq := make([]float64, (maxDeg+1)*(degG+1))
+
+	for v := 0; v < nf; v++ {
+		kv := f.Children(v)
+		for w := 0; w < ng; w++ {
+			kw := g.Children(w)
+			idx := v*ng + w
+
+			// ---- forest distance between the children forests ----
+			fd := minFloat(1<<30, 0)
+			switch {
+			case len(kv) == 0 && len(kw) == 0:
+				fd = 0
+			case len(kv) == 0:
+				fd = insForest(w)
+			case len(kw) == 0:
+				fd = delForest(v)
+			default:
+				// (iii) sequence alignment of the child subtrees with
+				// whole-tree constrained distances.
+				wdt := len(kw) + 1
+				seq[0] = 0
+				for j := 1; j <= len(kw); j++ {
+					seq[j] = seq[j-1] + insTree(kw[j-1])
+				}
+				for i := 1; i <= len(kv); i++ {
+					seq[i*wdt] = seq[(i-1)*wdt] + delTree(kv[i-1])
+					for j := 1; j <= len(kw); j++ {
+						m := seq[(i-1)*wdt+j-1] + d[kv[i-1]*ng+kw[j-1]]
+						if x := seq[(i-1)*wdt+j] + delTree(kv[i-1]); x < m {
+							m = x
+						}
+						if x := seq[i*wdt+j-1] + insTree(kw[j-1]); x < m {
+							m = x
+						}
+						seq[i*wdt+j] = m
+					}
+				}
+				fd = seq[len(kv)*wdt+len(kw)]
+				// (i) everything descends into one child's subtree
+				// forest on the G side; the rest of G is inserted.
+				for _, bj := range kw {
+					if x := df[v*ng+bj] + insForest(w) - insForest(bj); x < fd {
+						fd = x
+					}
+				}
+				// (ii) symmetric on the F side.
+				for _, ai := range kv {
+					if x := df[ai*ng+w] + delForest(v) - delForest(ai); x < fd {
+						fd = x
+					}
+				}
+			}
+			df[idx] = fd
+
+			// ---- tree distance ----
+			ren := 1.0
+			if f.Label(v) == g.Label(w) {
+				ren = 0
+			}
+			best := fd + ren
+			// Delete v's root and map G_w into one child subtree.
+			for _, ai := range kv {
+				if x := d[ai*ng+w] + delTree(v) - delTree(ai); x < best {
+					best = x
+				}
+			}
+			// Insert w's root and map F_v into one child subtree.
+			for _, bj := range kw {
+				if x := d[v*ng+bj] + insTree(w) - insTree(bj); x < best {
+					best = x
+				}
+			}
+			d[idx] = best
+		}
+	}
+	return d[(nf-1)*ng+(ng-1)]
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

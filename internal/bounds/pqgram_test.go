@@ -1,0 +1,85 @@
+package bounds
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+func TestPQGramProfileKnown(t *testing.T) {
+	// Single node, p=2, q=3: stem (*, a), one all-null base window.
+	tr := tree.MustParseBracket("{a}")
+	grams := PQGramProfile(tr, 2, 3)
+	if len(grams) != 1 {
+		t.Fatalf("leaf profile size %d want 1", len(grams))
+	}
+	// {a{b}{c}} with p=2, q=2: root contributes windows over
+	// (*,b,c,*) = 3 grams; b and c each contribute one leaf gram.
+	tr = tree.MustParseBracket("{a{b}{c}}")
+	grams = PQGramProfile(tr, 2, 2)
+	if len(grams) != 5 {
+		t.Fatalf("profile size %d want 5", len(grams))
+	}
+	// Profile sizes are linear-ish in tree size: every node contributes
+	// max(1, fanout+q-1) grams.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		tr := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(60), MaxDepth: 8, MaxFanout: 5, Labels: 3})
+		want := 0
+		for v := 0; v < tr.Len(); v++ {
+			k := tr.NumChildren(v)
+			if k == 0 {
+				want++
+			} else {
+				want += k + 2 - 1 // q=2 window count over extended children
+			}
+		}
+		if got := len(PQGramProfile(tr, 2, 2)); got != want {
+			t.Fatalf("profile size %d want %d", got, want)
+		}
+	}
+}
+
+func TestPQGramDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		f := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(40), MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		g := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(40), MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		d := PQGram(f, g, 2, 3)
+		if d < 0 || d > 1 {
+			t.Fatalf("pq-gram distance %v outside [0,1]", d)
+		}
+		if PQGram(g, f, 2, 3) != d {
+			t.Fatal("pq-gram distance not symmetric")
+		}
+		if PQGram(f, f, 2, 3) != 0 {
+			t.Fatal("pq-gram self distance not 0")
+		}
+	}
+	// Sensitivity: a single leaf rename changes few grams.
+	f := tree.MustParseBracket("{a{b}{c}{d}{e}}")
+	g := tree.MustParseBracket("{a{b}{c}{d}{x}}")
+	if d := PQGram(f, g, 2, 3); d <= 0 || d > 0.6 {
+		t.Fatalf("small change, pq-gram distance %v", d)
+	}
+	// Disjoint labels: distance 1.
+	h := tree.MustParseBracket("{p{q}{r}{s}{t}}")
+	if d := PQGram(f, h, 2, 3); d != 1 {
+		t.Fatalf("disjoint trees pq-gram distance %v want 1", d)
+	}
+}
+
+func TestEncodeGramInjective(t *testing.T) {
+	// Labels containing the separators must not collide.
+	a := encodeGram([]string{"x\x1f"}, []string{"y"})
+	b := encodeGram([]string{"x"}, []string{"\x1fy"})
+	if a == b {
+		t.Fatal("gram encoding collides on separator bytes")
+	}
+	if !strings.Contains(a, "\x1f") {
+		t.Fatal("separator missing")
+	}
+}

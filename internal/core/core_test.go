@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/naive"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+func TestRTEDResult(t *testing.T) {
+	f := treegen.ZigZag(81)
+	g := treegen.Mixed(77)
+	r := RTED(f, g, cost.Unit{})
+	if want := naive.Dist(f, g, cost.Unit{}); math.Abs(r.Distance-want) > 1e-9 {
+		t.Fatalf("distance %v want %v", r.Distance, want)
+	}
+	if r.StrategyCost != r.Stats.Subproblems {
+		t.Fatalf("predicted cost %d != executed subproblems %d", r.StrategyCost, r.Stats.Subproblems)
+	}
+	if r.StrategyTime <= 0 || r.TotalTime < r.StrategyTime {
+		t.Fatalf("timing inconsistent: strategy %v total %v", r.StrategyTime, r.TotalTime)
+	}
+	if r.Strategy == nil || len(r.Strategy.Choices) != f.Len()*g.Len() {
+		t.Fatal("strategy array missing")
+	}
+	// Subtree distances are queryable: leaves at unit cost differ by 0/1.
+	for v := 0; v < f.Len(); v++ {
+		if !f.IsLeaf(v) {
+			continue
+		}
+		for w := 0; w < g.Len(); w++ {
+			if !g.IsLeaf(w) {
+				continue
+			}
+			want := 1.0
+			if f.Label(v) == g.Label(w) {
+				want = 0
+			}
+			if d := r.SubtreeDist(v, w); d != want {
+				t.Fatalf("leaf pair distance %v want %v", d, want)
+			}
+		}
+	}
+}
+
+func TestDistanceWrapper(t *testing.T) {
+	f := tree.MustParseBracket("{a{b}{c}}")
+	g := tree.MustParseBracket("{a{b}}")
+	if d := Distance(f, g, cost.Unit{}); d != 1 {
+		t.Fatalf("distance %v want 1", d)
+	}
+}

@@ -1,0 +1,177 @@
+// Package cost defines node edit cost models for the tree edit distance
+// and the compiled per-tree-pair form the algorithms consume.
+//
+// The paper (Section 2.2) uses three edit operations with costs cd(v)
+// for deleting node v, ci(w) for inserting node w and cr(v, w) for
+// renaming v's label to w's. The experiments use the unit cost model:
+// cd = ci = 1 and cr = 0 if the labels match, 1 otherwise.
+package cost
+
+import "repro/internal/tree"
+
+// Model assigns costs to the three edit operations based on node labels.
+// Implementations must return non-negative values; Rename(a, a) should be
+// 0 for the distance to satisfy the identity axiom.
+type Model interface {
+	// Delete returns the cost of deleting a node labeled label.
+	Delete(label string) float64
+	// Insert returns the cost of inserting a node labeled label.
+	Insert(label string) float64
+	// Rename returns the cost of renaming label a to label b.
+	Rename(a, b string) float64
+}
+
+// Unit is the standard unit cost model used throughout the paper's
+// experiments: deletions and insertions cost 1, renames cost 0 when the
+// labels are equal and 1 otherwise.
+type Unit struct{}
+
+func (Unit) Delete(string) float64 { return 1 }
+func (Unit) Insert(string) float64 { return 1 }
+func (Unit) Rename(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Weighted scales the three operations by fixed weights. The rename
+// weight is charged only when labels differ.
+type Weighted struct {
+	DeleteW float64
+	InsertW float64
+	RenameW float64
+}
+
+func (w Weighted) Delete(string) float64 { return w.DeleteW }
+func (w Weighted) Insert(string) float64 { return w.InsertW }
+func (w Weighted) Rename(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	return w.RenameW
+}
+
+// Func adapts three closures to the Model interface.
+type Func struct {
+	DeleteF func(string) float64
+	InsertF func(string) float64
+	RenameF func(a, b string) float64
+}
+
+func (f Func) Delete(l string) float64    { return f.DeleteF(l) }
+func (f Func) Insert(l string) float64    { return f.InsertF(l) }
+func (f Func) Rename(a, b string) float64 { return f.RenameF(a, b) }
+
+// Compiled is the per-tree-pair compiled form of a cost model: delete and
+// insert costs are precomputed per node, labels of both trees are interned
+// into shared integer ids so the hot rename path compares ints, and
+// rename costs between distinct labels go through a small memo keyed by
+// the label-id pair.
+//
+// Node indices follow the postorder ids of the two trees (F = left tree,
+// G = right tree).
+type Compiled struct {
+	Del []float64 // Del[v]: cost of deleting F-node v
+	Ins []float64 // Ins[w]: cost of inserting G-node w
+	FID []int     // interned label id per F-node
+	GID []int     // interned label id per G-node
+
+	labels []string // id -> label
+	unit   bool
+	model  Model
+	memo   map[[2]int]float64
+}
+
+// Compile interns labels of f and g and precomputes per-node delete and
+// insert costs for model m.
+func Compile(m Model, f, g *tree.Tree) *Compiled {
+	c := &Compiled{
+		Del:   make([]float64, f.Len()),
+		Ins:   make([]float64, g.Len()),
+		FID:   make([]int, f.Len()),
+		GID:   make([]int, g.Len()),
+		model: m,
+	}
+	if _, ok := m.(Unit); ok {
+		c.unit = true
+	} else {
+		c.memo = make(map[[2]int]float64)
+	}
+	ids := make(map[string]int, f.Len()+g.Len())
+	intern := func(l string) int {
+		if id, ok := ids[l]; ok {
+			return id
+		}
+		id := len(c.labels)
+		ids[l] = id
+		c.labels = append(c.labels, l)
+		return id
+	}
+	for v := 0; v < f.Len(); v++ {
+		l := f.Label(v)
+		c.FID[v] = intern(l)
+		c.Del[v] = m.Delete(l)
+	}
+	for w := 0; w < g.Len(); w++ {
+		l := g.Label(w)
+		c.GID[w] = intern(l)
+		c.Ins[w] = m.Insert(l)
+	}
+	return c
+}
+
+// Ren returns the rename cost between F-node v and G-node w.
+func (c *Compiled) Ren(v, w int) float64 {
+	a, b := c.FID[v], c.GID[w]
+	if c.unit {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+	// Identical labels still consult the model: a custom model may
+	// charge a nonzero self-rename (which breaks the identity axiom but
+	// is the model author's choice).
+	key := [2]int{a, b}
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	r := c.model.Rename(c.labels[a], c.labels[b])
+	c.memo[key] = r
+	return r
+}
+
+// Transpose returns the compiled costs for the swapped direction: the
+// distance δ(G, F) with the transposed model equals δ(F, G) with the
+// original model. An edit script from F to G maps to the reverse script
+// from G to F, so deleting a G-node in the transposed direction costs
+// what inserting it cost originally, inserting an F-node costs its
+// original deletion, and renames swap their arguments. GTED uses the
+// transposed form when the strategy decomposes the right-hand tree.
+func (c *Compiled) Transpose() *Compiled {
+	t := &Compiled{
+		Del:    make([]float64, len(c.Ins)),
+		Ins:    make([]float64, len(c.Del)),
+		FID:    c.GID,
+		GID:    c.FID,
+		labels: c.labels,
+		unit:   c.unit,
+		model:  transposed{c.model},
+		memo:   nil,
+	}
+	if !t.unit {
+		t.memo = make(map[[2]int]float64)
+	}
+	copy(t.Del, c.Ins)
+	copy(t.Ins, c.Del)
+	return t
+}
+
+// transposed swaps the rename arguments; deleting in the transposed
+// direction is inserting in the original one and vice versa.
+type transposed struct{ m Model }
+
+func (t transposed) Delete(l string) float64    { return t.m.Insert(l) }
+func (t transposed) Insert(l string) float64    { return t.m.Delete(l) }
+func (t transposed) Rename(a, b string) float64 { return t.m.Rename(b, a) }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/strategy"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+// Figure 8: number of relevant subproblems computed by Zhang-L, Zhang-R,
+// Klein-H, Demaine-H and RTED on pairs of identical trees of each
+// synthetic shape, over a grid of tree sizes. Counts are analytic
+// (Section 5.3), which is exactly how many constant-time DP steps the
+// real algorithms execute (differentially tested in internal/gted).
+
+func init() {
+	shapes := []struct {
+		id    string
+		fig   string
+		shape treegen.Shape
+		hi    int
+	}{
+		{"fig8a", "Figure 8(a) left branch (LB)", treegen.ShapeLB, 1700},
+		{"fig8b", "Figure 8(b) right branch (RB)", treegen.ShapeRB, 1700},
+		{"fig8c", "Figure 8(c) full binary (FB)", treegen.ShapeFB, 1023},
+		{"fig8d", "Figure 8(d) zig-zag (ZZ)", treegen.ShapeZZ, 2000},
+		{"fig8f", "Figure 8(f) mixed (MX)", treegen.ShapeMX, 1600},
+	}
+	for _, s := range shapes {
+		s := s
+		register(s.id, s.fig+": #subproblems vs tree size", func(cfg Config) error {
+			return fig8Shape(cfg, s.id, s.fig, func(n int) *tree.Tree { return s.shape.Build(n) }, s.hi)
+		})
+	}
+	register("fig8e", "Figure 8(e) random trees: #subproblems vs tree size", func(cfg Config) error {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		return fig8Shape(cfg, "fig8e", "Figure 8(e) random", func(n int) *tree.Tree {
+			return treegen.Random(rng, treegen.PaperRandom(n))
+		}, 1700)
+	})
+}
+
+// fig8Algorithms returns the named strategies of the figure's five curves.
+func fig8Algorithms(f, g *tree.Tree) []strategy.Named {
+	rted, _ := strategy.Opt(f, g)
+	return []strategy.Named{
+		strategy.ZhangL(),
+		strategy.ZhangR(),
+		strategy.KleinH(),
+		strategy.DemaineH(f, g),
+		rted,
+	}
+}
+
+func fig8Shape(cfg Config, id, title string, build func(n int) *tree.Tree, hi int) error {
+	header(cfg, id, title, "size", "Zhang-L", "Zhang-R", "Klein-H", "Demaine-H", "RTED")
+	for _, n := range cfg.sizes(100, hi, 9) {
+		t := build(n)
+		df := strategy.NewDecomp(t)
+		fmt.Fprintf(cfg.Out, "%d", t.Len())
+		var rted int64
+		var best int64 = -1
+		for _, s := range fig8Algorithms(t, t) {
+			c := strategy.CountD(t, t, df, df, s).Total
+			fmt.Fprintf(cfg.Out, "\t%d", c)
+			if s.Name() == "RTED" {
+				rted = c
+			} else if best == -1 || c < best {
+				best = c
+			}
+		}
+		fmt.Fprintln(cfg.Out)
+		if rted > best {
+			return fmt.Errorf("%s: RTED count %d exceeds best competitor %d at size %d", id, rted, best, n)
+		}
+	}
+	return nil
+}

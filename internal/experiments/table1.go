@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/join"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+// Table 1: similarity self-join over T = {LB, RB, FB, ZZ, Random} with
+// roughly equal sizes. Reports, per algorithm, the join runtime and the
+// total number of relevant subproblems. The paper's result: RTED widely
+// outperforms all competitors because fixed strategies degenerate on
+// cross-shape pairs (e.g. Zhang-L on the LB×RB pair).
+
+func init() {
+	register("table1", "Table 1: join on trees with different shapes", table1)
+}
+
+func table1Trees(cfg Config) []*tree.Tree {
+	n := cfg.size(1000)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return []*tree.Tree{
+		treegen.LeftBranch(n),
+		treegen.RightBranch(n),
+		treegen.FullBinary(n),
+		treegen.ZigZag(n),
+		treegen.Random(rng, treegen.PaperRandom(n)),
+	}
+}
+
+// Table1Algorithms enumerates the join competitors in the paper's row
+// order with their strategy factories.
+func Table1Algorithms() []struct {
+	Name    string
+	Factory join.StrategyFactory
+} {
+	mk := func(n func(f, g *tree.Tree) strategy.Named) join.StrategyFactory {
+		return join.FixedFactory(n)
+	}
+	return []struct {
+		Name    string
+		Factory join.StrategyFactory
+	}{
+		{"Zhang-L", mk(func(f, g *tree.Tree) strategy.Named { return strategy.ZhangL() })},
+		{"Zhang-R", mk(func(f, g *tree.Tree) strategy.Named { return strategy.ZhangR() })},
+		{"Klein-H", mk(func(f, g *tree.Tree) strategy.Named { return strategy.KleinH() })},
+		{"Demaine-H", mk(func(f, g *tree.Tree) strategy.Named { return strategy.DemaineH(f, g) })},
+		{"RTED", join.RTEDFactory()},
+	}
+}
+
+func table1(cfg Config) error {
+	trees := table1Trees(cfg)
+	tau := float64(cfg.size(1000)) / 2
+	header(cfg, "table1", "Table 1: join on trees with different shapes",
+		"algorithm", "time[s]", "subproblems", "matches")
+	var rted, bestOther int64 = -1, -1
+	for _, a := range Table1Algorithms() {
+		r := join.SelfJoin(trees, tau, cost.Unit{}, a.Factory)
+		fmt.Fprintf(cfg.Out, "%s\t%s\t%d\t%d\n", a.Name, secs(r.Elapsed), r.Subproblems, len(r.Pairs))
+		if a.Name == "RTED" {
+			rted = r.Subproblems
+		} else if bestOther == -1 || r.Subproblems < bestOther {
+			bestOther = r.Subproblems
+		}
+	}
+	if rted > bestOther {
+		return fmt.Errorf("table1: RTED subproblems %d exceed best competitor %d", rted, bestOther)
+	}
+	return nil
+}

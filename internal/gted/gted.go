@@ -1,0 +1,188 @@
+// Package gted implements GTED, the general tree edit distance algorithm
+// of the RTED paper (Algorithm 1), together with the three quadratic-space
+// single-path functions it dispatches to:
+//
+//   - ΔL for left paths and ΔR for right paths (Zhang–Shasha-style forest
+//     DPs, implemented once and instantiated over mirrored coordinate
+//     views), and
+//   - ΔI for arbitrary (in practice heavy) paths (a Demaine-style DP over
+//     the full decomposition of the second tree).
+//
+// GTED executes any LRH strategy; with the optimal strategy from
+// internal/strategy it is RTED. Every single-path function counts the
+// relevant subproblems it evaluates, and those counters match the
+// analytic counts of strategy.Count exactly.
+package gted
+
+import (
+	"repro/internal/cost"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// Stats reports instrumentation for one GTED run.
+type Stats struct {
+	// Subproblems is the number of relevant subproblems evaluated: the
+	// count of DP cells with two non-empty forests across all
+	// single-path function invocations.
+	Subproblems int64
+	// SPFCalls counts single-path function invocations (one per subtree
+	// pair the strategy decomposes).
+	SPFCalls int64
+	// SPFByChoice breaks SPFCalls down by decomposition choice.
+	SPFByChoice [6]int64
+	// MaxLiveRows is the peak number of simultaneously retained ΔI rows;
+	// it measures the working memory of the heavy-path DP (see
+	// DESIGN.md).
+	MaxLiveRows int
+}
+
+// Runner executes GTED for one tree pair and one strategy. A Runner is
+// single-use: create, call Run, then query distances and stats.
+type Runner struct {
+	f, g  *tree.Tree
+	cm    *cost.Compiled // oriented (f, g)
+	cmT   *cost.Compiled // transposed, built lazily
+	strat strategy.Strategy
+
+	d    []float64 // |F|×|G| subtree-pair distances, row-major
+	seen []bool    // GTED pair memo
+
+	stats Stats
+
+	// Scratch reused across single-path calls.
+	fd       []float64 // forest-distance scratch for ΔL/ΔR
+	keyroots []int
+	rowPool  [][]float64
+	liveRows int
+
+	// Mirror-coordinate leafmost arrays for ΔR: for a node with mirror
+	// postorder id c, lfm[c] is the mirror postorder id of its rightmost
+	// leaf descendant (the "leftmost leaf" of the mirrored tree).
+	lfmF, lfmG []int32
+}
+
+// New prepares a GTED runner for the pair (f, g) under cost model m and
+// strategy s.
+func New(f, g *tree.Tree, m cost.Model, s strategy.Strategy) *Runner {
+	return NewCompiled(f, g, cost.Compile(m, f, g), s)
+}
+
+// NewCompiled is New with precompiled costs (for callers that reuse the
+// compilation across runs).
+func NewCompiled(f, g *tree.Tree, cm *cost.Compiled, s strategy.Strategy) *Runner {
+	return &Runner{
+		f:     f,
+		g:     g,
+		cm:    cm,
+		strat: s,
+		d:     make([]float64, f.Len()*g.Len()),
+		seen:  make([]bool, f.Len()*g.Len()),
+	}
+}
+
+// Run computes the distance between the two trees (and, as GTED always
+// does, between every pair of their subtrees).
+func (r *Runner) Run() float64 {
+	r.gted(r.f.Root(), r.g.Root())
+	return r.Dist(r.f.Root(), r.g.Root())
+}
+
+// Dist returns δ(F_v, G_w) after Run.
+func (r *Runner) Dist(v, w int) float64 { return r.d[v*r.g.Len()+w] }
+
+// Matrix returns the full |F|×|G| subtree-distance matrix (row-major).
+// The slice is owned by the runner.
+func (r *Runner) Matrix() []float64 { return r.d }
+
+// Stats returns the instrumentation counters accumulated by Run.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// gted is Algorithm 1: look up the strategy's path for the pair, recurse
+// into the relevant subtrees of the decomposed tree, then run the
+// single-path function matching the path type.
+func (r *Runner) gted(v, w int) {
+	idx := v*r.g.Len() + w
+	if r.seen[idx] {
+		return
+	}
+	r.seen[idx] = true
+	ch := r.strat.Choose(v, w)
+	r.stats.SPFCalls++
+	r.stats.SPFByChoice[ch]++
+	if !ch.InG() {
+		strategy.ForEachHanging(r.f, v, ch.Type(), func(rt int) { r.gted(rt, w) })
+		r.runSPF(r.f, v, r.g, w, ch.Type(), false)
+	} else {
+		strategy.ForEachHanging(r.g, w, ch.Type(), func(rt int) { r.gted(v, rt) })
+		r.runSPF(r.g, w, r.f, v, ch.Type(), true)
+	}
+}
+
+// runSPF dispatches to the single-path function for a path of type pt in
+// the subtree t1/v1, with t2/v2 the other tree. swap records that t1 is
+// the original right-hand tree (the "transposition flag" of Algorithm 1).
+func (r *Runner) runSPF(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.PathType, swap bool) {
+	cm := r.cm
+	if swap {
+		if r.cmT == nil {
+			r.cmT = r.cm.Transpose()
+		}
+		cm = r.cmT
+	}
+	dv := dview{d: r.d, ng: r.g.Len(), swap: swap}
+	switch pt {
+	case strategy.Left:
+		r.spfLR(leftView(t1, nil), v1, leftView(t2, nil), v2, cm, dv)
+	case strategy.Right:
+		r.spfLR(rightView(t1, r.mirrorLeafmost(t1)), v1, rightView(t2, r.mirrorLeafmost(t2)), v2, cm, dv)
+	default:
+		r.spfI(t1, v1, t2, v2, pt, cm, dv)
+	}
+}
+
+// mirrorLeafmost lazily builds (and caches) the mirror-coordinate
+// leafmost array for one of the runner's two trees.
+func (r *Runner) mirrorLeafmost(t *tree.Tree) []int32 {
+	var cache *[]int32
+	switch t {
+	case r.f:
+		cache = &r.lfmF
+	case r.g:
+		cache = &r.lfmG
+	default:
+		panic("gted: mirrorLeafmost on foreign tree")
+	}
+	if *cache == nil {
+		n := t.Len()
+		a := make([]int32, n)
+		for c := 0; c < n; c++ {
+			a[c] = int32(t.MPost(t.RightmostLeaf(t.ByMPost(c))))
+		}
+		*cache = a
+	}
+	return *cache
+}
+
+// dview provides orientation-aware access to the shared distance matrix:
+// coordinates are always (node of t1, node of t2) and the view maps them
+// to the canonical (F, G) layout.
+type dview struct {
+	d    []float64
+	ng   int
+	swap bool
+}
+
+func (dv dview) get(x, y int) float64 {
+	if dv.swap {
+		x, y = y, x
+	}
+	return dv.d[x*dv.ng+y]
+}
+
+func (dv dview) set(x, y int, val float64) {
+	if dv.swap {
+		x, y = y, x
+	}
+	dv.d[x*dv.ng+y] = val
+}

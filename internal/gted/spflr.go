@@ -1,0 +1,132 @@
+package gted
+
+import (
+	"repro/internal/cost"
+	"repro/internal/tree"
+)
+
+// zsview is a coordinate view of a tree under which a Zhang–Shasha-style
+// left-path forest DP can run. The left view uses plain postorder
+// coordinates and leftmost-leaf descendants. The right view uses mirror
+// postorder (the postorder of the tree with every node's children
+// reversed) and rightmost-leaf descendants, which turns the right-path
+// function ΔR into ΔL on mirrored coordinates — one DP implementation
+// serves both path types.
+type zsview struct {
+	t      *tree.Tree
+	mirror bool
+	lfm    []int32 // mirror-coordinate leafmost, only set when mirror
+}
+
+func leftView(t *tree.Tree, _ []int32) zsview    { return zsview{t: t} }
+func rightView(t *tree.Tree, lfm []int32) zsview { return zsview{t: t, mirror: true, lfm: lfm} }
+
+// coordOf maps a postorder node id to the view coordinate.
+func (v zsview) coordOf(node int) int {
+	if v.mirror {
+		return v.t.MPost(node)
+	}
+	return node
+}
+
+// nodeOf maps a view coordinate back to the postorder node id.
+func (v zsview) nodeOf(c int) int {
+	if v.mirror {
+		return v.t.ByMPost(c)
+	}
+	return c
+}
+
+// leafmost returns the view coordinate of the view-leftmost leaf of the
+// node at coordinate c.
+func (v zsview) leafmost(c int) int {
+	if v.mirror {
+		return int(v.lfm[c])
+	}
+	return v.t.LeftmostLeaf(c)
+}
+
+// spfLR is the single-path function for left and right paths: it computes
+// δ(T1_x, T2_y) for every x on the view-left path of the subtree rooted
+// at v1 and every y in the subtree rooted at v2, given (precondition)
+// that distances for all subtrees of T1/v1 hanging off that path are
+// already in the distance matrix.
+//
+// It evaluates |T1_v1| × |F(T2_v2, Γ_view(T2_v2))| relevant subproblems
+// (Lemma 4), counted into the runner's stats.
+func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Compiled, dv dview) {
+	t1, t2 := view1.t, view2.t
+	s1 := t1.Size(v1)
+	hi1 := view1.coordOf(v1)
+	lo1 := hi1 - s1 + 1
+	s2 := t2.Size(v2)
+	hi2 := view2.coordOf(v2)
+	lo2 := hi2 - s2 + 1
+
+	// Keyroots of the T2 subtree in view coordinates, ascending: the
+	// subtree root plus every node whose view-leftmost leaf differs from
+	// its parent's (i.e. nodes with a left sibling in the view).
+	ks := r.keyroots[:0]
+	for c := lo2; c <= hi2; c++ {
+		if c == hi2 {
+			ks = append(ks, c)
+			continue
+		}
+		pc := view2.coordOf(t2.Parent(view2.nodeOf(c)))
+		if view2.leafmost(pc) != view2.leafmost(c) {
+			ks = append(ks, c)
+		}
+	}
+	defer func() { r.keyroots = ks[:0] }() // retain capacity for the next call
+
+	if r.fd == nil {
+		r.fd = make([]float64, (r.f.Len()+1)*(r.g.Len()+1))
+	}
+	fd := r.fd
+
+	for _, kc := range ks {
+		jlo := view2.leafmost(kc)
+		s2k := kc - jlo + 1
+		r.stats.Subproblems += int64(s1) * int64(s2k)
+		w := s2k + 1 // scratch row width
+
+		fd[0] = 0
+		for dj := 1; dj <= s2k; dj++ {
+			fd[dj] = fd[dj-1] + cm.Ins[view2.nodeOf(jlo+dj-1)]
+		}
+		for di := 1; di <= s1; di++ {
+			i := lo1 + di - 1
+			n1 := view1.nodeOf(i)
+			del1 := cm.Del[n1]
+			fd[di*w] = fd[(di-1)*w] + del1
+			fl1 := view1.leafmost(i)
+			onPath1 := fl1 == lo1
+			for dj := 1; dj <= s2k; dj++ {
+				j := jlo + dj - 1
+				n2 := view2.nodeOf(j)
+				fl2 := view2.leafmost(j)
+				del := fd[(di-1)*w+dj] + del1
+				ins := fd[di*w+dj-1] + cm.Ins[n2]
+				var match float64
+				tt := onPath1 && fl2 == jlo
+				if tt {
+					// Both prefixes are whole trees rooted at n1, n2.
+					match = fd[(di-1)*w+dj-1] + cm.Ren(n1, n2)
+				} else {
+					match = fd[(fl1-lo1)*w+(fl2-jlo)] + dv.get(n1, n2)
+				}
+				m := del
+				if ins < m {
+					m = ins
+				}
+				if match < m {
+					m = match
+				}
+				fd[di*w+dj] = m
+				if tt {
+					dv.set(n1, n2, m)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+func clusteredTrees(seed int64) []*tree.Tree {
+	// Three clusters of near-duplicates plus outliers, so a threshold
+	// join has both easy accepts and easy rejects.
+	rng := rand.New(rand.NewSource(seed))
+	var ts []*tree.Tree
+	for c := 0; c < 3; c++ {
+		base := treegen.Random(rng, treegen.RandomSpec{Size: 30 + 10*c, MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		ts = append(ts, base)
+		// A near-duplicate: re-index a copy with one label tweaked.
+		nd := base.Builder(base.Root())
+		nd.Children[0].Label = "tweaked"
+		ts = append(ts, tree.Index(nd))
+	}
+	for i := 0; i < 4; i++ {
+		ts = append(ts, treegen.Random(rng, treegen.RandomSpec{Size: 15 + rng.Intn(50), MaxDepth: 7, MaxFanout: 4, Labels: 5}))
+	}
+	return ts
+}
+
+// TestFilteredJoinSameMatches: the filtered join must find exactly the
+// pairs of the plain join, at every threshold.
+func TestFilteredJoinSameMatches(t *testing.T) {
+	trees := clusteredTrees(1)
+	for _, tau := range []float64{1, 3, 10, 25, 60} {
+		plain := SelfJoin(trees, tau, cost.Unit{}, RTEDFactory())
+		for _, exact := range []bool{false, true} {
+			filt := FilteredSelfJoin(trees, tau, RTEDFactory(), exact)
+			if len(filt.Pairs) != len(plain.Pairs) {
+				t.Fatalf("tau=%v exact=%v: %d pairs want %d", tau, exact, len(filt.Pairs), len(plain.Pairs))
+			}
+			for k := range plain.Pairs {
+				fp, pp := filt.Pairs[k], plain.Pairs[k]
+				if fp.I != pp.I || fp.J != pp.J {
+					t.Fatalf("tau=%v: pair %d = (%d,%d) want (%d,%d)", tau, k, fp.I, fp.J, pp.I, pp.J)
+				}
+				if exact && fp.Dist != pp.Dist {
+					t.Fatalf("tau=%v exact: dist %v want %v", tau, fp.Dist, pp.Dist)
+				}
+				if !exact && (fp.Dist < pp.Dist-1e-9 || fp.Dist >= tau) {
+					t.Fatalf("tau=%v approx: dist %v outside [exact=%v, tau)", tau, fp.Dist, pp.Dist)
+				}
+			}
+			st := filt.Filter
+			if st.LowerPruned+st.UpperAccepted+st.ExactComputed != filt.Comparisons {
+				t.Fatalf("filter accounting inconsistent: %+v vs %d comparisons", st, filt.Comparisons)
+			}
+		}
+	}
+}
+
+// TestFilteredJoinPrunes: with a tight threshold most pairs must be
+// pruned by lower bounds; with a huge threshold most must be accepted by
+// the upper bound.
+func TestFilteredJoinPrunes(t *testing.T) {
+	trees := clusteredTrees(2)
+	tight := FilteredSelfJoin(trees, 1, RTEDFactory(), false)
+	if tight.Filter.LowerPruned == 0 {
+		t.Fatal("tight threshold pruned nothing")
+	}
+	loose := FilteredSelfJoin(trees, 1e9, RTEDFactory(), false)
+	if loose.Filter.UpperAccepted != loose.Comparisons {
+		t.Fatalf("loose threshold: %d accepted of %d", loose.Filter.UpperAccepted, loose.Comparisons)
+	}
+}
+
+// TestParallelJoinMatchesSequential: worker counts must not change the
+// result.
+func TestParallelJoinMatchesSequential(t *testing.T) {
+	trees := clusteredTrees(3)
+	tau := 20.0
+	seq := SelfJoin(trees, tau, cost.Unit{}, RTEDFactory())
+	for _, workers := range []int{1, 2, 4, 9} {
+		par := ParallelSelfJoin(trees, tau, cost.Unit{}, RTEDFactory(), workers)
+		if par.Comparisons != seq.Comparisons || par.Subproblems != seq.Subproblems {
+			t.Fatalf("workers=%d: accounting differs", workers)
+		}
+		if len(par.Pairs) != len(seq.Pairs) {
+			t.Fatalf("workers=%d: %d pairs want %d", workers, len(par.Pairs), len(seq.Pairs))
+		}
+		for k := range seq.Pairs {
+			if par.Pairs[k] != seq.Pairs[k] {
+				t.Fatalf("workers=%d: pair %d = %+v want %+v", workers, k, par.Pairs[k], seq.Pairs[k])
+			}
+		}
+	}
+}

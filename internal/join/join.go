@@ -1,0 +1,159 @@
+// Package join implements the tree similarity self-join of the paper's
+// Table 1 experiment: given a collection of trees and a distance
+// threshold τ, report all pairs with TED < τ, together with the total
+// runtime and the total number of relevant subproblems the chosen
+// algorithm computes across all pairs.
+//
+// The join is the workload where robustness matters most: it computes
+// distances between all pairs regardless of shape, so a fixed-strategy
+// algorithm degenerates as soon as one unfavourable shape combination
+// appears in the collection.
+package join
+
+import (
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/gted"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// Pair is one join result: trees I and J (indices into the input slice,
+// I < J) with their distance.
+type Pair struct {
+	I, J int
+	Dist float64
+}
+
+// Result reports the join output and its cost.
+type Result struct {
+	Pairs       []Pair // pairs with Dist < Tau, ordered by (I, J)
+	Tau         float64
+	Comparisons int   // number of distance computations (all unordered pairs)
+	Subproblems int64 // total relevant subproblems over all comparisons
+	Elapsed     time.Duration
+}
+
+// StrategyFactory builds the strategy for one tree pair. The five paper
+// algorithms are expressed as factories over internal/strategy.
+type StrategyFactory func(f, g *tree.Tree) strategy.Strategy
+
+// RTEDFactory returns the optimal-strategy factory (the RTED join).
+func RTEDFactory() StrategyFactory {
+	return func(f, g *tree.Tree) strategy.Strategy {
+		s, _ := strategy.Opt(f, g)
+		return s
+	}
+}
+
+// FixedFactory adapts a fixed strategy constructor.
+func FixedFactory(mk func(f, g *tree.Tree) strategy.Named) StrategyFactory {
+	return func(f, g *tree.Tree) strategy.Strategy { return mk(f, g) }
+}
+
+func newRunner(f, g *tree.Tree, m cost.Model, factory StrategyFactory) *gted.Runner {
+	return gted.NewCompiled(f, g, cost.Compile(m, f, g), factory(f, g))
+}
+
+// SelfJoin computes the similarity self-join over trees with threshold
+// tau under cost model m, using the strategy produced by factory for
+// every pair. All |T|·(|T|−1)/2 unordered pairs are compared (the join
+// is exact; the paper computes it without filters).
+func SelfJoin(trees []*tree.Tree, tau float64, m cost.Model, factory StrategyFactory) Result {
+	res := Result{Tau: tau}
+	start := time.Now()
+	for i := 0; i < len(trees); i++ {
+		for j := i + 1; j < len(trees); j++ {
+			r := newRunner(trees[i], trees[j], m, factory)
+			d := r.Run()
+			res.Comparisons++
+			res.Subproblems += r.Stats().Subproblems
+			if d < tau {
+				res.Pairs = append(res.Pairs, Pair{I: i, J: j, Dist: d})
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// ParallelSelfJoin is SelfJoin fanned out over workers goroutines (≤ 1
+// runs sequentially). Distance computations are independent, so the
+// speedup is near-linear until memory bandwidth saturates; results are
+// deterministic and identical to SelfJoin's.
+func ParallelSelfJoin(trees []*tree.Tree, tau float64, m cost.Model, factory StrategyFactory, workers int) Result {
+	if workers <= 1 {
+		return SelfJoin(trees, tau, m, factory)
+	}
+	type task struct{ i, j int }
+	type outcome struct {
+		task
+		dist float64
+		subs int64
+	}
+	tasks := make(chan task)
+	outcomes := make(chan outcome)
+	for k := 0; k < workers; k++ {
+		go func() {
+			for t := range tasks {
+				r := newRunner(trees[t.i], trees[t.j], m, factory)
+				d := r.Run()
+				outcomes <- outcome{task: t, dist: d, subs: r.Stats().Subproblems}
+			}
+		}()
+	}
+	total := len(trees) * (len(trees) - 1) / 2
+	go func() {
+		for i := 0; i < len(trees); i++ {
+			for j := i + 1; j < len(trees); j++ {
+				tasks <- task{i, j}
+			}
+		}
+		close(tasks)
+	}()
+
+	res := Result{Tau: tau}
+	start := time.Now()
+	for n := 0; n < total; n++ {
+		o := <-outcomes
+		res.Comparisons++
+		res.Subproblems += o.subs
+		if o.dist < tau {
+			res.Pairs = append(res.Pairs, Pair{I: o.i, J: o.j, Dist: o.dist})
+		}
+	}
+	res.Elapsed = time.Since(start)
+	sortPairs(res.Pairs)
+	return res
+}
+
+func sortPairs(ps []Pair) {
+	// Insertion sort by (I, J); pair counts are small relative to the
+	// distance computations.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0; j-- {
+			if ps[j-1].I < ps[j].I || (ps[j-1].I == ps[j].I && ps[j-1].J < ps[j].J) {
+				break
+			}
+			ps[j-1], ps[j] = ps[j], ps[j-1]
+		}
+	}
+}
+
+// CountOnly computes the total subproblem count of the join analytically
+// (no distance computation). It matches SelfJoin's Subproblems exactly
+// and is what Table 2 style experiments use for large inputs.
+func CountOnly(trees []*tree.Tree, factory StrategyFactory) int64 {
+	decomps := make([]*strategy.Decomp, len(trees))
+	for i, t := range trees {
+		decomps[i] = strategy.NewDecomp(t)
+	}
+	var total int64
+	for i := 0; i < len(trees); i++ {
+		for j := i + 1; j < len(trees); j++ {
+			total += strategy.CountD(trees[i], trees[j], decomps[i], decomps[j], factory(trees[i], trees[j])).Total
+		}
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/naive"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+func someTrees(seed int64, count, size int) []*tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	var ts []*tree.Tree
+	for i := 0; i < count; i++ {
+		ts = append(ts, treegen.Random(rng, treegen.RandomSpec{
+			Size: 1 + rng.Intn(size), MaxDepth: 8, MaxFanout: 4, Labels: 3,
+		}))
+	}
+	return ts
+}
+
+func factories() map[string]StrategyFactory {
+	return map[string]StrategyFactory{
+		"rted":    RTEDFactory(),
+		"zhang-l": FixedFactory(func(f, g *tree.Tree) strategy.Named { return strategy.ZhangL() }),
+		"demaine": FixedFactory(func(f, g *tree.Tree) strategy.Named { return strategy.DemaineH(f, g) }),
+	}
+}
+
+func TestSelfJoinMatchesNaive(t *testing.T) {
+	trees := someTrees(1, 8, 20)
+	tau := 10.0
+	for name, fac := range factories() {
+		r := SelfJoin(trees, tau, cost.Unit{}, fac)
+		if r.Comparisons != len(trees)*(len(trees)-1)/2 {
+			t.Fatalf("%s: %d comparisons", name, r.Comparisons)
+		}
+		// Recompute matches with the ground-truth implementation.
+		var want []Pair
+		for i := 0; i < len(trees); i++ {
+			for j := i + 1; j < len(trees); j++ {
+				if d := naive.Dist(trees[i], trees[j], cost.Unit{}); d < tau {
+					want = append(want, Pair{I: i, J: j, Dist: d})
+				}
+			}
+		}
+		if len(r.Pairs) != len(want) {
+			t.Fatalf("%s: %d pairs want %d", name, len(r.Pairs), len(want))
+		}
+		for k := range want {
+			if r.Pairs[k].I != want[k].I || r.Pairs[k].J != want[k].J ||
+				math.Abs(r.Pairs[k].Dist-want[k].Dist) > 1e-9 {
+				t.Fatalf("%s: pair %d = %+v want %+v", name, k, r.Pairs[k], want[k])
+			}
+		}
+	}
+}
+
+func TestCountOnlyMatchesSelfJoin(t *testing.T) {
+	trees := someTrees(2, 6, 30)
+	for name, fac := range factories() {
+		r := SelfJoin(trees, 5, cost.Unit{}, fac)
+		if c := CountOnly(trees, fac); c != r.Subproblems {
+			t.Fatalf("%s: CountOnly %d != SelfJoin %d", name, c, r.Subproblems)
+		}
+	}
+}
+
+func TestRTEDJoinNeverWorse(t *testing.T) {
+	trees := []*tree.Tree{
+		treegen.LeftBranch(61),
+		treegen.RightBranch(61),
+		treegen.ZigZag(61),
+		treegen.FullBinary(63),
+	}
+	rted := CountOnly(trees, RTEDFactory())
+	for name, fac := range factories() {
+		if name == "rted" {
+			continue
+		}
+		if c := CountOnly(trees, fac); c < rted {
+			t.Fatalf("%s join count %d beats RTED %d", name, c, rted)
+		}
+	}
+}

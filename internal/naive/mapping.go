@@ -1,0 +1,122 @@
+package naive
+
+import (
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/tree"
+)
+
+// OpKind identifies one of the three node edit operations.
+type OpKind int
+
+const (
+	// OpMatch pairs an F-node with a G-node; if the labels differ the
+	// operation is a rename and carries the rename cost.
+	OpMatch OpKind = iota
+	// OpDelete removes an F-node.
+	OpDelete
+	// OpInsert adds a G-node.
+	OpInsert
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMatch:
+		return "match"
+	case OpDelete:
+		return "delete"
+	case OpInsert:
+		return "insert"
+	}
+	return "unknown"
+}
+
+// Op is one element of an edit mapping. FNode and GNode are postorder ids;
+// FNode is -1 for insertions and GNode is -1 for deletions.
+type Op struct {
+	Kind  OpKind
+	FNode int
+	GNode int
+	Cost  float64
+}
+
+// Mapping computes a minimum-cost edit mapping between f and g: a set of
+// operations covering every node of both trees exactly once whose total
+// cost equals the tree edit distance. Matched pairs are one-to-one and
+// preserve both ancestry and left-to-right order (the defining properties
+// of a valid tree edit mapping).
+func Mapping(f, g *tree.Tree, m cost.Model) []Op {
+	c := cost.Compile(m, f, g)
+	d := newDP(f, g, c)
+	d.forest(0, f.Len()-1, 0, g.Len()-1) // fill the memo along the optimal frontier
+	var ops []Op
+	d.backtrack(0, f.Len()-1, 0, g.Len()-1, &ops)
+	sort.Slice(ops, func(i, j int) bool {
+		ki, kj := ops[i].FNode, ops[j].FNode
+		if ki == -1 {
+			ki = 1 << 30
+		}
+		if kj == -1 {
+			kj = 1 << 30
+		}
+		if ki != kj {
+			return ki < kj
+		}
+		return ops[i].GNode < ops[j].GNode
+	})
+	return ops
+}
+
+const eps = 1e-9
+
+func (d *dp) backtrack(flo, fhi, glo, ghi int, ops *[]Op) {
+	for {
+		if fhi < flo && ghi < glo {
+			return
+		}
+		if fhi < flo {
+			for w := glo; w <= ghi; w++ {
+				*ops = append(*ops, Op{Kind: OpInsert, FNode: -1, GNode: w, Cost: d.c.Ins[w]})
+			}
+			return
+		}
+		if ghi < glo {
+			for v := flo; v <= fhi; v++ {
+				*ops = append(*ops, Op{Kind: OpDelete, FNode: v, GNode: -1, Cost: d.c.Del[v]})
+			}
+			return
+		}
+		cur := d.forest(flo, fhi, glo, ghi)
+		v, w := fhi, ghi
+		if del := d.forest(flo, fhi-1, glo, ghi) + d.c.Del[v]; approxEq(cur, del) {
+			*ops = append(*ops, Op{Kind: OpDelete, FNode: v, GNode: -1, Cost: d.c.Del[v]})
+			fhi--
+			continue
+		}
+		if ins := d.forest(flo, fhi, glo, ghi-1) + d.c.Ins[w]; approxEq(cur, ins) {
+			*ops = append(*ops, Op{Kind: OpInsert, FNode: -1, GNode: w, Cost: d.c.Ins[w]})
+			ghi--
+			continue
+		}
+		fv := d.f.SubtreeFirst(v)
+		gw := d.g.SubtreeFirst(w)
+		if fv == flo && gw == glo {
+			// Tree vs tree: the remaining option is the rename of the
+			// two roots.
+			*ops = append(*ops, Op{Kind: OpMatch, FNode: v, GNode: w, Cost: d.c.Ren(v, w)})
+			fhi--
+			ghi--
+			continue
+		}
+		// Forest case: rightmost subtrees matched against each other.
+		d.backtrack(fv, fhi, gw, ghi, ops)
+		fhi = fv - 1
+		ghi = gw - 1
+	}
+}
+
+func approxEq(a, b float64) bool {
+	diff := a - b
+	return diff < eps && diff > -eps
+}

@@ -1,0 +1,107 @@
+// Package naive provides a direct memoized implementation of the
+// recursive tree edit distance formula (paper Figure 2) plus edit-mapping
+// extraction by backtracking.
+//
+// It decomposes forests by always removing the rightmost root node, so
+// every forest that arises is a contiguous postorder interval of the
+// original tree and a subproblem is identified by four interval bounds.
+// No keyroot sharing, no strategy machinery — this is the simplest code
+// that can be correct, and it serves as the ground truth for differential
+// tests against the GTED/RTED implementations. Worst-case cost is
+// O(|F|²·|G|²) time and space, so use it on small and medium inputs only.
+package naive
+
+import (
+	"repro/internal/cost"
+	"repro/internal/tree"
+)
+
+// Dist computes the exact tree edit distance between f and g under cost
+// model m.
+func Dist(f, g *tree.Tree, m cost.Model) float64 {
+	c := cost.Compile(m, f, g)
+	d := newDP(f, g, c)
+	return d.forest(0, f.Len()-1, 0, g.Len()-1)
+}
+
+type dp struct {
+	f, g *tree.Tree
+	c    *cost.Compiled
+	memo map[uint64]float64
+	// delSum[i] is the total delete cost of F-nodes with postorder id < i;
+	// insSum likewise for G. Empty-forest cases are O(1) lookups.
+	delSum []float64
+	insSum []float64
+}
+
+func newDP(f, g *tree.Tree, c *cost.Compiled) *dp {
+	d := &dp{f: f, g: g, c: c, memo: make(map[uint64]float64)}
+	d.delSum = make([]float64, f.Len()+1)
+	for i := 0; i < f.Len(); i++ {
+		d.delSum[i+1] = d.delSum[i] + c.Del[i]
+	}
+	d.insSum = make([]float64, g.Len()+1)
+	for j := 0; j < g.Len(); j++ {
+		d.insSum[j+1] = d.insSum[j] + c.Ins[j]
+	}
+	return d
+}
+
+func key(flo, fhi, glo, ghi int) uint64 {
+	return uint64(uint16(flo))<<48 | uint64(uint16(fhi+1))<<32 |
+		uint64(uint16(glo))<<16 | uint64(uint16(ghi+1))
+}
+
+// forest returns the edit distance between the F-forest of postorder ids
+// [flo, fhi] and the G-forest [glo, ghi]; an interval with hi < lo is the
+// empty forest.
+func (d *dp) forest(flo, fhi, glo, ghi int) float64 {
+	if fhi < flo {
+		return d.insSum[ghi+1] - d.insSum[glo]
+	}
+	if ghi < glo {
+		return d.delSum[fhi+1] - d.delSum[flo]
+	}
+	k := key(flo, fhi, glo, ghi)
+	if v, ok := d.memo[k]; ok {
+		return v
+	}
+	v, w := fhi, ghi // rightmost roots
+	del := d.forest(flo, fhi-1, glo, ghi) + d.c.Del[v]
+	ins := d.forest(flo, fhi, glo, ghi-1) + d.c.Ins[w]
+	fv := d.f.SubtreeFirst(v)
+	gw := d.g.SubtreeFirst(w)
+	var match float64
+	if fv == flo && gw == glo {
+		// Both forests are single trees: rename case (5) of Figure 2.
+		match = d.forest(flo, fhi-1, glo, ghi-1) + d.c.Ren(v, w)
+	} else {
+		// Forest case (3)+(4): match the rightmost subtrees, recurse on
+		// the rest.
+		match = d.forest(fv, fhi, gw, ghi) + d.forest(flo, fv-1, glo, gw-1)
+	}
+	res := min3(del, ins, match)
+	d.memo[k] = res
+	return res
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// Subproblems returns the number of distinct forest-pair subproblems the
+// memoized recursion evaluated for the pair (f, g). Useful in tests as an
+// upper-bound sanity check against the strategy-based counts.
+func Subproblems(f, g *tree.Tree, m cost.Model) int {
+	c := cost.Compile(m, f, g)
+	d := newDP(f, g, c)
+	d.forest(0, f.Len()-1, 0, g.Len()-1)
+	return len(d.memo)
+}

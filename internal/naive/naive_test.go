@@ -1,0 +1,85 @@
+package naive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/tree"
+)
+
+func TestKnownDistances(t *testing.T) {
+	cases := []struct {
+		f, g string
+		want float64
+	}{
+		{"{a}", "{a}", 0},
+		{"{a}", "{b}", 1},
+		{"{a{b}{c}}", "{a{b}{c}}", 0},
+		{"{a{b}{c}}", "{a{b}}", 1},
+		{"{a{b}{c}}", "{b{b}{c}}", 1},
+		{"{a{b{c}{d}}}", "{a{c}{d}}", 1}, // delete b
+		{"{a}", "{b{c{d}}}", 3},
+	}
+	for _, c := range cases {
+		f, g := tree.MustParseBracket(c.f), tree.MustParseBracket(c.g)
+		if got := Dist(f, g, cost.Unit{}); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Dist(%s, %s) = %v want %v", c.f, c.g, got, c.want)
+		}
+	}
+}
+
+func TestAsymmetricCosts(t *testing.T) {
+	f := tree.MustParseBracket("{a{b}}")
+	g := tree.MustParseBracket("{a}")
+	m := cost.Weighted{DeleteW: 3, InsertW: 100, RenameW: 100}
+	if got := Dist(f, g, m); got != 3 {
+		t.Fatalf("delete-only distance = %v want 3", got)
+	}
+	if got := Dist(g, f, cost.Weighted{DeleteW: 100, InsertW: 4, RenameW: 100}); got != 4 {
+		t.Fatalf("insert-only distance = %v want 4", got)
+	}
+}
+
+func TestSubproblemsBounded(t *testing.T) {
+	f := tree.MustParseBracket("{a{b{c}}{d}}")
+	g := tree.MustParseBracket("{a{b}{c{d}}}")
+	n := Subproblems(f, g, cost.Unit{})
+	if n <= 0 || n > f.Len()*f.Len()*g.Len()*g.Len() {
+		t.Fatalf("subproblems %d out of range", n)
+	}
+}
+
+func TestMappingOpsComplete(t *testing.T) {
+	f := tree.MustParseBracket("{a{b}{c}}")
+	g := tree.MustParseBracket("{a{x}{c}{d}}")
+	ops := Mapping(f, g, cost.Unit{})
+	var total float64
+	var matches, dels, inss int
+	for _, op := range ops {
+		total += op.Cost
+		switch op.Kind {
+		case OpMatch:
+			matches++
+		case OpDelete:
+			dels++
+		case OpInsert:
+			inss++
+		}
+	}
+	if matches+dels != f.Len() || matches+inss != g.Len() {
+		t.Fatalf("coverage wrong: %d matches %d dels %d inss", matches, dels, inss)
+	}
+	if want := Dist(f, g, cost.Unit{}); math.Abs(total-want) > 1e-9 {
+		t.Fatalf("mapping cost %v != distance %v", total, want)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpMatch.String() != "match" || OpDelete.String() != "delete" || OpInsert.String() != "insert" {
+		t.Fatal("op kind strings")
+	}
+	if OpKind(42).String() != "unknown" {
+		t.Fatal("unknown op kind")
+	}
+}

@@ -1,0 +1,57 @@
+package strategy
+
+import "repro/internal/tree"
+
+// CountResult reports the analytic subproblem count of running GTED with
+// a given strategy on a tree pair (Section 5.3). Because every
+// subproblem is a constant-time operation, Total is the runtime
+// complexity of the corresponding algorithm on that input, and it is what
+// Figure 8, Table 1 and Table 2 of the paper plot.
+type CountResult struct {
+	// Total is the number of relevant subproblems.
+	Total int64
+	// ByChoice breaks Total down by decomposition choice.
+	ByChoice [6]int64
+	// SPFCalls is the number of single-path function invocations, i.e.
+	// the number of subtree pairs GTED decomposes.
+	SPFCalls int64
+}
+
+// Count computes the exact number of relevant subproblems GTED evaluates
+// for the pair (f, g) under strategy s, without running the distance
+// computation. The instrumented counters of the real GTED implementation
+// match this number exactly (differentially tested).
+func Count(f, g *tree.Tree, s Strategy) CountResult {
+	return CountD(f, g, NewDecomp(f), NewDecomp(g), s)
+}
+
+// CountD is Count with caller-supplied decomposition caches, so repeated
+// counts over the same trees (joins, dataset scans) skip the O(n)
+// preprocessing.
+func CountD(f, g *tree.Tree, df, dg *Decomp, s Strategy) CountResult {
+	var res CountResult
+	ng := g.Len()
+	seen := make([]bool, f.Len()*ng)
+	var rec func(v, w int)
+	rec = func(v, w int) {
+		idx := v*ng + w
+		if seen[idx] {
+			return
+		}
+		seen[idx] = true
+		c := s.Choose(v, w)
+		var spf int64
+		if !c.InG() {
+			ForEachHanging(f, v, c.Type(), func(r int) { rec(r, w) })
+			spf = int64(f.Size(v)) * spfCount(dg, w, c.Type())
+		} else {
+			ForEachHanging(g, w, c.Type(), func(r int) { rec(v, r) })
+			spf = int64(g.Size(w)) * spfCount(df, v, c.Type())
+		}
+		res.Total += spf
+		res.ByChoice[c] += spf
+		res.SPFCalls++
+	}
+	rec(f.Root(), g.Root())
+	return res
+}

@@ -1,0 +1,75 @@
+package strategy
+
+import "repro/internal/tree"
+
+// Decomp holds, for every subtree F_v of a tree, the decomposition
+// cardinalities the cost formula needs (Section 5.2):
+//
+//   - A[v]  = |A(F_v)|, the size of the full decomposition (Lemma 1),
+//   - FL[v] = |F(F_v, ΓL(F_v))|, the relevant subforests of the recursive
+//     left-path decomposition (Lemma 3),
+//   - FR[v] = |F(F_v, ΓR(F_v))|, likewise for right paths.
+//
+// By Lemma 2, |F(F_v, γ)| = |F_v| for any single root-leaf path γ, so no
+// array is needed for it.
+type Decomp struct {
+	T  *tree.Tree
+	A  []int64
+	FL []int64
+	FR []int64
+}
+
+// NewDecomp computes the decomposition cardinalities for all subtrees of
+// t in O(|t|) time.
+func NewDecomp(t *tree.Tree) *Decomp {
+	n := t.Len()
+	d := &Decomp{
+		T:  t,
+		A:  make([]int64, n),
+		FL: make([]int64, n),
+		FR: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		sz := int64(t.Size(v))
+		// Lemma 1: |A(F)| = |F|(|F|+3)/2 − Σ_{x∈F} |F_x|.
+		d.A[v] = sz*(sz+3)/2 - t.SumSizes(v)
+		kids := t.Children(v)
+		if len(kids) == 0 {
+			d.FL[v] = 1
+			d.FR[v] = 1
+			continue
+		}
+		// Lemma 3: |F(F,Γ)| = Σ of the sizes of the relevant subtrees of
+		// the recursive decomposition. The left path of F_v continues in
+		// the leftmost child c1, so the relevant subtrees of F_v are the
+		// other children plus the relevant subtrees of F_c1:
+		//   FL[v] = |F_v| + Σ_{c≠c1} FL[c] + (FL[c1] − |F_c1|).
+		l := kids[0]
+		r := kids[len(kids)-1]
+		d.FL[v] = sz + d.FL[l] - int64(t.Size(l))
+		d.FR[v] = sz + d.FR[r] - int64(t.Size(r))
+		for _, c := range kids {
+			if c != l {
+				d.FL[v] += d.FL[c]
+			}
+			if c != r {
+				d.FR[v] += d.FR[c]
+			}
+		}
+	}
+	return d
+}
+
+// F returns |F(F_v, Γ)| for the recursive decomposition of F_v with paths
+// of type pt. For single-path counts use Lemma 2 (= subtree size). Heavy
+// recursive decompositions are not needed by the cost formula (GTED pairs
+// heavy paths with the full decomposition A), so Heavy is not supported.
+func (d *Decomp) F(v int, pt PathType) int64 {
+	switch pt {
+	case Left:
+		return d.FL[v]
+	case Right:
+		return d.FR[v]
+	}
+	panic("strategy: Decomp.F supports Left and Right only")
+}

@@ -1,0 +1,145 @@
+package strategy
+
+import (
+	"math"
+
+	"repro/internal/tree"
+)
+
+// AllLRH allows all six decomposition choices; it is the default
+// restriction for OptStrategy and yields the paper's RTED strategy.
+var AllLRH = [numChoices]bool{true, true, true, true, true, true}
+
+// LROnly restricts the strategy search to left and right paths (the
+// Zhang–Shasha family); used by the ablation experiments.
+var LROnly = [numChoices]bool{LeftF: true, LeftG: true, RightF: true, RightG: true}
+
+// HOnly restricts the search to heavy paths (the Klein/Demaine family).
+var HOnly = [numChoices]bool{HeavyF: true, HeavyG: true}
+
+// Opt computes the optimal LRH strategy for the pair (f, g) and the exact
+// number of relevant subproblems GTED computes with it. It is a direct
+// implementation of Algorithm 2 (OptStrategy) and runs in O(|f|·|g|) time
+// and space.
+func Opt(f, g *tree.Tree) (*Array, int64) {
+	return OptRestricted(f, g, AllLRH)
+}
+
+// OptRestricted is Opt with the candidate set restricted to the allowed
+// choices; at least one choice must be allowed. Restrictions support the
+// ablation experiments (e.g. "how much do heavy paths buy over {L,R}?").
+func OptRestricted(f, g *tree.Tree, allowed [numChoices]bool) (*Array, int64) {
+	df, dg := NewDecomp(f), NewDecomp(g)
+	return optWithDecomp(f, g, df, dg, allowed)
+}
+
+func optWithDecomp(f, g *tree.Tree, df, dg *Decomp, allowed [numChoices]bool) (*Array, int64) {
+	nf, ng := f.Len(), g.Len()
+	str := NewArray(nf, ng, "RTED")
+
+	// Cost-sum arrays. Lv/Rv/Hv[v*ng+w] accumulate
+	// Σ_{F' ∈ F_v − γ} cost(F', G_w) for the left/right/heavy path of
+	// F_v; Lw/Rw/Hw[w] accumulate the symmetric sums for the current v.
+	lv := make([]int64, nf*ng)
+	rv := make([]int64, nf*ng)
+	hv := make([]int64, nf*ng)
+	lw := make([]int64, ng)
+	rw := make([]int64, ng)
+	hw := make([]int64, ng)
+
+	var cmin int64
+	for v := 0; v < nf; v++ {
+		// The w-side sums are per-v quantities: they accumulate costs of
+		// pairs (F_v, G') for relevant subtrees G' of G_w, so they must
+		// restart for every v. (The paper's pseudocode only spells out
+		// the leaf reset; internal entries are accumulated with += and
+		// would otherwise leak across v-iterations.)
+		for w := range lw {
+			lw[w], rw[w], hw[w] = 0, 0, 0
+		}
+		szv := int64(f.Size(v))
+		pv := f.Parent(v)
+		idxRow := v * ng
+		for w := 0; w < ng; w++ {
+			szw := int64(g.Size(w))
+			idx := idxRow + w
+
+			// The six candidate costs (Algorithm 2 lines 7–12), scanned
+			// in the paper's order so ties resolve identically.
+			cmin = math.MaxInt64
+			best := HeavyF
+			if allowed[HeavyF] {
+				cmin = szv*dg.A[w] + hv[idx]
+			}
+			if allowed[HeavyG] {
+				if c := szw*df.A[v] + hw[w]; c < cmin {
+					cmin, best = c, HeavyG
+				}
+			}
+			if allowed[LeftF] {
+				if c := szv*dg.FL[w] + lv[idx]; c < cmin {
+					cmin, best = c, LeftF
+				}
+			}
+			if allowed[LeftG] {
+				if c := szw*df.FL[v] + lw[w]; c < cmin {
+					cmin, best = c, LeftG
+				}
+			}
+			if allowed[RightF] {
+				if c := szv*dg.FR[w] + rv[idx]; c < cmin {
+					cmin, best = c, RightF
+				}
+			}
+			if allowed[RightG] {
+				if c := szw*df.FR[v] + rw[w]; c < cmin {
+					cmin, best = c, RightG
+				}
+			}
+			str.Choices[idx] = best
+
+			// Propagate cost sums to the parents (lines 15–22): if the
+			// child continues the parent's path the partial sum carries
+			// over, otherwise the child roots a relevant subtree and
+			// contributes its full optimal cost.
+			if pv != -1 {
+				pidx := pv*ng + w
+				if v == f.LeftChild(pv) {
+					lv[pidx] += lv[idx]
+				} else {
+					lv[pidx] += cmin
+				}
+				if v == f.RightChild(pv) {
+					rv[pidx] += rv[idx]
+				} else {
+					rv[pidx] += cmin
+				}
+				if v == f.HeavyChild(pv) {
+					hv[pidx] += hv[idx]
+				} else {
+					hv[pidx] += cmin
+				}
+			}
+			if pw := g.Parent(w); pw != -1 {
+				if w == g.LeftChild(pw) {
+					lw[pw] += lw[w]
+				} else {
+					lw[pw] += cmin
+				}
+				if w == g.RightChild(pw) {
+					rw[pw] += rw[w]
+				} else {
+					rw[pw] += cmin
+				}
+				if w == g.HeavyChild(pw) {
+					hw[pw] += hw[w]
+				} else {
+					hw[pw] += cmin
+				}
+			}
+		}
+	}
+	// cmin still holds the cost of the last pair, (root(F), root(G)),
+	// which is the total optimal cost.
+	return str, cmin
+}

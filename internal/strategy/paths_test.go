@@ -1,0 +1,98 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestPathChildAndOnPath(t *testing.T) {
+	tr := tree.MustParseBracket("{r{a{d}{e}}{b{f}}{c{g}{h{i}}}}")
+	root := tr.Root()
+	// Left path: root -> a -> d.
+	la := PathChild(tr, root, Left)
+	if tr.Label(la) != "a" {
+		t.Fatalf("left child of root = %q", tr.Label(la))
+	}
+	if tr.Label(PathChild(tr, la, Left)) != "d" {
+		t.Fatal("left path second step")
+	}
+	if PathChild(tr, PathChild(tr, la, Left), Left) != -1 {
+		t.Fatal("path continues past leaf")
+	}
+	for _, pt := range []PathType{Left, Right, Heavy} {
+		nodes := PathNodes(tr, root, pt)
+		for _, v := range nodes {
+			if !OnPath(tr, root, v, pt) {
+				t.Fatalf("path node %q not OnPath(%v)", tr.Label(v), pt)
+			}
+		}
+		onCount := 0
+		for v := 0; v < tr.Len(); v++ {
+			if OnPath(tr, root, v, pt) {
+				onCount++
+			}
+		}
+		if onCount != len(nodes) {
+			t.Fatalf("OnPath(%v) marks %d nodes, path has %d", pt, onCount, len(nodes))
+		}
+	}
+	// OnPath from a non-root subtree.
+	if !OnPath(tr, la, PathChild(tr, la, Right), Right) {
+		t.Fatal("OnPath within subtree")
+	}
+}
+
+func TestDecompF(t *testing.T) {
+	tr := tree.MustParseBracket("{a{b{c}}{d}}")
+	d := NewDecomp(tr)
+	if d.F(tr.Root(), Left) != d.FL[tr.Root()] || d.F(tr.Root(), Right) != d.FR[tr.Root()] {
+		t.Fatal("Decomp.F accessor")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decomp.F(Heavy) should panic")
+		}
+	}()
+	d.F(tr.Root(), Heavy)
+}
+
+func TestNamedStrategies(t *testing.T) {
+	f := tree.MustParseBracket("{a{b}}")
+	g := tree.MustParseBracket("{c}")
+	for _, tc := range []struct {
+		s    Named
+		want string
+	}{
+		{ZhangL(), "Zhang-L"},
+		{ZhangR(), "Zhang-R"},
+		{KleinH(), "Klein-H"},
+		{DemaineH(f, g), "Demaine-H"},
+	} {
+		if tc.s.Name() != tc.want {
+			t.Fatalf("name %q want %q", tc.s.Name(), tc.want)
+		}
+	}
+	// Demaine chooses the heavy path of the larger tree.
+	d := DemaineH(f, g)
+	if c := d.Choose(f.Root(), g.Root()); c != HeavyF {
+		t.Fatalf("Demaine on larger F = %v", c)
+	}
+	d2 := DemaineH(g, f)
+	if c := d2.Choose(g.Root(), f.Root()); c != HeavyG {
+		t.Fatalf("Demaine on larger G = %v", c)
+	}
+	a := NewArray(1, 1, "")
+	if a.Name() != "array" {
+		t.Fatalf("default array name %q", a.Name())
+	}
+}
+
+func TestPathTypeString(t *testing.T) {
+	if Heavy.String() != "heavy" || Left.String() != "left" || Right.String() != "right" {
+		t.Fatal("path type strings")
+	}
+	if PathType(9).String() != "invalid" {
+		t.Fatal("invalid path type string")
+	}
+}

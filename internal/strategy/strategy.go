@@ -1,0 +1,82 @@
+package strategy
+
+import "repro/internal/tree"
+
+// Strategy maps a pair of subtrees (F_v, G_w) — identified by postorder
+// ids v in the left tree and w in the right tree — to the root-leaf path
+// GTED uses to decompose the pair (Definition 4). Implementations must be
+// deterministic.
+type Strategy interface {
+	// Choose returns the path for the pair (F_v, G_w).
+	Choose(v, w int) Choice
+}
+
+// Named attaches a human-readable name to a strategy; the experiment
+// harness uses it for table headers.
+type Named interface {
+	Strategy
+	Name() string
+}
+
+type fixed struct {
+	choice Choice
+	name   string
+}
+
+func (f fixed) Choose(int, int) Choice { return f.choice }
+func (f fixed) Name() string           { return f.name }
+
+// ZhangL is the strategy of Zhang and Shasha [31]: every pair maps to the
+// left path of the left-hand tree. GTED with this strategy is the
+// algorithm the paper calls Zhang-L.
+func ZhangL() Named { return fixed{LeftF, "Zhang-L"} }
+
+// ZhangR is the symmetric right-path variant (Zhang-R).
+func ZhangR() Named { return fixed{RightF, "Zhang-R"} }
+
+// KleinH is Klein's strategy [22]: every pair maps to the heavy path of
+// the left-hand tree (Klein-H).
+func KleinH() Named { return fixed{HeavyF, "Klein-H"} }
+
+type demaine struct {
+	f, g *tree.Tree
+}
+
+func (d demaine) Choose(v, w int) Choice {
+	if d.f.Size(v) >= d.g.Size(w) {
+		return HeavyF
+	}
+	return HeavyG
+}
+func (d demaine) Name() string { return "Demaine-H" }
+
+// DemaineH is the strategy of Demaine et al. [15]: each pair maps to the
+// heavy path of its larger tree (Demaine-H).
+func DemaineH(f, g *tree.Tree) Named { return demaine{f, g} }
+
+// Array is a fully materialized strategy: one Choice per subtree pair,
+// row-major over (v, w). OptStrategy and the baseline algorithm produce
+// Arrays.
+type Array struct {
+	NF, NG  int
+	Choices []Choice
+	name    string
+}
+
+// NewArray allocates an Array for trees of the given sizes.
+func NewArray(nf, ng int, name string) *Array {
+	return &Array{NF: nf, NG: ng, Choices: make([]Choice, nf*ng), name: name}
+}
+
+func (a *Array) Choose(v, w int) Choice { return a.Choices[v*a.NG+w] }
+
+// Name implements Named.
+func (a *Array) Name() string {
+	if a.name == "" {
+		return "array"
+	}
+	return a.name
+}
+
+// Set stores the choice for the pair (v, w).
+func (a *Array) Set(v, w int, c Choice) { a.Choices[v*a.NG+w] = c }

@@ -1,0 +1,64 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseBracket checks the parser never panics, and that every
+// accepted input round-trips (parse → serialize → parse yields an equal
+// tree). Seeds run on every `go test`; `go test -fuzz=FuzzParseBracket`
+// explores further.
+func FuzzParseBracket(f *testing.F) {
+	seeds := []string{
+		"", "{", "}", "{}", "{a}", "{a{b}{c}}", "{{}}", "{a{b{c{d{e}}}}}",
+		`{\{}`, `{\}}`, `{\\}`, `{a\}`, "{a} {b}", "  {a}  ", "{a{}{}{}}",
+		"{a{b}", "{a}}", "{" + strings.Repeat("{x", 50) + strings.Repeat("}", 51),
+		"{\x00}", "{日本語{ツリー}}", "{a b c}", `{\x}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseBracket(s)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted tree fails validation: %v (input %q)", verr, s)
+		}
+		out := tr.String()
+		again, err := ParseBracket(out)
+		if err != nil {
+			t.Fatalf("serialization not reparseable: %q -> %q: %v", s, out, err)
+		}
+		if !Equal(tr, again) {
+			t.Fatalf("round trip changed tree for %q", s)
+		}
+	})
+}
+
+// FuzzParseNewick mirrors FuzzParseBracket for the Newick parser.
+func FuzzParseNewick(f *testing.F) {
+	seeds := []string{
+		"", ";", "A;", "(A,B);", "(A,B)r", "((A,B),(C,D))root;",
+		"(A:0.1,B:0.2):0.3;", "('quo''ted',B);", "(,);", "((((A))));",
+		"(A", "A)", "(A,,B);", "(A,B):bad;", "日本;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseNewick(s)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted newick fails validation: %v (input %q)", verr, s)
+		}
+		if !utf8.ValidString(s) {
+			return // labels may contain arbitrary bytes; nothing more to check
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error in a serialized tree, with the byte
+// offset at which it was detected.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("tree: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// ParseBracket parses the bracket notation used by the reference RTED
+// distribution: a tree is "{label child* }" where each child is itself a
+// bracket tree, e.g. {a{b{d}}{c}}. Labels may contain any characters;
+// literal '{', '}' and '\' must be escaped with a backslash. Whitespace
+// between a closing brace and the next brace is ignored; whitespace inside
+// labels is preserved.
+func ParseBracket(s string) (*Tree, error) {
+	p := &bracketParser{src: s}
+	root, err := p.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(s) {
+		return nil, &ParseError{p.pos, "trailing input after tree"}
+	}
+	return Index(root), nil
+}
+
+type bracketParser struct {
+	src string
+	pos int
+}
+
+func (p *bracketParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *bracketParser) parseTree() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, &ParseError{p.pos, "unexpected end of input, want '{'"}
+	}
+	if p.src[p.pos] != '{' {
+		return nil, &ParseError{p.pos, fmt.Sprintf("unexpected %q, want '{'", p.src[p.pos])}
+	}
+	p.pos++
+	label, err := p.parseLabel()
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{Label: label}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, &ParseError{p.pos, "unexpected end of input, want '}' or '{'"}
+		}
+		switch p.src[p.pos] {
+		case '}':
+			p.pos++
+			return node, nil
+		case '{':
+			child, err := p.parseTree()
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, child)
+		default:
+			return nil, &ParseError{p.pos, fmt.Sprintf("unexpected %q between children", p.src[p.pos])}
+		}
+	}
+}
+
+func (p *bracketParser) parseLabel() (string, error) {
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '{', '}':
+			return sb.String(), nil
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return "", &ParseError{p.pos, "dangling escape at end of input"}
+			}
+			next := p.src[p.pos+1]
+			if next != '{' && next != '}' && next != '\\' {
+				return "", &ParseError{p.pos, fmt.Sprintf(`invalid escape \%c`, next)}
+			}
+			sb.WriteByte(next)
+			p.pos += 2
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", &ParseError{p.pos, "unexpected end of input inside label"}
+}
+
+// EscapeLabel escapes '{', '}' and '\' so the label round-trips through
+// ParseBracket.
+func EscapeLabel(label string) string {
+	if !strings.ContainsAny(label, `{}\`) {
+		return label
+	}
+	var sb strings.Builder
+	for i := 0; i < len(label); i++ {
+		switch label[i] {
+		case '{', '}', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(label[i])
+	}
+	return sb.String()
+}
+
+// MustParseBracket is ParseBracket that panics on malformed input; it is
+// intended for tests and package-level literals.
+func MustParseBracket(s string) *Tree {
+	t, err := ParseBracket(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseNewick parses a subset of the Newick format used for phylogenetic
+// trees: "(child,child,...)label:length;" where lengths are optional and
+// ignored, labels may be quoted with single quotes, and the trailing
+// semicolon is optional. Unlabeled nodes receive the empty label.
+func ParseNewick(s string) (*Tree, error) {
+	p := &newickParser{src: s}
+	root, err := p.parseClade()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, &ParseError{p.pos, "trailing input after newick tree"}
+	}
+	return Index(root), nil
+}
+
+type newickParser struct {
+	src string
+	pos int
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *newickParser) parseClade() (*Node, error) {
+	p.skipSpace()
+	node := &Node{}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			child, err := p.parseClade()
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, child)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, &ParseError{p.pos, "unexpected end of input, want ',' or ')'"}
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, &ParseError{p.pos, fmt.Sprintf("unexpected %q in clade list", p.src[p.pos])}
+		}
+	}
+	label, err := p.parseNewickLabel()
+	if err != nil {
+		return nil, err
+	}
+	node.Label = label
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ':' {
+		p.pos++
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && isNewickNumberChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, &ParseError{p.pos, "missing branch length after ':'"}
+		}
+	}
+	return node, nil
+}
+
+func (p *newickParser) parseNewickLabel() (string, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c == '\'' {
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return sb.String(), nil
+			}
+			sb.WriteByte(c)
+			p.pos++
+		}
+		return "", &ParseError{p.pos, "unterminated quoted label"}
+	}
+	start := p.pos
+	for p.pos < len(p.src) && !isNewickDelim(p.src[p.pos]) {
+		p.pos++
+	}
+	return strings.TrimSpace(p.src[start:p.pos]), nil
+}
+
+func isNewickDelim(c byte) bool {
+	switch c {
+	case '(', ')', ',', ':', ';':
+		return true
+	}
+	return false
+}
+
+func isNewickNumberChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+}

@@ -1,0 +1,420 @@
+// Package tree implements the ordered labeled tree substrate used by all
+// tree edit distance algorithms in this repository.
+//
+// A Tree is an immutable, array-indexed form of an ordered labeled tree.
+// Nodes are identified by their 0-based postorder position, which is the
+// canonical node id used throughout the module (distance matrices, strategy
+// arrays and single-path functions all index by postorder id). The package
+// also precomputes every per-node quantity the RTED machinery needs:
+// preorder ids, mirror (right-to-left) postorder ids, subtree sizes,
+// leftmost/rightmost leaf descendants, depths, heavy children, and the
+// accumulated subtree-size sums required by the decomposition lemmas.
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is the mutable builder form of a tree node. Build trees by linking
+// Nodes, then call Index to obtain the immutable array form used by the
+// algorithms.
+type Node struct {
+	Label    string
+	Children []*Node
+}
+
+// NewNode returns a node with the given label and children.
+func NewNode(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// Add appends children to n and returns n for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Tree is the immutable indexed form of an ordered labeled tree.
+//
+// All slices are indexed by postorder id in [0, N); the root is id N-1.
+type Tree struct {
+	labels   []string // label of node i
+	parent   []int    // parent postorder id, -1 for the root
+	children [][]int  // children postorder ids, left to right
+	size     []int    // number of nodes in the subtree rooted at i
+	depth    []int    // root depth 0
+	lml      []int    // leftmost leaf descendant (postorder id)
+	rml      []int    // rightmost leaf descendant (postorder id)
+	pre      []int    // preorder number of node i
+	byPre    []int    // inverse of pre: preorder number -> postorder id
+	mpost    []int    // mirror postorder number of node i
+	byMPost  []int    // inverse of mpost
+	heavy    []int    // heavy child postorder id, -1 for leaves
+	sumSize  []int64  // sum of size(x) over all x in the subtree of i
+	height   int
+}
+
+// Index converts a builder tree into its immutable indexed form.
+// It panics if root is nil; trees always have at least one node.
+func Index(root *Node) *Tree {
+	if root == nil {
+		panic("tree: Index called with nil root")
+	}
+	n := countNodes(root)
+	t := &Tree{
+		labels:   make([]string, n),
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		size:     make([]int, n),
+		depth:    make([]int, n),
+		lml:      make([]int, n),
+		rml:      make([]int, n),
+		pre:      make([]int, n),
+		byPre:    make([]int, n),
+		mpost:    make([]int, n),
+		byMPost:  make([]int, n),
+		heavy:    make([]int, n),
+		sumSize:  make([]int64, n),
+	}
+	postCounter := 0
+	preCounter := 0
+	// Iterative DFS assigning postorder and preorder ids. The explicit
+	// stack avoids goroutine stack growth limits on degenerate deep trees.
+	type frame struct {
+		node   *Node
+		parent int // postorder id of parent; filled on exit, so store index into pending
+		next   int // next child to visit
+		depth  int
+		pre    int
+		kids   []int // postorder ids of already-finished children
+	}
+	stack := []*frame{{node: root, next: 0, depth: 0, pre: preCounter}}
+	preCounter++
+	var finished int = -1 // postorder id of the most recently finished node
+	_ = finished
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if f.next < len(f.node.Children) {
+			c := f.node.Children[f.next]
+			if c == nil {
+				panic("tree: nil child node")
+			}
+			f.next++
+			stack = append(stack, &frame{node: c, depth: f.depth + 1, pre: preCounter})
+			preCounter++
+			continue
+		}
+		// All children finished: assign this node's postorder id.
+		id := postCounter
+		postCounter++
+		t.labels[id] = f.node.Label
+		t.depth[id] = f.depth
+		t.pre[id] = f.pre
+		t.byPre[f.pre] = id
+		t.children[id] = f.kids
+		sz := 1
+		var ss int64
+		for _, c := range f.kids {
+			t.parent[c] = id
+			sz += t.size[c]
+			ss += t.sumSize[c]
+		}
+		t.size[id] = sz
+		t.sumSize[id] = ss + int64(sz)
+		if len(f.kids) == 0 {
+			t.lml[id] = id
+			t.rml[id] = id
+			t.heavy[id] = -1
+		} else {
+			t.lml[id] = t.lml[f.kids[0]]
+			t.rml[id] = t.rml[f.kids[len(f.kids)-1]]
+			// Heavy child: maximal subtree size, ties broken by the
+			// rightmost child (required to reproduce the paper's
+			// worked Example 4).
+			h := f.kids[0]
+			for _, c := range f.kids[1:] {
+				if t.size[c] >= t.size[h] {
+					h = c
+				}
+			}
+			t.heavy[id] = h
+		}
+		if f.depth > t.height {
+			t.height = f.depth
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := stack[len(stack)-1]
+			p.kids = append(p.kids, id)
+		}
+	}
+	t.parent[postCounter-1] = -1
+	t.fillMirrorPostorder()
+	return t
+}
+
+// fillMirrorPostorder computes the mirror (right-to-left) postorder
+// numbering: the postorder of the tree obtained by reversing the child
+// order of every node. ΔR runs the left-path DP on this view.
+func (t *Tree) fillMirrorPostorder() {
+	n := t.Len()
+	counter := 0
+	type frame struct {
+		id   int
+		next int // children visited right-to-left: next counts down
+	}
+	root := n - 1
+	stack := []frame{{id: root, next: len(t.children[root]) - 1}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= 0 {
+			c := t.children[f.id][f.next]
+			f.next--
+			stack = append(stack, frame{id: c, next: len(t.children[c]) - 1})
+			continue
+		}
+		t.mpost[f.id] = counter
+		t.byMPost[counter] = f.id
+		counter++
+		stack = stack[:len(stack)-1]
+	}
+}
+
+func countNodes(root *Node) int {
+	n := 0
+	stack := []*Node{root}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n++
+		for _, c := range nd.Children {
+			if c == nil {
+				panic("tree: nil child node")
+			}
+			stack = append(stack, c)
+		}
+	}
+	return n
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.labels) }
+
+// Root returns the postorder id of the root (always Len()-1).
+func (t *Tree) Root() int { return t.Len() - 1 }
+
+// Label returns the label of node i.
+func (t *Tree) Label(i int) string { return t.labels[i] }
+
+// Parent returns the postorder id of i's parent, or -1 for the root.
+func (t *Tree) Parent(i int) int { return t.parent[i] }
+
+// Children returns the postorder ids of i's children, left to right.
+// The returned slice must not be modified.
+func (t *Tree) Children(i int) []int { return t.children[i] }
+
+// NumChildren returns the fanout of node i.
+func (t *Tree) NumChildren(i int) int { return len(t.children[i]) }
+
+// Size returns the number of nodes in the subtree rooted at i.
+func (t *Tree) Size(i int) int { return t.size[i] }
+
+// SumSizes returns the sum of Size(x) over all x in the subtree of i.
+// This is the Σ|F_v| term of Lemma 1.
+func (t *Tree) SumSizes(i int) int64 { return t.sumSize[i] }
+
+// Depth returns the depth of node i (root depth 0).
+func (t *Tree) Depth(i int) int { return t.depth[i] }
+
+// Height returns the maximum depth of any node.
+func (t *Tree) Height() int { return t.height }
+
+// LeftmostLeaf returns the postorder id of the leftmost leaf descendant
+// of i (i itself if i is a leaf).
+func (t *Tree) LeftmostLeaf(i int) int { return t.lml[i] }
+
+// RightmostLeaf returns the postorder id of the rightmost leaf descendant
+// of i (i itself if i is a leaf).
+func (t *Tree) RightmostLeaf(i int) int { return t.rml[i] }
+
+// Pre returns the preorder number of node i.
+func (t *Tree) Pre(i int) int { return t.pre[i] }
+
+// ByPre returns the postorder id of the node with preorder number p.
+func (t *Tree) ByPre(p int) int { return t.byPre[p] }
+
+// MPost returns the mirror (right-to-left) postorder number of node i.
+func (t *Tree) MPost(i int) int { return t.mpost[i] }
+
+// ByMPost returns the postorder id of the node with mirror postorder
+// number m.
+func (t *Tree) ByMPost(m int) int { return t.byMPost[m] }
+
+// HeavyChild returns the postorder id of i's heavy child (the child with
+// the largest subtree, ties broken by the rightmost child), or -1 if i is
+// a leaf.
+func (t *Tree) HeavyChild(i int) int { return t.heavy[i] }
+
+// LeftChild returns the leftmost child of i, or -1 if i is a leaf.
+func (t *Tree) LeftChild(i int) int {
+	if len(t.children[i]) == 0 {
+		return -1
+	}
+	return t.children[i][0]
+}
+
+// RightChild returns the rightmost child of i, or -1 if i is a leaf.
+func (t *Tree) RightChild(i int) int {
+	if len(t.children[i]) == 0 {
+		return -1
+	}
+	return t.children[i][len(t.children[i])-1]
+}
+
+// IsLeaf reports whether node i has no children.
+func (t *Tree) IsLeaf(i int) bool { return len(t.children[i]) == 0 }
+
+// SubtreeFirst returns the smallest postorder id inside the subtree of i.
+// The subtree of i occupies the contiguous postorder range
+// [SubtreeFirst(i), i].
+func (t *Tree) SubtreeFirst(i int) int { return i - t.size[i] + 1 }
+
+// PreInSubtree reports whether the node with postorder id x lies in the
+// subtree rooted at v.
+func (t *Tree) InSubtree(x, v int) bool {
+	return x >= t.SubtreeFirst(v) && x <= v
+}
+
+// Leaves returns the number of leaves in the whole tree.
+func (t *Tree) Leaves() int {
+	c := 0
+	for i := 0; i < t.Len(); i++ {
+		if t.IsLeaf(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Builder returns a mutable deep copy of the subtree rooted at node i.
+func (t *Tree) Builder(i int) *Node {
+	nd := &Node{Label: t.labels[i]}
+	for _, c := range t.children[i] {
+		nd.Children = append(nd.Children, t.Builder(c))
+	}
+	return nd
+}
+
+// Mirror returns a new tree with every node's child order reversed.
+func (t *Tree) Mirror() *Tree {
+	var mirror func(i int) *Node
+	mirror = func(i int) *Node {
+		nd := &Node{Label: t.labels[i]}
+		kids := t.children[i]
+		for j := len(kids) - 1; j >= 0; j-- {
+			nd.Children = append(nd.Children, mirror(kids[j]))
+		}
+		return nd
+	}
+	return Index(mirror(t.Root()))
+}
+
+// Equal reports whether two trees are identical (same shape and labels).
+func Equal(a, b *Tree) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.labels[i] != b.labels[i] || a.parent[i] != b.parent[i] {
+			return false
+		}
+		if len(a.children[i]) != len(b.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tree in bracket notation.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.writeBracket(&sb, t.Root())
+	return sb.String()
+}
+
+func (t *Tree) writeBracket(sb *strings.Builder, i int) {
+	sb.WriteByte('{')
+	sb.WriteString(EscapeLabel(t.labels[i]))
+	for _, c := range t.children[i] {
+		t.writeBracket(sb, c)
+	}
+	sb.WriteByte('}')
+}
+
+// Stats summarizes shape statistics of a tree; used by the dataset
+// simulators and the experiment reports.
+type Stats struct {
+	Size      int
+	Height    int
+	Leaves    int
+	MaxFanout int
+	AvgDepth  float64
+}
+
+// Shape returns shape statistics for t.
+func (t *Tree) Shape() Stats {
+	s := Stats{Size: t.Len(), Height: t.height}
+	var depthSum int64
+	for i := 0; i < t.Len(); i++ {
+		if t.IsLeaf(i) {
+			s.Leaves++
+		}
+		if len(t.children[i]) > s.MaxFanout {
+			s.MaxFanout = len(t.children[i])
+		}
+		depthSum += int64(t.depth[i])
+	}
+	s.AvgDepth = float64(depthSum) / float64(t.Len())
+	return s
+}
+
+// Validate checks internal consistency of the indexed form. It is used by
+// tests and by the parsers after construction; it returns an error rather
+// than panicking so callers can surface corrupt inputs.
+func (t *Tree) Validate() error {
+	n := t.Len()
+	if n == 0 {
+		return fmt.Errorf("tree: empty tree")
+	}
+	if t.parent[n-1] != -1 {
+		return fmt.Errorf("tree: root parent = %d, want -1", t.parent[n-1])
+	}
+	for i := 0; i < n; i++ {
+		for _, c := range t.children[i] {
+			if c < 0 || c >= n || t.parent[c] != i {
+				return fmt.Errorf("tree: node %d has inconsistent child %d", i, c)
+			}
+			if c >= i {
+				return fmt.Errorf("tree: child %d not before parent %d in postorder", c, i)
+			}
+		}
+		sz := 1
+		for _, c := range t.children[i] {
+			sz += t.size[c]
+		}
+		if sz != t.size[i] {
+			return fmt.Errorf("tree: node %d size %d, want %d", i, t.size[i], sz)
+		}
+		if t.SubtreeFirst(i) < 0 {
+			return fmt.Errorf("tree: node %d subtree start negative", i)
+		}
+		if t.byPre[t.pre[i]] != i {
+			return fmt.Errorf("tree: preorder map inconsistent at %d", i)
+		}
+		if t.byMPost[t.mpost[i]] != i {
+			return fmt.Errorf("tree: mirror postorder map inconsistent at %d", i)
+		}
+	}
+	return nil
+}

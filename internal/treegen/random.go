@@ -1,0 +1,121 @@
+package treegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// RandomSpec parameterizes the bounded random tree generator. The
+// paper's random trees use MaxDepth 15 and MaxFanout 6.
+type RandomSpec struct {
+	Size      int
+	MaxDepth  int // maximum node depth (root depth 0); 0 means unbounded
+	MaxFanout int // maximum children per node; 0 means unbounded
+	Labels    int // size of the label pool; 0 means a single label
+}
+
+// PaperRandom is the random-tree configuration of the paper's Figure 8(e)
+// experiments: maximum depth 15 and maximum fanout 6.
+func PaperRandom(size int) RandomSpec {
+	return RandomSpec{Size: size, MaxDepth: 15, MaxFanout: 6, Labels: 8}
+}
+
+// Random draws a random ordered labeled tree from spec using rng.
+func Random(rng *rand.Rand, spec RandomSpec) *tree.Tree {
+	if spec.Size < 1 {
+		panic("treegen: tree size must be positive")
+	}
+	maxDepth := spec.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 1 << 30
+	}
+	maxFanout := spec.MaxFanout
+	if maxFanout <= 0 {
+		maxFanout = 1 << 30
+	}
+	g := &randGen{rng: rng, maxDepth: maxDepth, maxFanout: maxFanout, labels: spec.Labels}
+	if g.capacity(0) < int64(spec.Size) {
+		panic(fmt.Sprintf("treegen: size %d exceeds capacity of depth %d / fanout %d trees",
+			spec.Size, spec.MaxDepth, spec.MaxFanout))
+	}
+	return tree.Index(g.build(spec.Size, 0))
+}
+
+type randGen struct {
+	rng       *rand.Rand
+	maxDepth  int
+	maxFanout int
+	labels    int
+}
+
+func (g *randGen) label() string {
+	if g.labels <= 1 {
+		return "x"
+	}
+	return fmt.Sprintf("l%d", g.rng.Intn(g.labels))
+}
+
+// capacity returns the maximum subtree size rooted at the given depth
+// (saturating to avoid overflow).
+func (g *randGen) capacity(depth int) int64 {
+	levels := g.maxDepth - depth + 1
+	if levels <= 0 {
+		return 0
+	}
+	var total, width int64 = 0, 1
+	for i := 0; i < levels; i++ {
+		total += width
+		if total > 1<<40 {
+			return 1 << 40
+		}
+		if width > 1<<40/int64(g.maxFanout) {
+			width = 1 << 40
+		} else {
+			width *= int64(g.maxFanout)
+		}
+	}
+	return total
+}
+
+func (g *randGen) build(n, depth int) *tree.Node {
+	nd := tree.NewNode(g.label())
+	n--
+	if n == 0 {
+		return nd
+	}
+	// Choose a fanout large enough that the remaining budget fits under
+	// the children's depth capacity, then split the budget randomly
+	// among the children while respecting that capacity.
+	childCapHere := g.capacity(depth + 1)
+	kmin := int((int64(n) + childCapHere - 1) / childCapHere)
+	k := kmin + g.rng.Intn(min(g.maxFanout, n)-kmin+1)
+	budgets := make([]int, k)
+	for i := range budgets {
+		budgets[i] = 1
+	}
+	n -= k
+	childCap := g.capacity(depth + 1)
+	for n > 0 {
+		i := g.rng.Intn(k)
+		if int64(budgets[i]) >= childCap {
+			// This child is full; find another (one must have room
+			// because the total size was checked against capacity).
+			full := 0
+			for int64(budgets[i]) >= childCap {
+				i = (i + 1) % k
+				full++
+				if full > k {
+					panic("treegen: no capacity left for child budgets")
+				}
+			}
+		}
+		budgets[i]++
+		n--
+	}
+	for _, b := range budgets {
+		nd.Children = append(nd.Children, g.build(b, depth+1))
+	}
+	return nd
+}

@@ -1,0 +1,201 @@
+package treegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+func TestShapeSizes(t *testing.T) {
+	for _, s := range Shapes {
+		for _, n := range []int{1, 2, 3, 4, 10, 101, 256, 1000} {
+			tr := s.Build(n)
+			if tr.Len() != n {
+				t.Fatalf("%s(%d) has %d nodes", s, n, tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s(%d): %v", s, n, err)
+			}
+		}
+	}
+}
+
+func TestBranchShapes(t *testing.T) {
+	lb := LeftBranch(101)
+	// Theorem 2's structural property: for every non-leaf subtree,
+	// |F_v − γL| = (|F_v|−1)/2 and |F_v − γR| = 1.
+	for v := 0; v < lb.Len(); v++ {
+		if lb.IsLeaf(v) || lb.Size(v)%2 == 0 {
+			continue
+		}
+		if h := len(strategy.HangingSubtrees(lb, v, strategy.Left)); h != (lb.Size(v)-1)/2 {
+			t.Fatalf("LB node %d: %d hanging off left path, want %d", v, h, (lb.Size(v)-1)/2)
+		}
+		if h := len(strategy.HangingSubtrees(lb, v, strategy.Right)); h != 1 {
+			t.Fatalf("LB node %d: %d hanging off right path, want 1", v, h)
+		}
+	}
+	rb := RightBranch(101)
+	root := rb.Root()
+	if len(strategy.HangingSubtrees(rb, root, strategy.Right)) != (rb.Size(root)-1)/2 {
+		t.Fatal("RB right-path hanging count wrong")
+	}
+	// Mirror relationship: RB is LB mirrored.
+	if !tree.Equal(rb, LeftBranch(101).Mirror()) {
+		t.Fatal("RB != mirror(LB)")
+	}
+}
+
+func TestFullBinaryBalanced(t *testing.T) {
+	fb := FullBinary(1023)
+	if fb.Height() != 9 {
+		t.Fatalf("FB(1023) height %d want 9", fb.Height())
+	}
+	for v := 0; v < fb.Len(); v++ {
+		if k := fb.NumChildren(v); k != 0 && k != 2 {
+			t.Fatalf("FB node %d has %d children", v, k)
+		}
+	}
+}
+
+func TestZigZagAlternates(t *testing.T) {
+	zz := ZigZag(99)
+	// Every internal node has exactly two children (one leaf, one spine)
+	// except possibly near the top; the spine side alternates.
+	if zz.Height() < 40 {
+		t.Fatalf("ZZ(99) too shallow: height %d", zz.Height())
+	}
+	binaryNodes := 0
+	for v := 0; v < zz.Len(); v++ {
+		if zz.NumChildren(v) == 2 {
+			binaryNodes++
+		}
+	}
+	if binaryNodes < 40 {
+		t.Fatalf("ZZ lacks spine: %d binary nodes", binaryNodes)
+	}
+	// Structural signature: for ZZ neither pure-left nor pure-right
+	// decomposition is cheap, but the heavy path follows the spine.
+	d := strategy.NewDecomp(zz)
+	root := zz.Root()
+	if d.FL[root] < int64(zz.Len())*10 && d.FR[root] < int64(zz.Len())*10 {
+		t.Fatalf("ZZ: both FL (%d) and FR (%d) small; not a zigzag", d.FL[root], d.FR[root])
+	}
+}
+
+func TestMixedHeterogeneous(t *testing.T) {
+	mx := Mixed(1000)
+	if err := mx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The optimal strategy on MX must mix path types (that is its
+	// purpose: no single fixed strategy fits the whole tree).
+	arr, _ := strategy.Opt(mx, mx)
+	kinds := map[strategy.PathType]bool{}
+	for _, c := range arr.Choices {
+		kinds[c.Type()] = true
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("optimal strategy on MX uses only %v", kinds)
+	}
+}
+
+func TestRandomSpecRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		spec := RandomSpec{Size: 1 + rng.Intn(300), MaxDepth: 2 + rng.Intn(10), MaxFanout: 1 + rng.Intn(6), Labels: 4}
+		if int64(spec.Size) > maxCapacity(spec) {
+			continue
+		}
+		tr := Random(rng, spec)
+		if tr.Len() != spec.Size {
+			t.Fatalf("size %d want %d", tr.Len(), spec.Size)
+		}
+		if tr.Height() > spec.MaxDepth {
+			t.Fatalf("height %d exceeds max depth %d", tr.Height(), spec.MaxDepth)
+		}
+		for v := 0; v < tr.Len(); v++ {
+			if tr.NumChildren(v) > spec.MaxFanout {
+				t.Fatalf("fanout %d exceeds %d", tr.NumChildren(v), spec.MaxFanout)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func maxCapacity(s RandomSpec) int64 {
+	var total, width int64 = 0, 1
+	for d := 0; d <= s.MaxDepth; d++ {
+		total += width
+		width *= int64(s.MaxFanout)
+		if total > 1<<31 || width > 1<<31 {
+			return 1 << 31
+		}
+	}
+	return total
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(9)), PaperRandom(200))
+	b := Random(rand.New(rand.NewSource(9)), PaperRandom(200))
+	if !tree.Equal(a, b) {
+		t.Fatal("same seed, different trees")
+	}
+}
+
+func TestSwissProtShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 10, 187, 1000} {
+		tr := SwissProtLike(rng, n)
+		if tr.Len() != n {
+			t.Fatalf("size %d want %d", tr.Len(), n)
+		}
+		if tr.Height() > 4 {
+			t.Fatalf("SwissProt-like height %d exceeds 4 (paper: max depth 4)", tr.Height())
+		}
+	}
+	// Big entries are wide: fanout far above depth.
+	tr := SwissProtLike(rng, 2000)
+	if tr.Shape().MaxFanout < 50 {
+		t.Fatalf("SwissProt-like max fanout %d; expected a wide flat tree", tr.Shape().MaxFanout)
+	}
+}
+
+func TestTreeBankShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	deepEnough := 0
+	for i := 0; i < 20; i++ {
+		tr := TreeBankLike(rng, 68)
+		if tr.Height() > 35 {
+			t.Fatalf("TreeBank-like height %d exceeds the paper's max 35", tr.Height())
+		}
+		if tr.Height() >= 8 {
+			deepEnough++
+		}
+		if tr.Shape().MaxFanout > 4 {
+			t.Fatalf("TreeBank-like fanout %d; parse trees are narrow", tr.Shape().MaxFanout)
+		}
+	}
+	if deepEnough < 10 {
+		t.Fatalf("TreeBank-like trees too shallow (%d/20 with height>=8; paper avg depth 10.4)", deepEnough)
+	}
+}
+
+func TestTreeFamShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{95, 500, 1001} {
+		tr := TreeFamLike(rng, n)
+		if tr.Len() < n || tr.Len() > n+1 {
+			t.Fatalf("size %d want ~%d", tr.Len(), n)
+		}
+		for v := 0; v < tr.Len(); v++ {
+			if k := tr.NumChildren(v); k != 0 && k != 2 {
+				t.Fatalf("TreeFam-like node with fanout %d; phylogenies are binary", k)
+			}
+		}
+	}
+}

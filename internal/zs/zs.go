@@ -1,0 +1,131 @@
+// Package zs implements the classical Zhang–Shasha tree edit distance
+// algorithm (SIAM J. Comput. 18(6), 1989) as a standalone, hard-coded
+// left-path algorithm.
+//
+// In the paper's taxonomy this is the algorithm "Zhang-L": the LRH
+// strategy that maps every subtree pair to the left path of the left-hand
+// tree. The experiments of Section 8 run an implementation "optimized for
+// the hard-coded strategy", which is exactly this package; the
+// strategy-generic equivalent lives in internal/gted and the two are
+// differentially tested against each other. Runtime is
+// O(|F||G| min(lF,dF) min(lG,dG)) with O(|F||G|) space.
+package zs
+
+import (
+	"repro/internal/cost"
+	"repro/internal/tree"
+)
+
+// Result carries the distance and instrumentation counters of one run.
+type Result struct {
+	Distance float64
+	// Subproblems is the number of forest-pair distances evaluated: the
+	// count of inner DP cells over all keyroot pairs. This matches the
+	// paper's notion of relevant subproblems for the Zhang-L strategy,
+	// |F(F,ΓL(F))| × |F(G,ΓL(G))|.
+	Subproblems int64
+}
+
+// Dist computes the tree edit distance between f and g under model m.
+func Dist(f, g *tree.Tree, m cost.Model) float64 {
+	return Run(f, g, m).Distance
+}
+
+// Run computes the distance and returns instrumentation counters.
+func Run(f, g *tree.Tree, m cost.Model) Result {
+	c := cost.Compile(m, f, g)
+	e := &engine{f: f, g: g, c: c}
+	e.run()
+	return Result{
+		Distance:    e.td[(f.Len()-1)*g.Len()+(g.Len()-1)],
+		Subproblems: e.count,
+	}
+}
+
+// TreeDists computes the full matrix of subtree-pair distances
+// δ(F_v, G_w) (row-major, |F|×|G|). The mapping and join code reuse it.
+func TreeDists(f, g *tree.Tree, m cost.Model) []float64 {
+	c := cost.Compile(m, f, g)
+	e := &engine{f: f, g: g, c: c}
+	e.run()
+	return e.td
+}
+
+type engine struct {
+	f, g  *tree.Tree
+	c     *cost.Compiled
+	td    []float64 // treedist, |F|×|G| row-major
+	fd    []float64 // forestdist scratch, (|F|+1)×(|G|+1)
+	count int64
+}
+
+// Keyroots returns the keyroots of t in increasing postorder: the root
+// and every node that has a left sibling. Equivalently, the highest node
+// of each distinct leftmost-leaf class.
+func Keyroots(t *tree.Tree) []int {
+	var ks []int
+	for i := 0; i < t.Len(); i++ {
+		p := t.Parent(i)
+		if p == -1 || t.LeftmostLeaf(p) != t.LeftmostLeaf(i) {
+			ks = append(ks, i)
+		}
+	}
+	return ks
+}
+
+func (e *engine) run() {
+	nf, ng := e.f.Len(), e.g.Len()
+	e.td = make([]float64, nf*ng)
+	e.fd = make([]float64, (nf+1)*(ng+1))
+	kf := Keyroots(e.f)
+	kg := Keyroots(e.g)
+	for _, k1 := range kf {
+		for _, k2 := range kg {
+			e.treedist(k1, k2)
+		}
+	}
+}
+
+// treedist fills td[i][j] for all i with lml(i)==lml(k1) and j with
+// lml(j)==lml(k2) using the classical forest DP.
+func (e *engine) treedist(k1, k2 int) {
+	f, g, c := e.f, e.g, e.c
+	lf, lg := f.LeftmostLeaf(k1), g.LeftmostLeaf(k2)
+	s1, s2 := k1-lf+1, k2-lg+1
+	e.count += int64(s1) * int64(s2)
+	ng := g.Len()
+	w := s2 + 1 // forest-dist row width
+	fd := e.fd
+	fd[0] = 0
+	for dj := 1; dj <= s2; dj++ {
+		fd[dj] = fd[dj-1] + c.Ins[lg+dj-1]
+	}
+	for di := 1; di <= s1; di++ {
+		i := lf + di - 1
+		fd[di*w] = fd[(di-1)*w] + c.Del[i]
+		fli := f.LeftmostLeaf(i)
+		for dj := 1; dj <= s2; dj++ {
+			j := lg + dj - 1
+			del := fd[(di-1)*w+dj] + c.Del[i]
+			ins := fd[di*w+dj-1] + c.Ins[j]
+			var match float64
+			if fli == lf && g.LeftmostLeaf(j) == lg {
+				// Both prefixes are whole trees rooted at i and j.
+				match = fd[(di-1)*w+dj-1] + c.Ren(i, j)
+			} else {
+				match = fd[(fli-lf)*w+(g.LeftmostLeaf(j)-lg)] + e.td[i*ng+j]
+			}
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if match < m {
+				m = match
+			}
+			fd[di*w+dj] = m
+			if fli == lf && g.LeftmostLeaf(j) == lg {
+				e.td[i*ng+j] = m
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package zs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/naive"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+func TestKeyroots(t *testing.T) {
+	// {a{b{d}{e}}{c}}: postorder d(0) e(1) b(2) c(3) a(4).
+	tr := tree.MustParseBracket("{a{b{d}{e}}{c}}")
+	ks := Keyroots(tr)
+	// Keyroots: nodes with a left sibling or the root: e(1), c(3), a(4).
+	want := []int{1, 3, 4}
+	if len(ks) != len(want) {
+		t.Fatalf("keyroots %v want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("keyroots %v want %v", ks, want)
+		}
+	}
+	// Property: keyroots are exactly the maximal nodes of each distinct
+	// leftmost-leaf class; their subtree sizes sum to F(F,ΓL).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		tr := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(50), MaxDepth: 9, MaxFanout: 4})
+		seen := map[int]bool{}
+		var sum int64
+		for _, k := range Keyroots(tr) {
+			l := tr.LeftmostLeaf(k)
+			if seen[l] {
+				t.Fatalf("two keyroots share leftmost leaf %d", l)
+			}
+			seen[l] = true
+			sum += int64(tr.Size(k))
+		}
+		if len(seen) != tr.Leaves() {
+			t.Fatalf("keyroot count %d != leaves %d", len(seen), tr.Leaves())
+		}
+		d := strategy.NewDecomp(tr)
+		if sum != d.FL[tr.Root()] {
+			t.Fatalf("keyroot subtree size sum %d != FL %d", sum, d.FL[tr.Root()])
+		}
+	}
+}
+
+func TestDistAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 80; i++ {
+		f := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(25), MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		g := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(25), MaxDepth: 7, MaxFanout: 4, Labels: 3})
+		for _, m := range []cost.Model{cost.Unit{}, cost.Weighted{DeleteW: 2, InsertW: 0.5, RenameW: 1.5}} {
+			want := naive.Dist(f, g, m)
+			if got := Dist(f, g, m); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("zs=%v naive=%v\nF=%s\nG=%s", got, want, f, g)
+			}
+		}
+	}
+}
+
+// TestSubproblemFormula: the instrumented count equals the closed form
+// |F(F,ΓL)| × |F(G,ΓL)| of the Zhang-L strategy.
+func TestSubproblemFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		f := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(40), MaxDepth: 8, MaxFanout: 5})
+		g := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(40), MaxDepth: 8, MaxFanout: 5})
+		df, dg := strategy.NewDecomp(f), strategy.NewDecomp(g)
+		want := df.FL[f.Root()] * dg.FL[g.Root()]
+		if got := Run(f, g, cost.Unit{}).Subproblems; got != want {
+			t.Fatalf("subproblems %d, want FL(F)*FL(G) = %d", got, want)
+		}
+		// And it matches the strategy-based analytic count for Zhang-L.
+		if c := strategy.Count(f, g, strategy.ZhangL()); c.Total != want {
+			t.Fatalf("strategy count %d != formula %d", c.Total, want)
+		}
+	}
+}
+
+func TestTreeDistsMatrix(t *testing.T) {
+	f := tree.MustParseBracket("{a{b}{c}}")
+	g := tree.MustParseBracket("{a{b}}")
+	d := TreeDists(f, g, cost.Unit{})
+	ng := g.Len()
+	// δ(leaf b, leaf b) = 0, δ(leaf c, leaf b) = 1.
+	if d[0*ng+0] != 0 || d[1*ng+0] != 1 {
+		t.Fatalf("leaf distances wrong: %v", d)
+	}
+	// δ(F, G) = 1 (delete c).
+	if d[2*ng+1] != 1 {
+		t.Fatalf("root distance %v want 1", d[2*ng+1])
+	}
+}
+
+func TestSingleNodes(t *testing.T) {
+	f := tree.MustParseBracket("{a}")
+	g := tree.MustParseBracket("{a}")
+	if Dist(f, g, cost.Unit{}) != 0 {
+		t.Fatal("identical single nodes")
+	}
+	r := Run(f, g, cost.Unit{})
+	if r.Subproblems != 1 {
+		t.Fatalf("single-node pair subproblems = %d want 1", r.Subproblems)
+	}
+}

@@ -1,0 +1,88 @@
+package ted
+
+import (
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// JoinPair is one similarity-join match: trees at indices I and J of the
+// input collection (I < J) with edit distance Dist < τ.
+type JoinPair struct {
+	I, J int
+	Dist float64
+}
+
+// JoinResult reports the matches and the cost of a similarity self-join.
+type JoinResult struct {
+	Pairs       []JoinPair
+	Comparisons int
+	Subproblems int64
+	Elapsed     time.Duration
+	// Filter accounting (only populated by filtered joins): pairs pruned
+	// by a lower bound, accepted by the upper bound, and resolved by the
+	// exact algorithm.
+	LowerPruned   int
+	UpperAccepted int
+	ExactComputed int
+}
+
+// WithWorkers runs the join's distance computations on n goroutines
+// (default 1). Results are identical and deterministic.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithFilters enables the lower/upper-bound pipeline in front of the
+// exact computation (Section 7 of the paper: bounds prune exact distance
+// computations in threshold joins). The match set is unchanged; the
+// reported distance of a pair accepted by the upper bound is that upper
+// bound (≥ the true distance, still below tau). Filtered joins require
+// the unit cost model, the model of all published bounds.
+func WithFilters() Option { return func(c *config) { c.filters = true } }
+
+// Join computes the similarity self-join of the paper's Table 1: all
+// pairs of trees in the collection with edit distance below tau. Options
+// select the algorithm and cost model as for Distance, plus WithWorkers
+// and WithFilters.
+func Join(trees []*Tree, tau float64, opts ...Option) JoinResult {
+	c := buildConfig(opts)
+	var factory join.StrategyFactory
+	switch c.alg {
+	case RTED:
+		factory = join.RTEDFactory()
+	default:
+		a := c.alg
+		factory = join.FixedFactory(func(f, g *tree.Tree) strategy.Named {
+			return StrategyFor(a, f, g)
+		})
+	}
+	var r join.Result
+	var out JoinResult
+	switch {
+	case c.filters:
+		if c.model != UnitCost {
+			panic("ted: filtered joins require the unit cost model")
+		}
+		fr := join.FilteredSelfJoin(trees, tau, factory, false)
+		r = fr.Result
+		out.LowerPruned = fr.Filter.LowerPruned
+		out.UpperAccepted = fr.Filter.UpperAccepted
+		out.ExactComputed = fr.Filter.ExactComputed
+	case c.workers > 1:
+		r = join.ParallelSelfJoin(trees, tau, c.model, factory, c.workers)
+	default:
+		r = join.SelfJoin(trees, tau, c.model, factory)
+	}
+	out.Comparisons = r.Comparisons
+	out.Subproblems = r.Subproblems
+	out.Elapsed = r.Elapsed
+	if c.stats != nil {
+		c.stats.Subproblems = r.Subproblems
+		c.stats.TotalTime = r.Elapsed
+	}
+	for _, p := range r.Pairs {
+		out.Pairs = append(out.Pairs, JoinPair{I: p.I, J: p.J, Dist: p.Dist})
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package ted
+
+import (
+	"repro/internal/naive"
+)
+
+// OpKind identifies a node edit operation in an edit mapping.
+type OpKind int
+
+const (
+	// OpMatch pairs an F-node with a G-node (a rename when the labels
+	// differ, a no-cost match otherwise).
+	OpMatch OpKind = OpKind(naive.OpMatch)
+	// OpDelete removes an F-node.
+	OpDelete OpKind = OpKind(naive.OpDelete)
+	// OpInsert adds a G-node.
+	OpInsert OpKind = OpKind(naive.OpInsert)
+)
+
+func (k OpKind) String() string { return naive.OpKind(k).String() }
+
+// EditOp is one element of an edit mapping. FNode/GNode are postorder
+// ids into the respective trees; FNode is -1 for insertions and GNode is
+// -1 for deletions. Labels are included for convenience.
+type EditOp struct {
+	Kind           OpKind
+	FNode, GNode   int
+	FLabel, GLabel string
+	Cost           float64
+}
+
+// Mapping computes a minimum-cost edit mapping between f and g: a set of
+// operations covering every node of both trees exactly once, whose total
+// cost equals Distance(f, g) and whose matched pairs are one-to-one and
+// preserve ancestry and sibling order.
+//
+// This goes beyond the paper (which computes only the distance value);
+// the mapping is extracted by backtracking a memoized forest DP, which
+// evaluates only the subproblems along the optimal frontier but has an
+// O(|f|²·|g|²) worst case — intended for small and medium trees.
+func Mapping(f, g *Tree, opts ...Option) []EditOp {
+	c := buildConfig(opts)
+	raw := naive.Mapping(f, g, c.model)
+	ops := make([]EditOp, len(raw))
+	for i, op := range raw {
+		e := EditOp{Kind: OpKind(op.Kind), FNode: op.FNode, GNode: op.GNode, Cost: op.Cost}
+		if op.FNode >= 0 {
+			e.FLabel = f.Label(op.FNode)
+		}
+		if op.GNode >= 0 {
+			e.GLabel = g.Label(op.GNode)
+		}
+		ops[i] = e
+	}
+	return ops
+}

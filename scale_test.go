@@ -1,0 +1,96 @@
+package ted_test
+
+import (
+	"testing"
+
+	ted "repro"
+	"repro/gen"
+)
+
+// TestMediumScaleAgreement cross-validates the strategy-generic engine
+// against the standalone Zhang–Shasha implementation on multi-hundred-
+// node trees of every shape, including cross-shape pairs (the regime
+// where ΔI, transposition and row recycling all fire). Skipped with
+// -short.
+func TestMediumScaleAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale differential test")
+	}
+	build := []func(int) *ted.Tree{
+		gen.LeftBranch, gen.RightBranch, gen.FullBinary, gen.ZigZag, gen.Mixed,
+		func(n int) *ted.Tree {
+			return gen.Random(int64(n), gen.RandomSpec{Size: n, MaxDepth: 15, MaxFanout: 6, Labels: 6})
+		},
+	}
+	names := []string{"LB", "RB", "FB", "ZZ", "MX", "Random"}
+	sizes := []int{210, 301}
+	for i, bf := range build {
+		for j, bg := range build {
+			f := bf(sizes[i%2])
+			g := bg(sizes[(j+1)%2])
+			want := ted.Distance(f, g, ted.WithAlgorithm(ted.ZhangShashaClassic))
+			var stR ted.Stats
+			got := ted.Distance(f, g, ted.WithStats(&stR))
+			if got != want {
+				t.Fatalf("%s×%s: RTED %v != ZS %v", names[i], names[j], got, want)
+			}
+			for _, alg := range []ted.Algorithm{ted.KleinH, ted.DemaineH, ted.ZhangR} {
+				if d := ted.Distance(f, g, ted.WithAlgorithm(alg)); d != want {
+					t.Fatalf("%s×%s: %v gives %v want %v", names[i], names[j], alg, d, want)
+				}
+			}
+			// RTED never does more work than the four competitors.
+			for _, alg := range ted.Algorithms[1:] {
+				if c := ted.CountSubproblems(f, g, alg); c < stR.Subproblems {
+					t.Fatalf("%s×%s: %v count %d below RTED %d", names[i], names[j], alg, c, stR.Subproblems)
+				}
+			}
+			// Bounds stay on the right sides at scale.
+			if lb := ted.LowerBound(f, g); lb > want {
+				t.Fatalf("%s×%s: lower bound %v above exact %v", names[i], names[j], lb, want)
+			}
+			if ub := ted.ConstrainedDistance(f, g); ub < want {
+				t.Fatalf("%s×%s: constrained %v below exact %v", names[i], names[j], ub, want)
+			}
+		}
+	}
+}
+
+// TestDeepTreeDistance exercises very deep recursion paths end to end.
+func TestDeepTreeDistance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep-tree stress test")
+	}
+	f := gen.LeftBranch(1201)
+	g := gen.RightBranch(1201)
+	var st ted.Stats
+	d := ted.Distance(f, g, ted.WithStats(&st))
+	// Mirrored branches of equal size and a single shared label: the
+	// distance is driven by structure only and bounded by 2n.
+	if d <= 0 || d > float64(f.Len()+g.Len()) {
+		t.Fatalf("deep distance %v out of range", d)
+	}
+	if st.Subproblems <= 0 {
+		t.Fatal("no subproblems recorded")
+	}
+	// The LB×RB pair is the paper's Θ(n³) witness (Theorem 2): every
+	// LRH strategy needs cubic work here, so RTED cannot be far below
+	// the competitors — but it must not exceed any of them, and it must
+	// strictly beat the degenerate Zhang variants.
+	zl := ted.CountSubproblems(f, g, ted.ZhangL)
+	zr := ted.CountSubproblems(f, g, ted.ZhangR)
+	for _, c := range []int64{zl, zr,
+		ted.CountSubproblems(f, g, ted.KleinH),
+		ted.CountSubproblems(f, g, ted.DemaineH)} {
+		if c < st.Subproblems {
+			t.Fatalf("fixed strategy count %d below RTED %d", c, st.Subproblems)
+		}
+	}
+	if st.Subproblems >= zl || st.Subproblems >= zr {
+		t.Fatalf("RTED %d does not beat Zhang on LB×RB (%d / %d)", st.Subproblems, zl, zr)
+	}
+	n3 := int64(f.Len()) * int64(f.Len()) * int64(f.Len())
+	if st.Subproblems > n3 {
+		t.Fatalf("RTED %d exceeds n³ = %d on the worst-case witness", st.Subproblems, n3)
+	}
+}

@@ -1,0 +1,246 @@
+// Package ted computes the tree edit distance between ordered labeled
+// trees. It is a from-scratch Go implementation of
+//
+//	Mateusz Pawlik, Nikolaus Augsten:
+//	"RTED: A Robust Algorithm for the Tree Edit Distance",
+//	PVLDB 5(4), 2011.
+//
+// The default algorithm is RTED: it computes the optimal LRH
+// decomposition strategy in O(n²) and then evaluates the classic
+// recursive tree edit distance formula with the general GTED algorithm,
+// so that the number of dynamic-programming subproblems is never larger
+// than that of any left/right/heavy path algorithm from the literature
+// (Zhang–Shasha, Klein, Demaine et al. — all of which are also available
+// here, both for comparison and for the paper's experiments).
+//
+// Basic usage:
+//
+//	f := ted.MustParse("{a{b}{c}}")
+//	g := ted.MustParse("{a{b{d}}}")
+//	d := ted.Distance(f, g) // 2: insert d, delete c
+//
+// Trees use the bracket notation of the reference RTED distribution
+// ({label child child ...}); XML documents and Newick phylogenies can be
+// converted with FromXML and ParseNewick. Nodes of a parsed tree are
+// identified by their postorder id (0-based; the root is Size()-1).
+package ted
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gted"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+	"repro/internal/zs"
+)
+
+// Tree is an immutable ordered labeled tree. Nodes are addressed by
+// postorder id via the Label/Parent/Children/Size accessors.
+type Tree = tree.Tree
+
+// Node is the mutable builder form of a tree; link Nodes and call Build.
+type Node = tree.Node
+
+// NewNode returns a builder node with the given label and children.
+func NewNode(label string, children ...*Node) *Node { return tree.NewNode(label, children...) }
+
+// Build converts a builder tree into an immutable indexed Tree.
+func Build(root *Node) *Tree { return tree.Index(root) }
+
+// Parse parses bracket notation, e.g. "{a{b}{c}}".
+func Parse(s string) (*Tree, error) { return tree.ParseBracket(s) }
+
+// MustParse is Parse that panics on malformed input.
+func MustParse(s string) *Tree { return tree.MustParseBracket(s) }
+
+// ParseNewick parses a Newick-format phylogenetic tree, e.g. "(A,B)r;".
+func ParseNewick(s string) (*Tree, error) { return tree.ParseNewick(s) }
+
+// CostModel assigns costs to the three node edit operations. Rename(a,a)
+// should be 0 for Distance to be a metric.
+type CostModel = cost.Model
+
+// UnitCost is the standard model: insert/delete cost 1, rename costs 1
+// between different labels and 0 between equal ones. It is the model of
+// all experiments in the paper.
+var UnitCost CostModel = cost.Unit{}
+
+// WeightedCost scales the three operations by constant weights (rename
+// charged only between different labels).
+func WeightedCost(del, ins, ren float64) CostModel {
+	return cost.Weighted{DeleteW: del, InsertW: ins, RenameW: ren}
+}
+
+// FuncCost adapts three closures to a CostModel.
+func FuncCost(del, ins func(label string) float64, ren func(a, b string) float64) CostModel {
+	return cost.Func{DeleteF: del, InsertF: ins, RenameF: ren}
+}
+
+// Algorithm selects the decomposition strategy used by Distance.
+type Algorithm int
+
+const (
+	// RTED computes the optimal LRH strategy first (the paper's
+	// contribution; never worse than any algorithm below).
+	RTED Algorithm = iota
+	// ZhangL is Zhang & Shasha's algorithm (left paths, via GTED).
+	ZhangL
+	// ZhangR is the symmetric right-path variant.
+	ZhangR
+	// KleinH is Klein's algorithm (heavy paths in the left tree).
+	KleinH
+	// DemaineH is Demaine et al.'s worst-case optimal algorithm (heavy
+	// paths in the larger tree).
+	DemaineH
+	// ZhangShashaClassic is the standalone, hard-coded implementation of
+	// Zhang & Shasha's algorithm (not strategy-generic; the fastest
+	// per-subproblem constant). Distances are identical to ZhangL.
+	ZhangShashaClassic
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case RTED:
+		return "RTED"
+	case ZhangL:
+		return "Zhang-L"
+	case ZhangR:
+		return "Zhang-R"
+	case KleinH:
+		return "Klein-H"
+	case DemaineH:
+		return "Demaine-H"
+	case ZhangShashaClassic:
+		return "ZS-classic"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists the five strategy-based algorithms compared in the
+// paper's experiments.
+var Algorithms = []Algorithm{RTED, ZhangL, ZhangR, KleinH, DemaineH}
+
+// Stats reports instrumentation of a Distance call when requested with
+// WithStats.
+type Stats struct {
+	// Subproblems is the number of relevant subproblems the algorithm
+	// evaluated (the paper's cost measure, Figures 8 and Tables 1–2).
+	Subproblems int64
+	// SPFCalls counts single-path function invocations.
+	SPFCalls int64
+	// StrategyTime is the time spent computing the optimal strategy
+	// (RTED only); TotalTime covers the whole computation.
+	StrategyTime time.Duration
+	TotalTime    time.Duration
+	// MaxLiveRows is the peak number of retained heavy-path DP rows.
+	MaxLiveRows int
+}
+
+type config struct {
+	alg     Algorithm
+	model   CostModel
+	stats   *Stats
+	workers int
+	filters bool
+}
+
+// Option configures Distance, Mapping and Join.
+type Option func(*config)
+
+// WithAlgorithm selects the algorithm (default RTED).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
+
+// WithCost selects the cost model (default UnitCost).
+func WithCost(m CostModel) Option { return func(c *config) { c.model = m } }
+
+// WithStats requests instrumentation; s is filled during the call.
+func WithStats(s *Stats) Option { return func(c *config) { c.stats = s } }
+
+func buildConfig(opts []Option) config {
+	c := config{alg: RTED, model: UnitCost}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// StrategyFor returns the paper strategy corresponding to an algorithm
+// for the pair (f, g). ZhangShashaClassic has no strategy (it is not
+// GTED-based) and maps to the equivalent ZhangL strategy.
+func StrategyFor(a Algorithm, f, g *Tree) strategy.Named {
+	switch a {
+	case ZhangL, ZhangShashaClassic:
+		return strategy.ZhangL()
+	case ZhangR:
+		return strategy.ZhangR()
+	case KleinH:
+		return strategy.KleinH()
+	case DemaineH:
+		return strategy.DemaineH(f, g)
+	case RTED:
+		s, _ := strategy.Opt(f, g)
+		return s
+	}
+	panic(fmt.Sprintf("ted: unknown algorithm %v", a))
+}
+
+// Distance computes the tree edit distance between f and g. With no
+// options it runs RTED under the unit cost model.
+func Distance(f, g *Tree, opts ...Option) float64 {
+	c := buildConfig(opts)
+	start := time.Now()
+	switch c.alg {
+	case ZhangShashaClassic:
+		res := zs.Run(f, g, c.model)
+		if c.stats != nil {
+			*c.stats = Stats{
+				Subproblems: res.Subproblems,
+				TotalTime:   time.Since(start),
+			}
+		}
+		return res.Distance
+	case RTED:
+		r := core.RTED(f, g, c.model)
+		if c.stats != nil {
+			*c.stats = Stats{
+				Subproblems:  r.Stats.Subproblems,
+				SPFCalls:     r.Stats.SPFCalls,
+				StrategyTime: r.StrategyTime,
+				TotalTime:    r.TotalTime,
+				MaxLiveRows:  r.Stats.MaxLiveRows,
+			}
+		}
+		return r.Distance
+	default:
+		run := gted.New(f, g, c.model, StrategyFor(c.alg, f, g))
+		d := run.Run()
+		if c.stats != nil {
+			st := run.Stats()
+			*c.stats = Stats{
+				Subproblems: st.Subproblems,
+				SPFCalls:    st.SPFCalls,
+				TotalTime:   time.Since(start),
+				MaxLiveRows: st.MaxLiveRows,
+			}
+		}
+		return d
+	}
+}
+
+// CountSubproblems returns, without computing any distances, the exact
+// number of relevant subproblems the chosen algorithm evaluates on the
+// pair (f, g) — the quantity plotted in Figure 8 and Tables 1–2 of the
+// paper. It runs in O(|f|·|g|) time.
+func CountSubproblems(f, g *Tree, a Algorithm) int64 {
+	return strategy.Count(f, g, StrategyFor(a, f, g)).Total
+}
+
+// OptimalStrategyCost returns the subproblem count of the optimal LRH
+// strategy for (f, g) as computed by OptStrategy (Algorithm 2).
+func OptimalStrategyCost(f, g *Tree) int64 {
+	_, c := strategy.Opt(f, g)
+	return c
+}

@@ -1,0 +1,288 @@
+package ted_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	ted "repro"
+	"repro/gen"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistanceKnownCases(t *testing.T) {
+	cases := []struct {
+		f, g string
+		want float64
+	}{
+		{"{a}", "{a}", 0},
+		{"{a}", "{b}", 1},
+		{"{a}", "{a{b}}", 1},
+		{"{a{b}{c}}", "{a{b}{c}}", 0},
+		{"{a{b}{c}}", "{a{c}{b}}", 2}, // ordered trees: swap needs two renames
+		// Flattening a chain: c is below b in F but b's sibling in G, so
+		// mapping both would break ancestry; best is delete+insert of c.
+		{"{a{b{c}}}", "{a{b}{c}}", 2},
+		{"{f{d{a}{c{b}}}{e}}", "{f{c{d{a}{b}}}{e}}", 2}, // classic ZS example: rename+move via delete/insert
+		{"{a{b}{c}}", "{d}", 3},
+		{"{a{b{d}}{c}}", "{a{b}{c{d}}}", 2},
+	}
+	for _, c := range cases {
+		f, g := ted.MustParse(c.f), ted.MustParse(c.g)
+		for _, alg := range append(ted.Algorithms, ted.ZhangShashaClassic) {
+			got := ted.Distance(f, g, ted.WithAlgorithm(alg))
+			if !approx(got, c.want) {
+				t.Errorf("Distance(%s, %s, %v) = %v, want %v", c.f, c.g, alg, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	trees := make([]*ted.Tree, 0, 12)
+	for i := int64(0); i < 12; i++ {
+		trees = append(trees, gen.Random(i, gen.RandomSpec{Size: 1 + int(i*3)%25, MaxDepth: 6, MaxFanout: 4, Labels: 3}))
+	}
+	for _, a := range trees {
+		if d := ted.Distance(a, a); d != 0 {
+			t.Fatalf("d(T,T) = %v != 0", d)
+		}
+	}
+	for i, a := range trees {
+		for j, b := range trees {
+			dab := ted.Distance(a, b)
+			dba := ted.Distance(b, a)
+			if !approx(dab, dba) {
+				t.Fatalf("symmetry broken: d(%d,%d)=%v, d(%d,%d)=%v", i, j, dab, j, i, dba)
+			}
+			lo := math.Abs(float64(a.Len() - b.Len()))
+			hi := float64(a.Len() + b.Len())
+			if dab < lo-1e-9 || dab > hi+1e-9 {
+				t.Fatalf("bounds broken: d=%v not in [%v,%v]", dab, lo, hi)
+			}
+		}
+	}
+	for _, a := range trees[:6] {
+		for _, b := range trees[:6] {
+			for _, c := range trees[:6] {
+				if ted.Distance(a, c) > ted.Distance(a, b)+ted.Distance(b, c)+1e-9 {
+					t.Fatalf("triangle inequality broken")
+				}
+			}
+		}
+	}
+}
+
+func TestWithStatsAndCounts(t *testing.T) {
+	f := gen.ZigZag(101)
+	g := gen.ZigZag(77)
+	for _, alg := range ted.Algorithms {
+		var st ted.Stats
+		ted.Distance(f, g, ted.WithAlgorithm(alg), ted.WithStats(&st))
+		if st.Subproblems <= 0 || st.TotalTime <= 0 {
+			t.Fatalf("%v: empty stats %+v", alg, st)
+		}
+		if want := ted.CountSubproblems(f, g, alg); want != st.Subproblems {
+			t.Fatalf("%v: instrumented %d != analytic %d", alg, st.Subproblems, want)
+		}
+	}
+	var st ted.Stats
+	ted.Distance(f, g, ted.WithStats(&st))
+	if st.StrategyTime <= 0 || st.StrategyTime > st.TotalTime {
+		t.Fatalf("RTED strategy time %v total %v", st.StrategyTime, st.TotalTime)
+	}
+	if oc := ted.OptimalStrategyCost(f, g); oc != st.Subproblems {
+		t.Fatalf("optimal strategy cost %d != RTED subproblems %d", oc, st.Subproblems)
+	}
+}
+
+func TestWeightedAndFuncCost(t *testing.T) {
+	f := ted.MustParse("{a{b}}")
+	g := ted.MustParse("{a}")
+	if d := ted.Distance(f, g, ted.WithCost(ted.WeightedCost(2.5, 1, 1))); !approx(d, 2.5) {
+		t.Fatalf("weighted delete: %v", d)
+	}
+	if d := ted.Distance(g, f, ted.WithCost(ted.WeightedCost(2.5, 0.25, 1))); !approx(d, 0.25) {
+		t.Fatalf("weighted insert: %v", d)
+	}
+	depthCharge := ted.FuncCost(
+		func(string) float64 { return 1 },
+		func(string) float64 { return 1 },
+		func(a, b string) float64 {
+			if a == b {
+				return 0
+			}
+			return 0.5
+		},
+	)
+	if d := ted.Distance(ted.MustParse("{x}"), ted.MustParse("{y}"), ted.WithCost(depthCharge)); !approx(d, 0.5) {
+		t.Fatalf("func rename: %v", d)
+	}
+}
+
+// TestMappingValidity checks the defining properties of edit mappings on
+// random pairs: cost equals distance, every node covered exactly once,
+// matches are one-to-one and preserve ancestry and left-to-right order.
+func TestMappingValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 60; iter++ {
+		f := gen.Random(rng.Int63(), gen.RandomSpec{Size: 1 + rng.Intn(18), MaxDepth: 6, MaxFanout: 4, Labels: 3})
+		g := gen.Random(rng.Int63(), gen.RandomSpec{Size: 1 + rng.Intn(18), MaxDepth: 6, MaxFanout: 4, Labels: 3})
+		ops := ted.Mapping(f, g)
+		var total float64
+		fSeen := make([]bool, f.Len())
+		gSeen := make([]bool, g.Len())
+		type pair struct{ fv, gw int }
+		var matches []pair
+		for _, op := range ops {
+			total += op.Cost
+			switch op.Kind {
+			case ted.OpMatch:
+				if fSeen[op.FNode] || gSeen[op.GNode] {
+					t.Fatalf("node covered twice")
+				}
+				fSeen[op.FNode] = true
+				gSeen[op.GNode] = true
+				matches = append(matches, pair{op.FNode, op.GNode})
+				if op.FLabel != f.Label(op.FNode) || op.GLabel != g.Label(op.GNode) {
+					t.Fatalf("mapping labels wrong")
+				}
+			case ted.OpDelete:
+				if fSeen[op.FNode] {
+					t.Fatalf("deleted node covered twice")
+				}
+				fSeen[op.FNode] = true
+			case ted.OpInsert:
+				if gSeen[op.GNode] {
+					t.Fatalf("inserted node covered twice")
+				}
+				gSeen[op.GNode] = true
+			}
+		}
+		for v, ok := range fSeen {
+			if !ok {
+				t.Fatalf("F-node %d uncovered", v)
+			}
+		}
+		for w, ok := range gSeen {
+			if !ok {
+				t.Fatalf("G-node %d uncovered", w)
+			}
+		}
+		if want := ted.Distance(f, g); !approx(total, want) {
+			t.Fatalf("mapping cost %v != distance %v\nF=%s\nG=%s", total, want, f, g)
+		}
+		// Structural validity: for matched pairs (v1,w1), (v2,w2):
+		// v1 ancestor of v2 <=> w1 ancestor of w2, and v1 left of v2 <=>
+		// w1 left of w2 (postorder + ancestry determine the order).
+		anc := func(tr *ted.Tree, a, b int) bool { // a is ancestor of b
+			return a != b && tr.InSubtree(b, a)
+		}
+		for _, p := range matches {
+			for _, q := range matches {
+				if p == q {
+					continue
+				}
+				if anc(f, p.fv, q.fv) != anc(g, p.gw, q.gw) {
+					t.Fatalf("ancestry not preserved: (%d,%d) vs (%d,%d)", p.fv, p.gw, q.fv, q.gw)
+				}
+				if (p.fv < q.fv) != (p.gw < q.gw) {
+					t.Fatalf("postorder not preserved: (%d,%d) vs (%d,%d)", p.fv, p.gw, q.fv, q.gw)
+				}
+			}
+		}
+	}
+}
+
+func TestFromXML(t *testing.T) {
+	doc := `<a x="1"><b>text</b><c/><c></c></a>`
+	tr, err := ted.FromXML(strings.NewReader(doc), ted.XMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "{a{b}{c}{c}}" {
+		t.Fatalf("plain conversion: %s", tr)
+	}
+	tr, err = ted.FromXML(strings.NewReader(doc), ted.XMLOptions{IncludeAttributes: true, IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "{a{@x=1}{b{text}}{c}{c}}" {
+		t.Fatalf("full conversion: %s", tr)
+	}
+	for _, bad := range []string{"", "<a><b></a></b>", "<a></a><b></b>", "no xml at all"} {
+		if _, err := ted.FromXML(strings.NewReader(bad), ted.XMLOptions{}); err == nil {
+			t.Fatalf("FromXML(%q) succeeded, want error", bad)
+		}
+	}
+	// Two versions of a document differ by one attribute and one element.
+	v1, _ := ted.FromXML(strings.NewReader(`<r><item id="1"/><item id="2"/></r>`), ted.XMLOptions{IncludeAttributes: true})
+	v2, _ := ted.FromXML(strings.NewReader(`<r><item id="1"/><item id="3"/><extra/></r>`), ted.XMLOptions{IncludeAttributes: true})
+	if d := ted.Distance(v1, v2); !approx(d, 2) {
+		t.Fatalf("xml diff distance = %v, want 2", d)
+	}
+}
+
+func TestJoinAgreesAcrossAlgorithms(t *testing.T) {
+	trees := []*ted.Tree{
+		gen.LeftBranch(31),
+		gen.RightBranch(31),
+		gen.FullBinary(31),
+		gen.ZigZag(31),
+		gen.Random(9, gen.RandomSpec{Size: 31, MaxDepth: 8, MaxFanout: 4, Labels: 2}),
+	}
+	tau := 18.0
+	base := ted.Join(trees, tau)
+	if base.Comparisons != 10 {
+		t.Fatalf("comparisons = %d, want 10", base.Comparisons)
+	}
+	for _, alg := range ted.Algorithms {
+		r := ted.Join(trees, tau, ted.WithAlgorithm(alg))
+		if len(r.Pairs) != len(base.Pairs) {
+			t.Fatalf("%v: %d pairs, want %d", alg, len(r.Pairs), len(base.Pairs))
+		}
+		for i := range r.Pairs {
+			if r.Pairs[i] != base.Pairs[i] {
+				t.Fatalf("%v: pair %d = %+v, want %+v", alg, i, r.Pairs[i], base.Pairs[i])
+			}
+		}
+		if alg == ted.RTED && r.Subproblems > base.Subproblems {
+			t.Fatalf("RTED join got more subproblems than itself?")
+		}
+	}
+	// RTED must not exceed any competitor on the join workload.
+	for _, alg := range ted.Algorithms[1:] {
+		r := ted.Join(trees, tau, ted.WithAlgorithm(alg))
+		if base.Subproblems > r.Subproblems {
+			t.Fatalf("RTED join subproblems %d exceed %v's %d", base.Subproblems, alg, r.Subproblems)
+		}
+	}
+}
+
+func TestBuilderAPI(t *testing.T) {
+	n := ted.NewNode("a", ted.NewNode("b"), ted.NewNode("c", ted.NewNode("d")))
+	tr := ted.Build(n)
+	if tr.String() != "{a{b}{c{d}}}" {
+		t.Fatalf("builder tree %s", tr)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[ted.Algorithm]string{
+		ted.RTED: "RTED", ted.ZhangL: "Zhang-L", ted.ZhangR: "Zhang-R",
+		ted.KleinH: "Klein-H", ted.DemaineH: "Demaine-H", ted.ZhangShashaClassic: "ZS-classic",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Fatalf("%d.String() = %q want %q", a, a.String(), s)
+		}
+	}
+	if ted.Algorithm(99).String() != "Algorithm(99)" {
+		t.Fatalf("unknown algorithm string")
+	}
+}

@@ -1,0 +1,83 @@
+package ted
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// XMLOptions controls how FromXML maps a document onto an ordered
+// labeled tree.
+type XMLOptions struct {
+	// IncludeAttributes adds one child per attribute, labeled
+	// "@name=value", before the element's content (in document order).
+	IncludeAttributes bool
+	// IncludeText adds one leaf per non-whitespace text chunk, labeled
+	// with the trimmed text.
+	IncludeText bool
+	// MaxDepth aborts parsing when elements nest deeper; 0 means no limit.
+	MaxDepth int
+}
+
+// FromXML converts an XML document into a Tree: one node per element
+// labeled with the element name, and optionally attribute and text
+// children. This is the tree model used for XML differencing in the
+// paper's motivating applications.
+func FromXML(r io.Reader, opts XMLOptions) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*tree.Node
+	var root *tree.Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ted: XML parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if opts.MaxDepth > 0 && len(stack) >= opts.MaxDepth {
+				return nil, fmt.Errorf("ted: XML nesting exceeds MaxDepth %d", opts.MaxDepth)
+			}
+			nd := tree.NewNode(t.Name.Local)
+			if opts.IncludeAttributes {
+				for _, a := range t.Attr {
+					nd.Add(tree.NewNode("@" + a.Name.Local + "=" + a.Value))
+				}
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("ted: multiple root elements")
+				}
+				root = nd
+			} else {
+				stack[len(stack)-1].Add(nd)
+			}
+			stack = append(stack, nd)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("ted: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if !opts.IncludeText || len(stack) == 0 {
+				continue
+			}
+			s := strings.TrimSpace(string(t))
+			if s != "" {
+				stack[len(stack)-1].Add(tree.NewNode(s))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("ted: document has no elements")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("ted: unclosed elements at end of input")
+	}
+	return tree.Index(root), nil
+}
