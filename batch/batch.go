@@ -1,0 +1,307 @@
+// Package batch is the concurrent batch tree-edit-distance engine: it
+// amortizes RTED's per-tree work across the many pairs of a workload and
+// runs the pairs on a worker pool whose hot path is allocation-free in
+// steady state.
+//
+// The sequential API computes everything per pair: parsing aside, a
+// single Distance call builds both trees' node indexes, decomposition
+// cardinalities and cost vectors, computes the optimal strategy, and
+// allocates fresh DP tables. In a similarity join or top-k workload the
+// same tree participates in many pairs, so the per-tree share of that
+// work is pure waste — exactly the waste RTED's design exposes, since the
+// paper front-loads an O(n²) strategy computation per pair precisely to
+// make the exponential-blowup-prone GTED phase minimal. The engine splits
+// the work accordingly:
+//
+//   - Prepare (once per tree): decomposition cardinalities for the
+//     optimal-strategy cost formula, the ΔR mirror-leafmost array, label
+//     interning with per-node delete/insert cost vectors, and the
+//     lower-bound profile (label histogram, binary-branch histogram,
+//     serializations) used for pre-filtering.
+//   - Per pair (hot path): assemble the pair cost form by slice sharing,
+//     run OptStrategy and GTED entirely inside a per-worker Arena whose
+//     buffers are reused from pair to pair.
+//
+// Engines are safe for concurrent use; PreparedTrees are immutable and
+// shared freely across goroutines. A PreparedTree is bound to the engine
+// that prepared it (label ids come from the engine's interner).
+//
+// Typical use:
+//
+//	e := batch.New(batch.WithWorkers(8))
+//	ps := e.PrepareAll(trees)
+//	matches, stats := e.Join(ps, 12, true)
+package batch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bounds"
+	"repro/internal/cost"
+	"repro/internal/gted"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// StrategyFunc builds the GTED decomposition strategy for one tree pair.
+// The default (nil) is RTED's optimal strategy; fixed-strategy factories
+// reproduce the paper's competitor algorithms.
+type StrategyFunc func(f, g *tree.Tree) strategy.Strategy
+
+// Engine is a reusable batch-TED computer. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	model   cost.Model
+	unit    bool
+	workers int
+	strat   StrategyFunc
+
+	mu sync.Mutex     // guards in during Prepare
+	in *cost.Interner // label ids shared by every PreparedTree
+
+	ws sync.Pool // *workspace
+}
+
+// Option configures New.
+type Option func(*Engine)
+
+// WithWorkers sets the number of worker goroutines batch calls may use
+// (default runtime.GOMAXPROCS(0); values below 1 mean sequential).
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithCost sets the cost model (default unit costs). Bound-based
+// filtering (DistanceBounded, filtered Join) requires the unit model.
+func WithCost(m cost.Model) Option { return func(e *Engine) { e.model = m } }
+
+// WithStrategy overrides the per-pair decomposition strategy (default:
+// RTED's optimal strategy, computed from each tree's cached
+// decomposition). Used to run the paper's fixed-strategy competitors
+// through the same engine.
+func WithStrategy(fn StrategyFunc) Option { return func(e *Engine) { e.strat = fn } }
+
+// New builds an engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		model:   cost.Unit{},
+		workers: runtime.GOMAXPROCS(0),
+		in:      cost.NewInterner(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	_, e.unit = e.model.(cost.Unit)
+	e.ws.New = func() any {
+		return &workspace{arena: gted.NewArena()}
+	}
+	return e
+}
+
+// Workers returns the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// workspace is the per-worker reusable memory: a GTED arena for the DP
+// tables plus the OptStrategy scratch. Exactly one goroutine uses a
+// workspace at a time; the pool recycles them across calls.
+type workspace struct {
+	arena *gted.Arena
+	opt   strategy.OptScratch
+}
+
+func (e *Engine) getWS() *workspace  { return e.ws.Get().(*workspace) }
+func (e *Engine) putWS(w *workspace) { e.ws.Put(w) }
+
+// Stats reports GTED instrumentation aggregated over the exact distance
+// computations of one batch call.
+type Stats struct {
+	// Subproblems is the number of relevant subproblems evaluated (the
+	// paper's cost measure).
+	Subproblems int64
+	// SPFCalls counts single-path function invocations.
+	SPFCalls int64
+	// MaxLiveRows is the peak number of retained heavy-path DP rows in
+	// any single computation.
+	MaxLiveRows int
+}
+
+func (s *Stats) add(g gted.Stats) {
+	s.Subproblems += g.Subproblems
+	s.SPFCalls += g.SPFCalls
+	if g.MaxLiveRows > s.MaxLiveRows {
+		s.MaxLiveRows = g.MaxLiveRows
+	}
+}
+
+// pairRunner assembles the arena-backed GTED runner for one pair: pair
+// cost form by slice sharing, strategy from the cached decompositions
+// (or the engine's StrategyFunc), all DP memory from the workspace.
+func (e *Engine) pairRunner(ws *workspace, f, g *PreparedTree) *gted.Runner {
+	e.check(f, g)
+	cm := cost.PairPrepared(e.model, f.costs, g.costs)
+	var st strategy.Strategy
+	if e.strat != nil {
+		st = e.strat(f.t, g.t)
+	} else {
+		st, _ = ws.opt.Opt(f.t, g.t, f.decomp, g.decomp)
+	}
+	r := gted.NewInArena(f.t, g.t, cm, st, ws.arena)
+	r.SetMirrorLeafmost(f.lfm, g.lfm)
+	return r
+}
+
+func (e *Engine) check(ps ...*PreparedTree) {
+	for _, p := range ps {
+		if p.eng != e {
+			panic("batch: PreparedTree was prepared by a different Engine")
+		}
+	}
+}
+
+// Distance computes the exact tree edit distance between two prepared
+// trees on a pooled workspace. Safe for concurrent use.
+func (e *Engine) Distance(f, g *PreparedTree) float64 {
+	ws := e.getWS()
+	defer e.putWS(ws)
+	return e.pairRunner(ws, f, g).Run()
+}
+
+// DistanceBounded is Distance with bound-based early exit: when the
+// cheap lower bounds already reach tau the exact algorithm is skipped and
+// (lb, false) is returned — the true distance is ≥ lb ≥ tau. Otherwise
+// the exact distance and true are returned. Requires the unit cost model
+// (the model of every published bound).
+func (e *Engine) DistanceBounded(f, g *PreparedTree, tau float64) (float64, bool) {
+	e.check(f, g)
+	if !e.unit {
+		panic("batch: DistanceBounded requires the unit cost model")
+	}
+	if lb := bounds.LowerProfiled(f.profile(), g.profile()); lb >= tau {
+		return lb, false
+	}
+	return e.Distance(f, g), true
+}
+
+// Pair names two prepared trees whose distance is wanted.
+type Pair struct{ F, G *PreparedTree }
+
+// Result is the outcome of one pair of a Compute or Stream call.
+type Result struct {
+	// Index is the pair's position in the input slice (Compute) or its
+	// arrival order (Stream).
+	Index int
+	Dist  float64
+	// Subproblems is the paper's cost measure for this pair.
+	Subproblems int64
+}
+
+// Compute evaluates all pairs on the worker pool and returns one Result
+// per pair, in input order.
+func (e *Engine) Compute(pairs []Pair) []Result {
+	out := make([]Result, len(pairs))
+	e.parallel(len(pairs), func(ws *workspace, i int) {
+		r := e.pairRunner(ws, pairs[i].F, pairs[i].G)
+		d := r.Run()
+		out[i] = Result{Index: i, Dist: d, Subproblems: r.Stats().Subproblems}
+	})
+	return out
+}
+
+// Stream evaluates pairs as they arrive on in, emitting one Result per
+// pair (Index is the arrival order; completion order is not guaranteed).
+// The returned channel closes after in is drained and all pairs finish.
+//
+// A consumer that stops reading early must cancel ctx (and should then
+// drain the channel): cancellation releases the workers and their
+// pooled arenas; otherwise they block forever on the undrained output.
+func (e *Engine) Stream(ctx context.Context, in <-chan Pair) <-chan Result {
+	out := make(chan Result, e.workers)
+	type item struct {
+		p   Pair
+		idx int
+	}
+	items := make(chan item)
+	var wg sync.WaitGroup
+	for k := 0; k < e.workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := e.getWS()
+			defer e.putWS(ws)
+			for it := range items {
+				r := e.pairRunner(ws, it.p.F, it.p.G)
+				d := r.Run()
+				select {
+				case out <- Result{Index: it.idx, Dist: d, Subproblems: r.Stats().Subproblems}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer func() {
+			close(items)
+			wg.Wait()
+			close(out)
+		}()
+		idx := 0
+		for {
+			select {
+			case p, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case items <- item{p, idx}:
+					idx++
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// parallel runs fn for every i in [0, n) on up to e.workers goroutines,
+// each owning one pooled workspace for its whole share of the work.
+func (e *Engine) parallel(n int, fn func(ws *workspace, i int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		ws := e.getWS()
+		defer e.putWS(ws)
+		for i := 0; i < n; i++ {
+			fn(ws, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := e.getWS()
+			defer e.putWS(ws)
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(ws, i)
+			}
+		}()
+	}
+	wg.Wait()
+}

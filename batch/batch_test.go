@@ -1,0 +1,315 @@
+package batch_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	ted "repro"
+	"repro/batch"
+	"repro/gen"
+)
+
+func randomTrees(seed int64, n, size int) []*ted.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*ted.Tree, n)
+	for i := range out {
+		out[i] = gen.Random(rng.Int63(), gen.RandomSpec{
+			Size: 1 + rng.Intn(size), MaxDepth: 9, MaxFanout: 5, Labels: 4,
+		})
+	}
+	return out
+}
+
+// TestEngineMatchesDistance cross-checks the engine against the
+// sequential public API on random trees of varied shapes and sizes.
+func TestEngineMatchesDistance(t *testing.T) {
+	trees := randomTrees(1, 12, 70)
+	e := batch.New(batch.WithWorkers(1))
+	ps := e.PrepareAll(trees)
+	for i := range trees {
+		for j := range trees {
+			want := ted.Distance(trees[i], trees[j])
+			if got := e.Distance(ps[i], ps[j]); got != want {
+				t.Fatalf("pair (%d,%d): engine %v, Distance %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaReuseNoLeakage is the arena regression test: one worker
+// computes a long, shape-diverse sequence of pairs through a single
+// reused arena (large pairs followed by small ones, so stale DP state
+// from a big pair sits underneath every small pair), and every result
+// must match a fresh computation.
+func TestArenaReuseNoLeakage(t *testing.T) {
+	big := []*ted.Tree{gen.LeftBranch(90), gen.FullBinary(63), gen.ZigZag(80)}
+	small := randomTrees(2, 10, 25)
+	trees := append(append([]*ted.Tree{}, big...), small...)
+	e := batch.New(batch.WithWorkers(1))
+	ps := e.PrepareAll(trees)
+	// Interleave big and small pairs; repeat each comparison twice so the
+	// second run executes on a dirty arena whose buffers fit without
+	// growing.
+	for round := 0; round < 2; round++ {
+		for i := range trees {
+			for j := range trees {
+				want := ted.Distance(trees[i], trees[j])
+				if got := e.Distance(ps[i], ps[j]); got != want {
+					t.Fatalf("round %d pair (%d,%d): engine %v, fresh %v", round, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeAndStream checks the parallel batch entry points against
+// the sequential engine path.
+func TestComputeAndStream(t *testing.T) {
+	trees := randomTrees(3, 10, 60)
+	e := batch.New(batch.WithWorkers(4))
+	ps := e.PrepareAll(trees)
+	var pairs []batch.Pair
+	var want []float64
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			pairs = append(pairs, batch.Pair{F: ps[i], G: ps[j]})
+			want = append(want, ted.Distance(trees[i], trees[j]))
+		}
+	}
+	res := e.Compute(pairs)
+	if len(res) != len(pairs) {
+		t.Fatalf("Compute returned %d results for %d pairs", len(res), len(pairs))
+	}
+	for i, r := range res {
+		if r.Index != i || r.Dist != want[i] {
+			t.Fatalf("Compute[%d] = {%d %v}, want {%d %v}", i, r.Index, r.Dist, i, want[i])
+		}
+		if r.Subproblems <= 0 {
+			t.Fatalf("Compute[%d] reported %d subproblems", i, r.Subproblems)
+		}
+	}
+
+	in := make(chan batch.Pair)
+	go func() {
+		for _, p := range pairs {
+			in <- p
+		}
+		close(in)
+	}()
+	got := make([]float64, len(pairs))
+	seen := 0
+	for r := range e.Stream(context.Background(), in) {
+		got[r.Index] = r.Dist
+		seen++
+	}
+	if seen != len(pairs) {
+		t.Fatalf("Stream emitted %d results for %d pairs", seen, len(pairs))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Stream pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamCancel checks the early-exit contract: cancelling the
+// context releases the workers and closes the output channel even when
+// the producer keeps sending and the consumer stops reading.
+func TestStreamCancel(t *testing.T) {
+	trees := randomTrees(30, 6, 40)
+	e := batch.New(batch.WithWorkers(2))
+	ps := e.PrepareAll(trees)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan batch.Pair)
+	go func() {
+		// Endless producer; only cancellation can stop the stream.
+		for {
+			select {
+			case in <- batch.Pair{F: ps[0], G: ps[1]}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := e.Stream(ctx, in)
+	<-out // one result to prove the pipeline is flowing
+	cancel()
+	for range out { // must terminate: the channel closes after cancel
+	}
+}
+
+// TestConcurrentDistance hammers one engine from many goroutines (race
+// detector coverage for the workspace pool and the shared interner).
+func TestConcurrentDistance(t *testing.T) {
+	trees := randomTrees(4, 8, 50)
+	e := batch.New(batch.WithWorkers(4))
+	ps := e.PrepareAll(trees)
+	want := make([][]float64, len(trees))
+	for i := range trees {
+		want[i] = make([]float64, len(trees))
+		for j := range trees {
+			want[i][j] = ted.Distance(trees[i], trees[j])
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 30; n++ {
+				i, j := rng.Intn(len(ps)), rng.Intn(len(ps))
+				if got := e.Distance(ps[i], ps[j]); got != want[i][j] {
+					t.Errorf("concurrent pair (%d,%d): got %v want %v", i, j, got, want[i][j])
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestJoinFilteredEquivalence checks that the filtered parallel join
+// reports the same match set as the unfiltered one, with upper-bound
+// distances only ever over-reporting, and that the filter accounting is
+// consistent.
+func TestJoinFilteredEquivalence(t *testing.T) {
+	trees := randomTrees(5, 12, 40)
+	e := batch.New(batch.WithWorkers(4))
+	ps := e.PrepareAll(trees)
+	for _, tau := range []float64{3, 8, 15} {
+		plain, pst := e.Join(ps, tau, false)
+		filt, fst := e.Join(ps, tau, true)
+		if len(plain) != len(filt) {
+			t.Fatalf("tau=%v: filtered join found %d pairs, plain %d", tau, len(filt), len(plain))
+		}
+		for k := range plain {
+			if plain[k].I != filt[k].I || plain[k].J != filt[k].J {
+				t.Fatalf("tau=%v: match %d differs: %+v vs %+v", tau, k, plain[k], filt[k])
+			}
+			if filt[k].Dist < plain[k].Dist || filt[k].Dist >= tau {
+				t.Fatalf("tau=%v: filtered distance %v out of [%v, %v)", tau, filt[k].Dist, plain[k].Dist, tau)
+			}
+		}
+		if fst.LowerPruned+fst.UpperAccepted+fst.ExactComputed != fst.Comparisons {
+			t.Fatalf("tau=%v: filter accounting %+v does not cover all comparisons", tau, fst)
+		}
+		if pst.Comparisons != len(trees)*(len(trees)-1)/2 {
+			t.Fatalf("tau=%v: %d comparisons", tau, pst.Comparisons)
+		}
+		if fst.Subproblems > pst.Subproblems {
+			t.Fatalf("tau=%v: filtered join computed more subproblems (%d) than plain (%d)",
+				tau, fst.Subproblems, pst.Subproblems)
+		}
+	}
+}
+
+// TestTopKMatchesPublicAPI checks the engine's top-k against the public
+// TopKSubtrees (itself cross-checked against brute force in the root
+// package tests).
+func TestTopKMatchesPublicAPI(t *testing.T) {
+	query := gen.Random(70, gen.RandomSpec{Size: 9, MaxDepth: 4, MaxFanout: 3, Labels: 3})
+	data := gen.Random(71, gen.RandomSpec{Size: 60, MaxDepth: 8, MaxFanout: 4, Labels: 3})
+	e := batch.New()
+	q, d := e.Prepare(query), e.Prepare(data)
+	for _, k := range []int{1, 4, 100} {
+		want := ted.TopKSubtrees(query, data, k)
+		got, st := e.TopKSubtrees(q, d, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d matches, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Root != want[i].Root || got[i].Dist != want[i].Dist {
+				t.Fatalf("k=%d match %d: got %+v want %+v", k, i, got[i], want[i])
+			}
+		}
+		if st.Subproblems <= 0 {
+			t.Fatalf("k=%d: no subproblems reported", k)
+		}
+	}
+}
+
+// TestDistanceBounded checks the early-exit contract: pruned answers are
+// true lower bounds at or above tau, and unpruned answers are exact.
+func TestDistanceBounded(t *testing.T) {
+	trees := randomTrees(6, 10, 40)
+	e := batch.New(batch.WithWorkers(1))
+	ps := e.PrepareAll(trees)
+	pruned, exact := 0, 0
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			want := ted.Distance(trees[i], trees[j])
+			for _, tau := range []float64{1, want, want + 1, 1e9} {
+				got, isExact := e.DistanceBounded(ps[i], ps[j], tau)
+				if isExact {
+					exact++
+					if got != want {
+						t.Fatalf("pair (%d,%d) tau=%v: exact %v want %v", i, j, tau, got, want)
+					}
+				} else {
+					pruned++
+					if got < tau || got > want {
+						t.Fatalf("pair (%d,%d) tau=%v: pruned lb %v not in [tau, %v]", i, j, tau, got, want)
+					}
+				}
+			}
+		}
+	}
+	if pruned == 0 || exact == 0 {
+		t.Fatalf("bound test never exercised both branches (pruned=%d exact=%d)", pruned, exact)
+	}
+}
+
+// TestMixedEnginePanics pins the cross-engine misuse check.
+func TestMixedEnginePanics(t *testing.T) {
+	e1, e2 := batch.New(), batch.New()
+	p1 := e1.Prepare(ted.MustParse("{a{b}}"))
+	p2 := e2.Prepare(ted.MustParse("{a{c}}"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing engines did not panic")
+		}
+	}()
+	e1.Distance(p1, p2)
+}
+
+// TestPreparedDoesLessWork is the acceptance allocation test: preparing
+// a tree once and comparing it against N others must allocate strictly
+// less than N independent Distance calls, which redo the per-tree work
+// (indexes, decompositions, interning, DP tables) every time.
+func TestPreparedDoesLessWork(t *testing.T) {
+	query := gen.Random(80, gen.RandomSpec{Size: 50, MaxDepth: 8, MaxFanout: 4, Labels: 4})
+	others := randomTrees(81, 16, 50)
+
+	e := batch.New(batch.WithWorkers(1))
+	q := e.Prepare(query)
+	ps := e.PrepareAll(others)
+	// Warm the workspace pool and grow the arena to its steady state.
+	for _, p := range ps {
+		e.Distance(q, p)
+	}
+
+	naive := testing.AllocsPerRun(3, func() {
+		for _, o := range others {
+			ted.Distance(query, o)
+		}
+	})
+	batched := testing.AllocsPerRun(3, func() {
+		for _, p := range ps {
+			e.Distance(q, p)
+		}
+	})
+	if batched >= naive {
+		t.Fatalf("batched comparisons allocate %.0f objects, naive %.0f — batching must do strictly less work", batched, naive)
+	}
+	// In steady state the per-pair hot path should be close to
+	// allocation-free: a handful of fixed-size descriptors per pair
+	// (runner, pair cost views), not O(n²) DP tables. The race runtime
+	// allocates shadow state of its own, so the bound only holds without
+	// it.
+	if perPair := batched / float64(len(ps)); !raceEnabled && perPair > 16 {
+		t.Fatalf("steady-state engine allocates %.1f objects per pair; arenas should keep this O(1)", perPair)
+	}
+}

@@ -1,0 +1,106 @@
+package batch
+
+import (
+	"time"
+
+	"repro/internal/bounds"
+)
+
+// Match is one similarity-join result: trees at indices I and J of the
+// input collection (I < J) with edit distance below the threshold. For a
+// pair accepted by the upper-bound filter, Dist is the constrained upper
+// bound (≥ the true distance, still below the threshold).
+type Match struct {
+	I, J int
+	Dist float64
+}
+
+// JoinStats reports the cost and filter accounting of one Join call.
+type JoinStats struct {
+	// Comparisons is the number of candidate pairs considered (all
+	// unordered pairs of the collection).
+	Comparisons int
+	// Subproblems totals the paper's cost measure over the exact
+	// distance computations.
+	Subproblems int64
+	// Filter accounting (filtered joins only): pairs rejected because a
+	// lower bound reached the threshold, accepted because the
+	// constrained upper bound stayed below it, and resolved exactly.
+	LowerPruned   int
+	UpperAccepted int
+	ExactComputed int
+	Elapsed       time.Duration
+}
+
+// joinOutcome is the per-pair record a worker writes; aggregation
+// happens sequentially afterwards so the output is deterministic.
+type joinOutcome struct {
+	dist float64
+	subs int64
+	kind uint8 // 0 exact, 1 lower-pruned, 2 upper-accepted
+}
+
+// Join computes the similarity self-join of the collection: all pairs
+// with edit distance below tau. Pairs are evaluated on the worker pool;
+// the result is deterministic and ordered by (I, J).
+//
+// With filtered set, each pair first runs the lower-bound pipeline (a
+// pair whose lower bound reaches tau cannot match) and the constrained
+// upper bound (a pair whose upper bound stays below tau must match, and
+// is reported with that bound as its distance); only the undecided
+// middle runs the exact algorithm. The match set is identical to the
+// unfiltered join's. Filtering requires the unit cost model.
+func (e *Engine) Join(trees []*PreparedTree, tau float64, filtered bool) ([]Match, JoinStats) {
+	e.check(trees...)
+	if filtered && !e.unit {
+		panic("batch: filtered Join requires the unit cost model")
+	}
+	start := time.Now()
+	n := len(trees)
+	type ij struct{ i, j int }
+	pairs := make([]ij, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, ij{i, j})
+		}
+	}
+	outcomes := make([]joinOutcome, len(pairs))
+	e.parallel(len(pairs), func(ws *workspace, k int) {
+		f, g := trees[pairs[k].i], trees[pairs[k].j]
+		if filtered {
+			if lb := bounds.LowerProfiled(f.profile(), g.profile()); lb >= tau {
+				outcomes[k] = joinOutcome{dist: lb, kind: 1}
+				return
+			}
+			if ub := bounds.Constrained(f.t, g.t); ub < tau {
+				outcomes[k] = joinOutcome{dist: ub, kind: 2}
+				return
+			}
+		}
+		r := e.pairRunner(ws, f, g)
+		d := r.Run()
+		outcomes[k] = joinOutcome{dist: d, subs: r.Stats().Subproblems}
+	})
+
+	var ms []Match
+	st := JoinStats{Comparisons: len(pairs)}
+	for k, o := range outcomes {
+		switch o.kind {
+		case 1:
+			st.LowerPruned++
+		case 2:
+			st.UpperAccepted++
+			ms = append(ms, Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
+		default:
+			if filtered {
+				st.ExactComputed++
+			}
+			st.Subproblems += o.subs
+			if o.dist < tau {
+				ms = append(ms, Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
+			}
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return ms, st
+}

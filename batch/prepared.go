@@ -1,0 +1,75 @@
+package batch
+
+import (
+	"sync"
+
+	"repro/internal/bounds"
+	"repro/internal/cost"
+	"repro/internal/gted"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// PreparedTree is a tree with every per-tree input of the distance
+// machinery cached: decomposition cardinalities (the optimal-strategy
+// cost formula of Section 5), the mirror-leafmost array consumed by ΔR,
+// interned labels with per-node delete/insert costs, and the lower-bound
+// profile. Preparing costs O(n) (O(n) space) and pays for itself as soon
+// as a tree participates in more than one comparison.
+//
+// PreparedTrees are immutable and safe to share across goroutines. They
+// are bound to the preparing engine; mixing engines panics.
+type PreparedTree struct {
+	eng    *Engine
+	t      *tree.Tree
+	costs  *cost.PerTree
+	decomp *strategy.Decomp
+	lfm    []int32
+
+	// The bound profile is only consumed by DistanceBounded and the
+	// filtered Join, so it is built lazily on first use.
+	profOnce sync.Once
+	prof     *bounds.Profile
+}
+
+// Prepare caches the per-tree inputs of t for this engine. The
+// decomposition cardinalities are skipped when the engine has a fixed
+// strategy override (they only feed the optimal-strategy computation),
+// and the lower-bound profile is deferred until a bounded call needs it.
+func (e *Engine) Prepare(t *tree.Tree) *PreparedTree {
+	e.mu.Lock()
+	pc := cost.CompileTree(e.model, t, e.in)
+	e.mu.Unlock()
+	p := &PreparedTree{
+		eng:   e,
+		t:     t,
+		costs: pc,
+		lfm:   gted.MirrorLeafmost(t),
+	}
+	if e.strat == nil {
+		p.decomp = strategy.NewDecomp(t)
+	}
+	return p
+}
+
+// profile returns the tree's bound profile, building it on first use.
+// Safe for concurrent callers.
+func (p *PreparedTree) profile() *bounds.Profile {
+	p.profOnce.Do(func() { p.prof = bounds.NewProfile(p.t) })
+	return p.prof
+}
+
+// PrepareAll prepares every tree of a collection.
+func (e *Engine) PrepareAll(ts []*tree.Tree) []*PreparedTree {
+	out := make([]*PreparedTree, len(ts))
+	for i, t := range ts {
+		out[i] = e.Prepare(t)
+	}
+	return out
+}
+
+// Tree returns the underlying tree.
+func (p *PreparedTree) Tree() *tree.Tree { return p.t }
+
+// Len returns the number of nodes of the underlying tree.
+func (p *PreparedTree) Len() int { return p.t.Len() }

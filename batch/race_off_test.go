@@ -1,0 +1,8 @@
+//go:build !race
+
+package batch_test
+
+// raceEnabled reports whether the race detector is active; the
+// steady-state allocation bound is only meaningful without it (the race
+// runtime allocates shadow state on the measured path).
+const raceEnabled = false

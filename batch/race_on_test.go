@@ -1,0 +1,5 @@
+//go:build race
+
+package batch_test
+
+const raceEnabled = true

@@ -1,0 +1,77 @@
+package batch
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// SubtreeMatch is one result of TopKSubtrees: the subtree of the data
+// tree rooted at postorder id Root, at edit distance Dist from the query.
+type SubtreeMatch struct {
+	Root int
+	Dist float64
+}
+
+// TopKSubtrees finds the k subtrees of data with the smallest edit
+// distance to query. One GTED run produces the distances from the query
+// to every subtree of data as a byproduct of its distance matrix; the k
+// smallest are selected with a bounded heap. Ties break toward smaller
+// postorder ids; results are sorted by distance. The returned Stats
+// carry the run's instrumentation.
+func (e *Engine) TopKSubtrees(query, data *PreparedTree, k int) ([]SubtreeMatch, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	ws := e.getWS()
+	defer e.putWS(ws)
+	r := e.pairRunner(ws, query, data)
+	r.Run()
+	st.add(r.Stats())
+
+	// All matrix reads happen before the workspace returns to the pool:
+	// the matrix memory is arena-owned and reused by the next pair.
+	q := query.t.Root()
+	h := &matchHeap{}
+	heap.Init(h)
+	for w := 0; w < data.t.Len(); w++ {
+		m := SubtreeMatch{Root: w, Dist: r.Dist(q, w)}
+		if h.Len() < k {
+			heap.Push(h, m)
+			continue
+		}
+		if worse(h.items[0], m) {
+			h.items[0] = m
+			heap.Fix(h, 0)
+		}
+	}
+	out := append([]SubtreeMatch(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out, st
+}
+
+func less(a, b SubtreeMatch) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Root < b.Root
+}
+
+// worse reports whether a is worse (larger) than b in the top-k order.
+func worse(a, b SubtreeMatch) bool { return less(b, a) }
+
+// matchHeap is a max-heap on (Dist, Root) so the worst kept match sits
+// at the top and is evicted first.
+type matchHeap struct{ items []SubtreeMatch }
+
+func (h *matchHeap) Len() int           { return len(h.items) }
+func (h *matchHeap) Less(i, j int) bool { return less(h.items[j], h.items[i]) }
+func (h *matchHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *matchHeap) Push(x any)         { h.items = append(h.items, x.(SubtreeMatch)) }
+func (h *matchHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

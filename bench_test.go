@@ -7,9 +7,13 @@
 package ted_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	ted "repro"
+	"repro/batch"
 	"repro/gen"
 )
 
@@ -253,5 +257,98 @@ func BenchmarkTopKSubtrees(b *testing.B) {
 	data := gen.TreeBankLike(2, 400)
 	for i := 0; i < b.N; i++ {
 		ted.TopKSubtrees(query, data, 5)
+	}
+}
+
+// ---- The batch engine (see package batch) ----
+
+func batchBenchTrees() []*ted.Tree {
+	var trees []*ted.Tree
+	for i := int64(0); i < 16; i++ {
+		trees = append(trees, gen.TreeFamLike(i, 61))
+	}
+	return trees
+}
+
+// BenchmarkBatchJoinVsSequential pins the engine's headline: the same
+// all-pairs workload through (a) the naive sequential loop — a fresh
+// Distance call per pair, redoing the per-tree work every time — and (b)
+// the batch engine at one worker and at all cores. On a multi-core
+// machine the worker-pool variant adds near-linear speedup on top of the
+// single-worker amortization win.
+func BenchmarkBatchJoinVsSequential(b *testing.B) {
+	trees := batchBenchTrees()
+	b.Run("sequential-pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < len(trees); x++ {
+				for y := x + 1; y < len(trees); y++ {
+					ted.Distance(trees[x], trees[y])
+				}
+			}
+		}
+	})
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		w := w
+		b.Run(fmt.Sprintf("engine-%dworker", w), func(b *testing.B) {
+			// Engine construction and tree preparation are measured too:
+			// the engine must win end-to-end, not just per pair.
+			for i := 0; i < b.N; i++ {
+				e := batch.New(batch.WithWorkers(w))
+				ps := e.PrepareAll(trees)
+				e.Join(ps, 1e18, false)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchPrepareOnce isolates the PreparedTree amortization: one
+// query compared against N data trees, with the naive path re-deriving
+// the query's indexes, decomposition and cost vectors N times and the
+// engine preparing everything exactly once and reusing one arena.
+func BenchmarkBatchPrepareOnce(b *testing.B) {
+	query := gen.TreeBankLike(3, 101)
+	var data []*ted.Tree
+	for i := int64(10); i < 34; i++ {
+		data = append(data, gen.TreeBankLike(i, 101))
+	}
+	b.Run("naive-distance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range data {
+				ted.Distance(query, d)
+			}
+		}
+	})
+	b.Run("engine-prepared", func(b *testing.B) {
+		e := batch.New(batch.WithWorkers(1))
+		q := e.Prepare(query)
+		pd := e.PrepareAll(data)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range pd {
+				e.Distance(q, d)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchStream measures the streaming entry point end to end
+// (channel hand-off included).
+func BenchmarkBatchStream(b *testing.B) {
+	trees := batchBenchTrees()
+	e := batch.New(batch.WithWorkers(runtime.GOMAXPROCS(0)))
+	ps := e.PrepareAll(trees)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := make(chan batch.Pair)
+		go func() {
+			for x := 0; x < len(ps); x++ {
+				for y := x + 1; y < len(ps); y++ {
+					in <- batch.Pair{F: ps[x], G: ps[y]}
+				}
+			}
+			close(in)
+		}()
+		for range e.Stream(context.Background(), in) {
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	ted "repro"
@@ -35,7 +36,7 @@ func main() {
 		mapping  = flag.Bool("mapping", false, "print the edit mapping")
 		joinMode = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
 		tau      = flag.Float64("tau", 10, "join distance threshold")
-		workers  = flag.Int("workers", 1, "join worker goroutines")
+		workers  = flag.Int("workers", 0, "join worker goroutines (0 = all CPU cores)")
 		filters  = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
 		exprs    literals
 	)
@@ -142,6 +143,11 @@ func runJoin(path string, tau float64, alg ted.Algorithm, workers int, filters b
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// The join runs on the batch engine: trees are prepared once and the
+	// pairs fan out over the workers on reusable arenas.
 	opts := []ted.Option{ted.WithAlgorithm(alg), ted.WithWorkers(workers)}
 	if filters {
 		opts = append(opts, ted.WithFilters())

@@ -1,0 +1,70 @@
+// Package ted computes the tree edit distance between ordered labeled
+// trees. It is a from-scratch Go implementation of
+//
+//	Mateusz Pawlik, Nikolaus Augsten:
+//	"RTED: A Robust Algorithm for the Tree Edit Distance",
+//	PVLDB 5(4), 2011.
+//
+// # The algorithm
+//
+// The tree edit distance is the minimum total cost of node deletions,
+// insertions and renames that turn one ordered labeled tree into
+// another. Every practical exact algorithm evaluates the same recursive
+// forest-distance formula; they differ only in the root-leaf paths along
+// which they decompose the trees, and each fixed choice (left paths for
+// Zhang–Shasha, heavy paths for Klein and Demaine et al.) has input
+// shapes that degrade it from O(n² log² n)-ish behavior to its worst
+// case. RTED — the paper's contribution and this package's default —
+// first computes, in O(n²) time and space, the provably optimal
+// left/right/heavy (LRH) decomposition strategy for the concrete input
+// pair, then evaluates the distance with the strategy-generic GTED
+// algorithm. Its subproblem count is therefore never larger than that of
+// any LRH competitor, at a strategy-computation overhead that vanishes
+// against the distance computation itself.
+//
+// All five algorithms from the paper's evaluation are available through
+// WithAlgorithm (RTED, ZhangL, ZhangR, KleinH, DemaineH, plus the
+// hard-coded ZhangShashaClassic), and CountSubproblems reproduces the
+// paper's cost measure analytically without computing a distance.
+//
+// # Basic usage
+//
+//	f := ted.MustParse("{a{b}{c}}")
+//	g := ted.MustParse("{a{b{d}}}")
+//	d := ted.Distance(f, g) // 2: insert d, delete c
+//
+// Trees use the bracket notation of the reference RTED distribution
+// ({label child child ...}); XML documents and Newick phylogenies can be
+// converted with FromXML and ParseNewick. Nodes of a parsed tree are
+// identified by their postorder id (0-based; the root is Len()-1).
+//
+// Beyond Distance, the package offers Mapping (the optimal edit script),
+// Join (the threshold similarity self-join of the paper's Table 1, with
+// optional bound-based filtering and a worker pool), TopKSubtrees (top-k
+// approximate subtree matching), SubtreeDistances (the full
+// subtree-pair distance matrix), and LowerBound/ConstrainedDistance
+// (cheap lower and upper bounds for pruning).
+//
+// # Architecture
+//
+// The public API is a thin veneer over focused internal packages:
+//
+//	ted (this package)   options, cost-model and algorithm selection
+//	ted/batch            concurrent batch engine: PreparedTree + arenas
+//	internal/tree        immutable postorder-indexed tree substrate
+//	internal/strategy    LRH strategies, Algorithm 2 (OptStrategy), cost formula
+//	internal/gted        GTED (Algorithm 1) and the single-path functions ΔL/ΔR/ΔI
+//	internal/cost        cost models, label interning, compiled per-pair form
+//	internal/bounds      lower/upper bounds and per-tree bound profiles
+//	internal/zs          standalone classic Zhang–Shasha (comparison baseline)
+//	internal/join        sequential/filtered reference joins (experiments)
+//	internal/experiments paper figure/table regeneration (cmd/tedbench)
+//
+// Join and TopKSubtrees run on the batch engine (package batch): every
+// input tree is prepared once — node indexes, decomposition
+// cardinalities, interned cost vectors, bound profiles — and the pairs
+// are evaluated on per-worker reusable memory arenas, so the steady-state
+// hot path allocates nothing. Workloads that compare many trees
+// repeatedly (similarity joins, top-k serving, clustering) should use
+// package batch directly and keep the PreparedTrees.
+package ted

@@ -1,0 +1,74 @@
+package ted_test
+
+import (
+	"fmt"
+
+	ted "repro"
+)
+
+// The README's first example: two small trees, unit costs, RTED.
+func ExampleDistance() {
+	f := ted.MustParse("{a{b}{c}}")
+	g := ted.MustParse("{a{b{d}}}")
+	fmt.Println(ted.Distance(f, g))
+	// Output: 2
+}
+
+// A weighted cost model: renames are cheap, structure changes expensive.
+func ExampleDistance_weighted() {
+	f := ted.MustParse("{a{b}{c}}")
+	g := ted.MustParse("{a{x}{y}}")
+	d := ted.Distance(f, g, ted.WithCost(ted.WeightedCost(10, 10, 0.5)))
+	fmt.Println(d)
+	// Output: 1
+}
+
+// The similarity self-join: all pairs of the collection with distance
+// below the threshold. It runs on the batch engine — every tree is
+// prepared once and compared on reusable arenas.
+func ExampleJoin() {
+	trees := []*ted.Tree{
+		ted.MustParse("{a{b}{c}}"),
+		ted.MustParse("{a{b}}"),
+		ted.MustParse("{x{y}{z}}"),
+	}
+	r := ted.Join(trees, 2)
+	for _, p := range r.Pairs {
+		fmt.Printf("trees %d and %d: distance %g\n", p.I, p.J, p.Dist)
+	}
+	// Output: trees 0 and 1: distance 1
+}
+
+// Top-k approximate subtree matching: the k subtrees of a data tree
+// closest to a query, from one distance computation.
+func ExampleTopKSubtrees() {
+	query := ted.MustParse("{b{d}}")
+	data := ted.MustParse("{a{b{c}}{b{d}}}")
+	for _, m := range ted.TopKSubtrees(query, data, 2) {
+		fmt.Printf("subtree %s: distance %g\n", data.SubtreeString(m.Root), m.Dist)
+	}
+	// Output:
+	// subtree {b{d}}: distance 0
+	// subtree {b{c}}: distance 1
+}
+
+// The optimal edit script between two trees.
+func ExampleMapping() {
+	f := ted.MustParse("{a{b}{c}}")
+	g := ted.MustParse("{a{b{d}}}")
+	for _, op := range ted.Mapping(f, g) {
+		switch op.Kind {
+		case ted.OpDelete:
+			fmt.Printf("delete %s\n", op.FLabel)
+		case ted.OpInsert:
+			fmt.Printf("insert %s\n", op.GLabel)
+		case ted.OpMatch:
+			if op.FLabel != op.GLabel {
+				fmt.Printf("rename %s to %s\n", op.FLabel, op.GLabel)
+			}
+		}
+	}
+	// Output:
+	// delete c
+	// insert d
+}

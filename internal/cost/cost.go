@@ -81,6 +81,7 @@ type Compiled struct {
 	unit   bool
 	model  Model
 	memo   map[[2]int]float64
+	trans  *Compiled // prebuilt transposed form, if any (see PairPrepared)
 }
 
 // Compile interns labels of f and g and precomputes per-node delete and
@@ -150,6 +151,9 @@ func (c *Compiled) Ren(v, w int) float64 {
 // original deletion, and renames swap their arguments. GTED uses the
 // transposed form when the strategy decomposes the right-hand tree.
 func (c *Compiled) Transpose() *Compiled {
+	if c.trans != nil {
+		return c.trans
+	}
 	t := &Compiled{
 		Del:    make([]float64, len(c.Ins)),
 		Ins:    make([]float64, len(c.Del)),

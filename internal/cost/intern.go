@@ -1,0 +1,110 @@
+package cost
+
+import "repro/internal/tree"
+
+// This file implements the per-tree half of cost compilation, used by the
+// batch engine: when many pairs over the same trees are computed, label
+// interning and the per-node delete/insert cost vectors are per-tree
+// quantities and need not be recomputed per pair. An Interner assigns
+// label ids that are stable across every tree it has seen, so two PerTree
+// halves compiled against the same interner can be assembled into a
+// Compiled pair form without touching the labels again.
+
+// Interner assigns stable integer ids to labels across many trees. It is
+// not safe for concurrent use; callers serialize Intern (the batch engine
+// interns under its preparation lock and never on the distance hot path).
+type Interner struct {
+	ids    map[string]int
+	labels []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int)}
+}
+
+// Intern returns the id of label l, assigning the next free id on first
+// sight.
+func (in *Interner) Intern(l string) int {
+	if id, ok := in.ids[l]; ok {
+		return id
+	}
+	id := len(in.labels)
+	in.ids[l] = id
+	in.labels = append(in.labels, l)
+	return id
+}
+
+// Len returns the number of distinct labels interned so far.
+func (in *Interner) Len() int { return len(in.labels) }
+
+// PerTree is the per-tree half of a compiled cost model: interned label
+// ids plus the delete and insert cost of every node. Two halves compiled
+// against the same Interner combine into a pair form with PairPrepared.
+type PerTree struct {
+	IDs []int     // interned label id per node (postorder)
+	Del []float64 // cost of deleting each node
+	Ins []float64 // cost of inserting each node
+
+	// labels is a snapshot of the interner's id->label table taken at
+	// compile time. It covers every id in IDs (ids grow monotonically, so
+	// the later of two snapshots covers both trees of a pair).
+	labels []string
+	unit   bool
+}
+
+// CompileTree interns the labels of t and precomputes its per-node
+// delete and insert costs under model m.
+func CompileTree(m Model, t *tree.Tree, in *Interner) *PerTree {
+	n := t.Len()
+	p := &PerTree{
+		IDs: make([]int, n),
+		Del: make([]float64, n),
+		Ins: make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		l := t.Label(v)
+		p.IDs[v] = in.Intern(l)
+		p.Del[v] = m.Delete(l)
+		p.Ins[v] = m.Insert(l)
+	}
+	p.labels = in.labels
+	_, p.unit = m.(Unit)
+	return p
+}
+
+// PairPrepared assembles the Compiled form for the pair (f, g) from two
+// per-tree halves that share an interner. Both orientations are built up
+// front by slice sharing — no cost vector is copied — so GTED's
+// right-hand-tree decompositions (which need the transposed direction)
+// stay allocation-free.
+func PairPrepared(m Model, f, g *PerTree) *Compiled {
+	labels := f.labels
+	if len(g.labels) > len(labels) {
+		labels = g.labels
+	}
+	c := &Compiled{
+		Del:    f.Del,
+		Ins:    g.Ins,
+		FID:    f.IDs,
+		GID:    g.IDs,
+		labels: labels,
+		unit:   f.unit,
+		model:  m,
+	}
+	t := &Compiled{
+		Del:    g.Ins,
+		Ins:    f.Del,
+		FID:    g.IDs,
+		GID:    f.IDs,
+		labels: labels,
+		unit:   f.unit,
+		model:  transposed{m},
+	}
+	if !c.unit {
+		c.memo = make(map[[2]int]float64)
+		t.memo = make(map[[2]int]float64)
+	}
+	c.trans, t.trans = t, c
+	return c
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"repro/batch"
+	"repro/internal/cost"
+	"repro/internal/join"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+// Ablation: the batch engine against the naive pairwise join on the
+// Table 1 workload (one tree per shape, all pairs). Three effects are
+// isolated:
+//
+//   - prepared trees (per-tree indexes, decompositions, cost vectors and
+//     bound profiles computed once instead of once per pair),
+//   - per-worker arenas (steady-state allocation-free DP tables), and
+//   - the worker pool (near-linear fan-out of the independent pairs).
+//
+// The naive baseline is the pre-engine SelfJoin: a fresh runner, fresh
+// strategy and fresh DP tables per pair, one goroutine.
+
+func init() {
+	register("batch", "Ablation: batch engine vs naive pairwise join", batchEngineExp)
+}
+
+func batchTrees(cfg Config) []*tree.Tree {
+	n := cfg.size(360)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*tree.Tree
+	out = append(out,
+		treegen.LeftBranch(n),
+		treegen.RightBranch(n),
+		treegen.FullBinary(n),
+		treegen.ZigZag(n),
+	)
+	for i := 0; i < 8; i++ {
+		out = append(out, treegen.Random(rng, treegen.RandomSpec{
+			Size: n, MaxDepth: 15, MaxFanout: 6, Labels: 8,
+		}))
+	}
+	return out
+}
+
+func batchEngineExp(cfg Config) error {
+	trees := batchTrees(cfg)
+	tau := float64(cfg.size(360)) / 2
+	fmt.Fprintf(cfg.Out, "# batch: engine vs naive pairwise join, %d trees, tau=%g\n", len(trees), tau)
+	fmt.Fprintf(cfg.Out, "variant\tworkers\tpairs\tmatches\tsubproblems\tseconds\n")
+
+	naive := join.SelfJoin(trees, tau, cost.Unit{}, join.RTEDFactory())
+	fmt.Fprintf(cfg.Out, "naive\t1\t%d\t%d\t%d\t%.4f\n",
+		naive.Comparisons, len(naive.Pairs), naive.Subproblems, naive.Elapsed.Seconds())
+
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		e := batch.New(batch.WithWorkers(w))
+		ps := e.PrepareAll(trees)
+		ms, st := e.Join(ps, tau, false)
+		fmt.Fprintf(cfg.Out, "engine\t%d\t%d\t%d\t%d\t%.4f\n",
+			w, st.Comparisons, len(ms), st.Subproblems, st.Elapsed.Seconds())
+		if len(ms) != len(naive.Pairs) || st.Subproblems != naive.Subproblems {
+			return fmt.Errorf("engine (workers=%d) diverged from naive join: %d/%d matches, %d/%d subproblems",
+				w, len(ms), len(naive.Pairs), st.Subproblems, naive.Subproblems)
+		}
+	}
+	return nil
+}

@@ -50,10 +50,10 @@ type Runner struct {
 
 	stats Stats
 
-	// Scratch reused across single-path calls.
-	fd       []float64 // forest-distance scratch for ΔL/ΔR
-	keyroots []int
-	rowPool  [][]float64
+	// ar holds all reusable scratch (forest-distance rows, the ΔI row
+	// pool, chain and decomposition buffers). Stand-alone runners own a
+	// private arena; batch workers share one arena across many runners.
+	ar       *Arena
 	liveRows int
 
 	// Mirror-coordinate leafmost arrays for ΔR: for a node with mirror
@@ -71,14 +71,36 @@ func New(f, g *tree.Tree, m cost.Model, s strategy.Strategy) *Runner {
 // NewCompiled is New with precompiled costs (for callers that reuse the
 // compilation across runs).
 func NewCompiled(f, g *tree.Tree, cm *cost.Compiled, s strategy.Strategy) *Runner {
-	return &Runner{
+	return NewInArena(f, g, cm, s, NewArena())
+}
+
+// NewInArena is NewCompiled with caller-owned scratch memory: all DP
+// tables are carved out of ar, which grows to the largest pair it has
+// served and is reused without further allocation. Creating a new runner
+// on an arena invalidates the distance matrix of every earlier runner
+// backed by the same arena.
+func NewInArena(f, g *tree.Tree, cm *cost.Compiled, s strategy.Strategy, ar *Arena) *Runner {
+	n := f.Len() * g.Len()
+	r := &Runner{
 		f:     f,
 		g:     g,
 		cm:    cm,
 		strat: s,
-		d:     make([]float64, f.Len()*g.Len()),
-		seen:  make([]bool, f.Len()*g.Len()),
+		ar:    ar,
+		d:     growF64(&ar.d, n),
+		seen:  growBool(&ar.seen, n),
 	}
+	for i := range r.seen {
+		r.seen[i] = false
+	}
+	return r
+}
+
+// SetMirrorLeafmost supplies precomputed mirror-coordinate leafmost
+// arrays for the two trees (as cached by batch preparation); either may
+// be nil, in which case the runner computes it on first use by ΔR.
+func (r *Runner) SetMirrorLeafmost(lfmF, lfmG []int32) {
+	r.lfmF, r.lfmG = lfmF, lfmG
 }
 
 // Run computes the distance between the two trees (and, as GTED always
@@ -154,14 +176,23 @@ func (r *Runner) mirrorLeafmost(t *tree.Tree) []int32 {
 		panic("gted: mirrorLeafmost on foreign tree")
 	}
 	if *cache == nil {
-		n := t.Len()
-		a := make([]int32, n)
-		for c := 0; c < n; c++ {
-			a[c] = int32(t.MPost(t.RightmostLeaf(t.ByMPost(c))))
-		}
-		*cache = a
+		*cache = MirrorLeafmost(t)
 	}
 	return *cache
+}
+
+// MirrorLeafmost computes the mirror-coordinate leafmost array of t: for
+// a node with mirror postorder id c, the mirror postorder id of its
+// rightmost leaf descendant. It is the per-tree input of ΔR; batch
+// preparation computes it once per tree and injects it with
+// SetMirrorLeafmost.
+func MirrorLeafmost(t *tree.Tree) []int32 {
+	n := t.Len()
+	a := make([]int32, n)
+	for c := 0; c < n; c++ {
+		a[c] = int32(t.MPost(t.RightmostLeaf(t.ByMPost(c))))
+	}
+	return a
 }
 
 // dview provides orientation-aware access to the shared distance matrix:

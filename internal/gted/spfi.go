@@ -41,16 +41,23 @@ type chain struct {
 	refs    []int32   // number of later states that read row t; len s1+1
 }
 
-func buildChain(t *tree.Tree, v int, pt strategy.PathType, del []float64) chain {
+// build (re)fills ch for the subtree of t rooted at v, reusing the
+// backing arrays from previous calls.
+func (ch *chain) build(t *tree.Tree, v int, pt strategy.PathType, del []float64) {
 	s1 := t.Size(v)
-	ch := chain{
-		rem:     make([]int32, s1),
-		size:    make([]int32, s1),
-		isTree:  make([]bool, s1),
-		dirR:    make([]bool, s1),
-		delCost: make([]float64, s1+1),
-		refs:    make([]int32, s1+1),
+	ch.rem = growI32(&ch.rem, s1)
+	ch.size = growI32(&ch.size, s1)
+	ch.isTree = growBool(&ch.isTree, s1)
+	ch.dirR = growBool(&ch.dirR, s1)
+	ch.delCost = growF64(&ch.delCost, s1+1)
+	ch.refs = growI32(&ch.refs, s1+1)
+	for i := 0; i < s1; i++ {
+		ch.isTree[i] = false
+		ch.dirR[i] = false
+		ch.refs[i] = 0
 	}
+	ch.refs[s1] = 0
+	ch.delCost[s1] = 0
 	pos := 0
 	for u := v; u != -1; u = strategy.PathChild(t, u, pt) {
 		// The whole subtree F_u is a chain state; removing its root u
@@ -105,7 +112,6 @@ func buildChain(t *tree.Tree, v int, pt strategy.PathType, del []float64) chain 
 			ch.refs[i+int(ch.size[i])]++
 		}
 	}
-	return ch
 }
 
 // gside indexes the full decomposition A(G_w) of one subtree. All
@@ -113,29 +119,31 @@ func buildChain(t *tree.Tree, v int, pt strategy.PathType, del []float64) chain 
 // global postorder id g0+lp, local preorder la likewise offsets the
 // subtree root's preorder.
 type gside struct {
-	s2     int
-	g0     int       // global postorder id of the subtree's first node
-	lPre   []int32   // local post -> local pre
-	lByPre []int32   // local pre -> local post (also the minimum valid b per a)
-	sz     []int32   // local post -> subtree size
-	off    []int32   // la -> storage offset of cell (la, minB(la)); len s2+1
-	szCell []int32   // per cell: forest node count
-	insRow []float64 // per cell: total insert cost of the forest (= δ(∅, g))
-	canon  int64     // number of canonical cells = |A(G_w)|
+	s2      int
+	g0      int       // global postorder id of the subtree's first node
+	lPre    []int32   // local post -> local pre
+	lByPre  []int32   // local pre -> local post (also the minimum valid b per a)
+	sz      []int32   // local post -> subtree size
+	off     []int32   // la -> storage offset of cell (la, minB(la)); len s2+1
+	szCell  []int32   // per cell: forest node count
+	insRow  []float64 // per cell: total insert cost of the forest (= δ(∅, g))
+	prefIns []float64 // local-postorder insert-cost prefix sums; len s2+1
+	canon   int64     // number of canonical cells = |A(G_w)|
 }
 
-func buildGSide(t *tree.Tree, w int, ins []float64) *gside {
+// build (re)fills gs for the subtree of t rooted at w, reusing the
+// backing arrays from previous calls.
+func (gs *gside) build(t *tree.Tree, w int, ins []float64) {
 	s2 := t.Size(w)
 	g0 := w - s2 + 1
 	preW := t.Pre(w)
-	gs := &gside{
-		s2:     s2,
-		g0:     g0,
-		lPre:   make([]int32, s2),
-		lByPre: make([]int32, s2),
-		sz:     make([]int32, s2),
-		off:    make([]int32, s2+1),
-	}
+	gs.s2 = s2
+	gs.g0 = g0
+	gs.canon = 0
+	gs.lPre = growI32(&gs.lPre, s2)
+	gs.lByPre = growI32(&gs.lByPre, s2)
+	gs.sz = growI32(&gs.sz, s2)
+	gs.off = growI32(&gs.off, s2+1)
 	for lp := 0; lp < s2; lp++ {
 		gp := g0 + lp
 		la := t.Pre(gp) - preW
@@ -144,16 +152,18 @@ func buildGSide(t *tree.Tree, w int, ins []float64) *gside {
 		gs.sz[lp] = int32(t.Size(gp))
 	}
 	// Subtree insert-cost sums via local-postorder prefix sums.
-	prefIns := make([]float64, s2+1)
+	prefIns := growF64(&gs.prefIns, s2+1)
+	prefIns[0] = 0
 	for lp := 0; lp < s2; lp++ {
 		prefIns[lp+1] = prefIns[lp] + ins[g0+lp]
 	}
+	gs.off[0] = 0
 	for la := 0; la < s2; la++ {
 		gs.off[la+1] = gs.off[la] + int32(s2) - gs.lByPre[la]
 	}
 	rowLen := int(gs.off[s2])
-	gs.szCell = make([]int32, rowLen)
-	gs.insRow = make([]float64, rowLen)
+	gs.szCell = growI32(&gs.szCell, rowLen)
+	gs.insRow = growF64(&gs.insRow, rowLen)
 	for la := 0; la < s2; la++ {
 		n0 := int(gs.lByPre[la]) // local post of the node at preorder la
 		base := int(gs.off[la])
@@ -172,7 +182,6 @@ func buildGSide(t *tree.Tree, w int, ins []float64) *gside {
 			}
 		}
 	}
-	return gs
 }
 
 // cell returns the storage index of the forest {lpre ≥ la, lpost ≤ lb},
@@ -191,16 +200,26 @@ func (gs *gside) cell(la, lb int) int {
 // subtree hanging off the path and every y in T2_v2. Postcondition: it
 // additionally holds δ(T1_x, T2_y) for every x ON the path.
 func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.PathType, cm *cost.Compiled, dv dview) {
-	ch := buildChain(t1, v1, pt, cm.Del)
-	gs := buildGSide(t2, v2, cm.Ins)
+	ch := &r.ar.ch
+	ch.build(t1, v1, pt, cm.Del)
+	gs := &r.ar.gs
+	gs.build(t2, v2, cm.Ins)
 	s1, s2 := t1.Size(v1), gs.s2
 	rowLen := len(gs.szCell)
 
-	rows := make([][]float64, s1+1)
+	// Chain-state rows come from the arena: the rows slice is grown in
+	// place (entries beyond the previous length are nil by the cleanup
+	// invariant below), and row buffers cycle through the shared pool.
+	if cap(r.ar.rows) < s1+1 {
+		grown := make([][]float64, s1+1)
+		copy(grown, r.ar.rows)
+		r.ar.rows = grown
+	}
+	rows := r.ar.rows[:s1+1]
 	alloc := func() []float64 {
-		if n := len(r.rowPool); n > 0 {
-			b := r.rowPool[n-1]
-			r.rowPool = r.rowPool[:n-1]
+		if n := len(r.ar.rowPool); n > 0 {
+			b := r.ar.rowPool[n-1]
+			r.ar.rowPool = r.ar.rowPool[:n-1]
 			if cap(b) >= rowLen {
 				return b[:rowLen]
 			}
@@ -213,7 +232,7 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 		}
 		ch.refs[t]--
 		if ch.refs[t] == 0 {
-			r.rowPool = append(r.rowPool, rows[t])
+			r.ar.rowPool = append(r.ar.rowPool, rows[t])
 			rows[t] = nil
 			r.liveRows--
 		}
@@ -322,11 +341,12 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 		}
 	}
 	// Return surviving rows (row 0, plus any still-referenced rows when
-	// s1 == 0 edge cases) to the pool.
+	// s1 == 0 edge cases) to the pool. This restores the invariant that
+	// every entry of the arena's rows slice is nil between SPF calls.
 	for t, b := range rows {
 		if b != nil {
 			rows[t] = nil
-			r.rowPool = append(r.rowPool, b)
+			r.ar.rowPool = append(r.ar.rowPool, b)
 			r.liveRows--
 		}
 	}

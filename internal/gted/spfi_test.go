@@ -22,7 +22,8 @@ func TestChainDefinition3(t *testing.T) {
 		tr := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(60), MaxDepth: 9, MaxFanout: 5})
 		cm := cost.Compile(cost.Unit{}, tr, tr)
 		for _, pt := range []strategy.PathType{strategy.Left, strategy.Right, strategy.Heavy} {
-			ch := buildChain(tr, tr.Root(), pt, cm.Del)
+			var ch chain
+			ch.build(tr, tr.Root(), pt, cm.Del)
 			n := tr.Len()
 			seen := make([]bool, n)
 			var treeStates []int
@@ -75,7 +76,8 @@ func TestGSideMatchesLemma1(t *testing.T) {
 		cm := cost.Compile(cost.Unit{}, tr, tr)
 		d := strategy.NewDecomp(tr)
 		for w := 0; w < tr.Len(); w++ {
-			gs := buildGSide(tr, w, cm.Ins)
+			var gs gside
+			gs.build(tr, w, cm.Ins)
 			if gs.canon != d.A[w] {
 				t.Fatalf("subtree %d: %d canonical cells, |A| = %d\n%s", w, gs.canon, d.A[w], tr)
 			}

@@ -66,7 +66,7 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 	// Keyroots of the T2 subtree in view coordinates, ascending: the
 	// subtree root plus every node whose view-leftmost leaf differs from
 	// its parent's (i.e. nodes with a left sibling in the view).
-	ks := r.keyroots[:0]
+	ks := r.ar.keyroots[:0]
 	for c := lo2; c <= hi2; c++ {
 		if c == hi2 {
 			ks = append(ks, c)
@@ -77,12 +77,9 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 			ks = append(ks, c)
 		}
 	}
-	defer func() { r.keyroots = ks[:0] }() // retain capacity for the next call
+	defer func() { r.ar.keyroots = ks[:0] }() // retain capacity for the next call
 
-	if r.fd == nil {
-		r.fd = make([]float64, (r.f.Len()+1)*(r.g.Len()+1))
-	}
-	fd := r.fd
+	fd := growF64(&r.ar.fd, (r.f.Len()+1)*(r.g.Len()+1))
 
 	for _, kc := range ks {
 		jlo := view2.leafmost(kc)

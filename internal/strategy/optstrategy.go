@@ -33,6 +33,54 @@ func OptRestricted(f, g *tree.Tree, allowed [numChoices]bool) (*Array, int64) {
 	return optWithDecomp(f, g, df, dg, allowed)
 }
 
+// OptD is Opt with caller-precomputed decompositions, so that a batch of
+// pairs over the same trees computes each tree's Decomp once.
+func OptD(f, g *tree.Tree, df, dg *Decomp) (*Array, int64) {
+	return optWithDecomp(f, g, df, dg, AllLRH)
+}
+
+// OptScratch holds the O(|f|·|g|) working memory of OptStrategy for
+// reuse across pairs. Buffers grow to the largest pair served; the
+// returned strategy Array is owned by the scratch and is overwritten by
+// the next call, so it must not be retained after the pair's GTED run.
+type OptScratch struct {
+	lv, rv, hv []int64
+	lw, rw, hw []int64
+	arr        Array
+}
+
+// Opt computes the optimal LRH strategy for (f, g) like OptD, drawing
+// all working memory (including the returned Array) from the scratch.
+func (s *OptScratch) Opt(f, g *tree.Tree, df, dg *Decomp) (*Array, int64) {
+	nf, ng := f.Len(), g.Len()
+	s.lv = growScratch(s.lv, nf*ng)
+	s.rv = growScratch(s.rv, nf*ng)
+	s.hv = growScratch(s.hv, nf*ng)
+	s.lw = growScratch(s.lw, ng)
+	s.rw = growScratch(s.rw, ng)
+	s.hw = growScratch(s.hw, ng)
+	// lv/rv/hv accumulate with += and must start zeroed; lw/rw/hw are
+	// reset at the top of every v-iteration by the main loop.
+	for i := range s.lv {
+		s.lv[i], s.rv[i], s.hv[i] = 0, 0, 0
+	}
+	if cap(s.arr.Choices) < nf*ng {
+		s.arr.Choices = make([]Choice, nf*ng)
+	}
+	s.arr = Array{NF: nf, NG: ng, Choices: s.arr.Choices[:nf*ng], name: "RTED"}
+	cost := optCore(f, g, df, dg, AllLRH, &s.arr, s.lv, s.rv, s.hv, s.lw, s.rw, s.hw)
+	return &s.arr, cost
+}
+
+// growScratch resizes an int64 scratch buffer, reusing capacity; the
+// contents are unspecified.
+func growScratch(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
 func optWithDecomp(f, g *tree.Tree, df, dg *Decomp, allowed [numChoices]bool) (*Array, int64) {
 	nf, ng := f.Len(), g.Len()
 	str := NewArray(nf, ng, "RTED")
@@ -46,6 +94,12 @@ func optWithDecomp(f, g *tree.Tree, df, dg *Decomp, allowed [numChoices]bool) (*
 	lw := make([]int64, ng)
 	rw := make([]int64, ng)
 	hw := make([]int64, ng)
+	cost := optCore(f, g, df, dg, allowed, str, lv, rv, hv, lw, rw, hw)
+	return str, cost
+}
+
+func optCore(f, g *tree.Tree, df, dg *Decomp, allowed [numChoices]bool, str *Array, lv, rv, hv, lw, rw, hw []int64) int64 {
+	nf, ng := f.Len(), g.Len()
 
 	var cmin int64
 	for v := 0; v < nf; v++ {
@@ -141,5 +195,5 @@ func optWithDecomp(f, g *tree.Tree, df, dg *Decomp, allowed [numChoices]bool) (*
 	}
 	// cmin still holds the cost of the last pair, (root(F), root(G)),
 	// which is the total optimal cost.
-	return str, cmin
+	return cmin
 }

@@ -338,8 +338,14 @@ func Equal(a, b *Tree) bool {
 
 // String renders the tree in bracket notation.
 func (t *Tree) String() string {
+	return t.SubtreeString(t.Root())
+}
+
+// SubtreeString renders the subtree rooted at node i in bracket
+// notation.
+func (t *Tree) SubtreeString(i int) string {
 	var sb strings.Builder
-	t.writeBracket(&sb, t.Root())
+	t.writeBracket(&sb, i)
 	return sb.String()
 }
 

@@ -3,7 +3,7 @@ package ted
 import (
 	"time"
 
-	"repro/internal/join"
+	"repro/batch"
 	"repro/internal/strategy"
 	"repro/internal/tree"
 )
@@ -41,48 +41,55 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // the unit cost model, the model of all published bounds.
 func WithFilters() Option { return func(c *config) { c.filters = true } }
 
+// batchEngine assembles the batch engine a config describes: worker
+// count, cost model, and — for the fixed-strategy competitor algorithms —
+// the per-pair strategy override (RTED is the engine default).
+func (c config) batchEngine(workers int) *batch.Engine {
+	opts := []batch.Option{batch.WithWorkers(workers), batch.WithCost(c.model)}
+	if c.alg != RTED {
+		a := c.alg
+		opts = append(opts, batch.WithStrategy(func(f, g *tree.Tree) strategy.Strategy {
+			return StrategyFor(a, f, g)
+		}))
+	}
+	return batch.New(opts...)
+}
+
 // Join computes the similarity self-join of the paper's Table 1: all
 // pairs of trees in the collection with edit distance below tau. Options
 // select the algorithm and cost model as for Distance, plus WithWorkers
-// and WithFilters.
+// and WithFilters (which now compose: a filtered join fans out over the
+// workers too).
+//
+// Join runs on the batch engine: every tree is prepared once — node
+// indexes, decomposition cardinalities, cost vectors, bound profiles —
+// and the pairs are evaluated on per-worker reusable arenas, so the
+// per-pair cost is the GTED computation alone.
 func Join(trees []*Tree, tau float64, opts ...Option) JoinResult {
 	c := buildConfig(opts)
-	var factory join.StrategyFactory
-	switch c.alg {
-	case RTED:
-		factory = join.RTEDFactory()
-	default:
-		a := c.alg
-		factory = join.FixedFactory(func(f, g *tree.Tree) strategy.Named {
-			return StrategyFor(a, f, g)
-		})
+	if c.filters && c.model != UnitCost {
+		panic("ted: filtered joins require the unit cost model")
 	}
-	var r join.Result
-	var out JoinResult
-	switch {
-	case c.filters:
-		if c.model != UnitCost {
-			panic("ted: filtered joins require the unit cost model")
-		}
-		fr := join.FilteredSelfJoin(trees, tau, factory, false)
-		r = fr.Result
-		out.LowerPruned = fr.Filter.LowerPruned
-		out.UpperAccepted = fr.Filter.UpperAccepted
-		out.ExactComputed = fr.Filter.ExactComputed
-	case c.workers > 1:
-		r = join.ParallelSelfJoin(trees, tau, c.model, factory, c.workers)
-	default:
-		r = join.SelfJoin(trees, tau, c.model, factory)
+	workers := c.workers
+	if workers < 1 {
+		workers = 1
 	}
-	out.Comparisons = r.Comparisons
-	out.Subproblems = r.Subproblems
-	out.Elapsed = r.Elapsed
+	e := c.batchEngine(workers)
+	ms, st := e.Join(e.PrepareAll(trees), tau, c.filters)
+	out := JoinResult{
+		Comparisons:   st.Comparisons,
+		Subproblems:   st.Subproblems,
+		Elapsed:       st.Elapsed,
+		LowerPruned:   st.LowerPruned,
+		UpperAccepted: st.UpperAccepted,
+		ExactComputed: st.ExactComputed,
+	}
 	if c.stats != nil {
-		c.stats.Subproblems = r.Subproblems
-		c.stats.TotalTime = r.Elapsed
+		c.stats.Subproblems = st.Subproblems
+		c.stats.TotalTime = st.Elapsed
 	}
-	for _, p := range r.Pairs {
-		out.Pairs = append(out.Pairs, JoinPair{I: p.I, J: p.J, Dist: p.Dist})
+	for _, m := range ms {
+		out.Pairs = append(out.Pairs, JoinPair{I: m.I, J: m.J, Dist: m.Dist})
 	}
 	return out
 }

@@ -1,28 +1,3 @@
-// Package ted computes the tree edit distance between ordered labeled
-// trees. It is a from-scratch Go implementation of
-//
-//	Mateusz Pawlik, Nikolaus Augsten:
-//	"RTED: A Robust Algorithm for the Tree Edit Distance",
-//	PVLDB 5(4), 2011.
-//
-// The default algorithm is RTED: it computes the optimal LRH
-// decomposition strategy in O(n²) and then evaluates the classic
-// recursive tree edit distance formula with the general GTED algorithm,
-// so that the number of dynamic-programming subproblems is never larger
-// than that of any left/right/heavy path algorithm from the literature
-// (Zhang–Shasha, Klein, Demaine et al. — all of which are also available
-// here, both for comparison and for the paper's experiments).
-//
-// Basic usage:
-//
-//	f := ted.MustParse("{a{b}{c}}")
-//	g := ted.MustParse("{a{b{d}}}")
-//	d := ted.Distance(f, g) // 2: insert d, delete c
-//
-// Trees use the bracket notation of the reference RTED distribution
-// ({label child child ...}); XML documents and Newick phylogenies can be
-// converted with FromXML and ParseNewick. Nodes of a parsed tree are
-// identified by their postorder id (0-based; the root is Size()-1).
 package ted
 
 import (

@@ -1,9 +1,6 @@
 package ted
 
 import (
-	"container/heap"
-	"sort"
-
 	"repro/internal/gted"
 )
 
@@ -19,74 +16,35 @@ type SubtreeMatch struct {
 // Augsten et al., discussed in Section 7 of the RTED paper). Ties are
 // broken toward smaller postorder ids; results are sorted by distance.
 //
-// The implementation runs one RTED computation, which produces the
-// distances between the query and every subtree of data as a byproduct
-// of GTED's distance matrix, then selects the k smallest. This is the
-// exact, unpruned baseline of TASM: O(|query|·|data|) space and the full
-// RTED time, robust to any tree shape.
+// The implementation runs one RTED computation on the batch engine,
+// which produces the distances between the query and every subtree of
+// data as a byproduct of GTED's distance matrix, then selects the k
+// smallest. This is the exact, unpruned baseline of TASM:
+// O(|query|·|data|) space and the full RTED time, robust to any tree
+// shape. To match one query against many data trees, use the batch
+// engine directly and Prepare the query once.
 func TopKSubtrees(query, data *Tree, k int, opts ...Option) []SubtreeMatch {
 	if k <= 0 {
 		return nil
 	}
 	c := buildConfig(opts)
-	alg := c.alg
-	if alg == ZhangShashaClassic {
+	if c.alg == ZhangShashaClassic {
 		// ZS-classic has no strategy form; serve it with RTED, which
 		// dominates it anyway.
-		alg = RTED
+		c.alg = RTED
 	}
-	run := gted.New(query, data, c.model, StrategyFor(alg, query, data))
-	run.Run()
+	e := c.batchEngine(1)
+	ms, st := e.TopKSubtrees(e.Prepare(query), e.Prepare(data), k)
 	if c.stats != nil {
-		st := run.Stats()
 		c.stats.Subproblems = st.Subproblems
 		c.stats.SPFCalls = st.SPFCalls
 		c.stats.MaxLiveRows = st.MaxLiveRows
 	}
-
-	q := query.Root()
-	h := &matchHeap{}
-	heap.Init(h)
-	for w := 0; w < data.Len(); w++ {
-		d := run.Dist(q, w)
-		if h.Len() < k {
-			heap.Push(h, SubtreeMatch{Root: w, Dist: d})
-			continue
-		}
-		if worse(h.items[0], SubtreeMatch{Root: w, Dist: d}) {
-			h.items[0] = SubtreeMatch{Root: w, Dist: d}
-			heap.Fix(h, 0)
-		}
+	out := make([]SubtreeMatch, len(ms))
+	for i, m := range ms {
+		out[i] = SubtreeMatch{Root: m.Root, Dist: m.Dist}
 	}
-	out := append([]SubtreeMatch(nil), h.items...)
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
-}
-
-func less(a, b SubtreeMatch) bool {
-	if a.Dist != b.Dist {
-		return a.Dist < b.Dist
-	}
-	return a.Root < b.Root
-}
-
-// worse reports whether a is worse (larger) than b in the top-k order.
-func worse(a, b SubtreeMatch) bool { return less(b, a) }
-
-// matchHeap is a max-heap on (Dist, Root) so the worst kept match sits
-// at the top and is evicted first.
-type matchHeap struct{ items []SubtreeMatch }
-
-func (h *matchHeap) Len() int           { return len(h.items) }
-func (h *matchHeap) Less(i, j int) bool { return less(h.items[j], h.items[i]) }
-func (h *matchHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *matchHeap) Push(x any)         { h.items = append(h.items, x.(SubtreeMatch)) }
-func (h *matchHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
 }
 
 // SubtreeDistances computes the full |f|×|g| matrix of subtree-pair
@@ -99,6 +57,8 @@ func SubtreeDistances(f, g *Tree, opts ...Option) *DistMatrix {
 	if alg == ZhangShashaClassic {
 		alg = ZhangL
 	}
+	// A private runner (no shared arena): the returned matrix is live
+	// after this call and must not be recycled under the caller.
 	run := gted.New(f, g, c.model, StrategyFor(alg, f, g))
 	run.Run()
 	if c.stats != nil {
