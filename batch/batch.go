@@ -31,6 +31,10 @@
 //	e := batch.New(batch.WithWorkers(8))
 //	ps := e.PrepareAll(trees)
 //	matches, stats := e.Join(ps, 12, true)
+//
+// For large corpora with selective thresholds, JoinIndexed generates
+// candidate pairs from an inverted index (package index) instead of
+// enumerating all pairs — same match set, candidate-driven cost.
 package batch
 
 import (
@@ -61,8 +65,6 @@ type Engine struct {
 
 	mu sync.Mutex     // guards in during Prepare
 	in *cost.Interner // label ids shared by every PreparedTree
-
-	ws sync.Pool // *workspace
 }
 
 // Option configures New.
@@ -96,9 +98,6 @@ func New(opts ...Option) *Engine {
 		e.workers = 1
 	}
 	_, e.unit = e.model.(cost.Unit)
-	e.ws.New = func() any {
-		return &workspace{arena: gted.NewArena()}
-	}
 	return e
 }
 
@@ -106,15 +105,39 @@ func New(opts ...Option) *Engine {
 func (e *Engine) Workers() int { return e.workers }
 
 // workspace is the per-worker reusable memory: a GTED arena for the DP
-// tables plus the OptStrategy scratch. Exactly one goroutine uses a
-// workspace at a time; the pool recycles them across calls.
+// tables, the OptStrategy scratch (which owns the strategy array the
+// runner consumes), and the rename-cost memo of non-unit models. Exactly
+// one goroutine uses a workspace at a time.
 type workspace struct {
 	arena *gted.Arena
 	opt   strategy.OptScratch
+
+	// memo caches rename costs by interned label-id pair. Label ids and
+	// models are per-engine, so the memo records which engine's ids it
+	// holds and is reset when the workspace migrates between engines.
+	memo      cost.RenameMemo
+	memoOwner *Engine
 }
 
-func (e *Engine) getWS() *workspace  { return e.ws.Get().(*workspace) }
-func (e *Engine) putWS(w *workspace) { e.ws.Put(w) }
+// wsPool is shared by every engine: arenas and strategy scratch are
+// engine-independent (they grow to the largest pair served, whoever
+// serves it), so engines created per call — common in tests and in the
+// public ted.Join path, which builds a fresh engine per join — inherit
+// warmed buffers instead of growing their own.
+var wsPool = sync.Pool{
+	New: func() any { return &workspace{arena: gted.NewArena()} },
+}
+
+func (e *Engine) getWS() *workspace {
+	ws := wsPool.Get().(*workspace)
+	if ws.memoOwner != e {
+		ws.memo.Reset()
+		ws.memoOwner = e
+	}
+	return ws
+}
+
+func (e *Engine) putWS(w *workspace) { wsPool.Put(w) }
 
 // Stats reports GTED instrumentation aggregated over the exact distance
 // computations of one batch call.
@@ -142,7 +165,7 @@ func (s *Stats) add(g gted.Stats) {
 // (or the engine's StrategyFunc), all DP memory from the workspace.
 func (e *Engine) pairRunner(ws *workspace, f, g *PreparedTree) *gted.Runner {
 	e.check(f, g)
-	cm := cost.PairPrepared(e.model, f.costs, g.costs)
+	cm := cost.PairPreparedMemo(e.model, f.costs, g.costs, &ws.memo)
 	var st strategy.Strategy
 	if e.strat != nil {
 		st = e.strat(f.t, g.t)

@@ -313,3 +313,27 @@ func TestPreparedDoesLessWork(t *testing.T) {
 		t.Fatalf("steady-state engine allocates %.1f objects per pair; arenas should keep this O(1)", perPair)
 	}
 }
+
+// TestWeightedCostEngine cross-checks the engine under a non-unit model
+// against the sequential API. This exercises the pooled rename memos:
+// the same workspaces serve two different engines (and models) back to
+// back, so a stale memo surviving the engine switch would corrupt the
+// second engine's distances.
+func TestWeightedCostEngine(t *testing.T) {
+	trees := randomTrees(7, 8, 40)
+	for _, m := range []ted.CostModel{
+		ted.WeightedCost(2, 3, 1),
+		ted.WeightedCost(1, 1, 5),
+	} {
+		e := batch.New(batch.WithWorkers(2), batch.WithCost(m))
+		ps := e.PrepareAll(trees)
+		for i := range trees {
+			for j := range trees {
+				want := ted.Distance(trees[i], trees[j], ted.WithCost(m))
+				if got := e.Distance(ps[i], ps[j]); got != want {
+					t.Fatalf("model %v pair (%d,%d): engine %v, Distance %v", m, i, j, got, want)
+				}
+			}
+		}
+	}
+}

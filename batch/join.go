@@ -1,8 +1,12 @@
 package batch
 
 import (
+	"fmt"
+	"math"
+	"sort"
 	"time"
 
+	"repro/index"
 	"repro/internal/bounds"
 )
 
@@ -15,10 +19,64 @@ type Match struct {
 	Dist float64
 }
 
-// JoinStats reports the cost and filter accounting of one Join call.
+// IndexMode selects how JoinIndexed generates candidate pairs.
+type IndexMode int
+
+const (
+	// IndexAuto picks for the workload: full enumeration when the
+	// threshold is so large that an index could not prune (tau reaches
+	// the largest tree size), the histogram index otherwise.
+	IndexAuto IndexMode = iota
+	// IndexEnumerate disables candidate generation: all pairs are
+	// visited and the bound filters do every rejection (the behavior of
+	// the filtered Join).
+	IndexEnumerate
+	// IndexHistogram generates candidates from the label-histogram
+	// inverted index (index.Histogram): only pairs whose label-multiset
+	// lower bound stays below tau are visited.
+	IndexHistogram
+	// IndexPQGram generates candidates from the (1,q)-gram inverted
+	// index (index.PQGram): only pairs sharing structure — at least one
+	// pq-gram, or the provably-required small-tree fringe — are visited.
+	// (The index also scores candidates by pq-gram distance; a batch
+	// join evaluates every candidate anyway, so the ranking is exposed
+	// on index.PQGram for order-sensitive workloads, not used here.)
+	IndexPQGram
+)
+
+func (m IndexMode) String() string {
+	switch m {
+	case IndexAuto:
+		return "auto"
+	case IndexEnumerate:
+		return "enumerate"
+	case IndexHistogram:
+		return "histogram"
+	case IndexPQGram:
+		return "pqgram"
+	}
+	return fmt.Sprintf("IndexMode(%d)", int(m))
+}
+
+// JoinOptions configures JoinIndexed.
+type JoinOptions struct {
+	// Mode selects the candidate generator (default IndexAuto).
+	Mode IndexMode
+	// Q is the pq-gram base length for IndexPQGram (default 2). The
+	// index always uses stems of length p = 1, the only parameterization
+	// whose candidate generation is provably complete (see package
+	// index); the stem-structure sensitivity of larger p is available
+	// through index.PQGram directly, for workloads that tolerate
+	// approximate joins.
+	Q int
+}
+
+// JoinStats reports the cost and filter accounting of one Join or
+// JoinIndexed call.
 type JoinStats struct {
-	// Comparisons is the number of candidate pairs considered (all
-	// unordered pairs of the collection).
+	// Comparisons is the number of candidate pairs considered: all
+	// unordered pairs for enumerating joins, the generated candidates
+	// for indexed joins.
 	Comparisons int
 	// Subproblems totals the paper's cost measure over the exact
 	// distance computations.
@@ -30,6 +88,12 @@ type JoinStats struct {
 	UpperAccepted int
 	ExactComputed int
 	Elapsed       time.Duration
+
+	// Indexed joins only: the candidate generator that actually ran
+	// (IndexAuto resolves before running) and the time spent building
+	// and probing the index.
+	Mode      IndexMode
+	IndexTime time.Duration
 }
 
 // joinOutcome is the per-pair record a worker writes; aggregation
@@ -39,6 +103,9 @@ type joinOutcome struct {
 	subs int64
 	kind uint8 // 0 exact, 1 lower-pruned, 2 upper-accepted
 }
+
+// ij names one candidate pair by collection indices, i < j.
+type ij struct{ i, j int }
 
 // Join computes the similarity self-join of the collection: all pairs
 // with edit distance below tau. Pairs are evaluated on the worker pool;
@@ -50,6 +117,9 @@ type joinOutcome struct {
 // is reported with that bound as its distance); only the undecided
 // middle runs the exact algorithm. The match set is identical to the
 // unfiltered join's. Filtering requires the unit cost model.
+//
+// Join visits every pair. For large corpora with selective thresholds,
+// JoinIndexed generates candidate pairs from an inverted index instead.
 func (e *Engine) Join(trees []*PreparedTree, tau float64, filtered bool) ([]Match, JoinStats) {
 	e.check(trees...)
 	if filtered && !e.unit {
@@ -57,13 +127,124 @@ func (e *Engine) Join(trees []*PreparedTree, tau float64, filtered bool) ([]Matc
 	}
 	start := time.Now()
 	n := len(trees)
-	type ij struct{ i, j int }
 	pairs := make([]ij, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			pairs = append(pairs, ij{i, j})
 		}
 	}
+	ms, st := e.evalPairs(trees, pairs, tau, filtered)
+	st.Mode = IndexEnumerate
+	st.Elapsed = time.Since(start)
+	return ms, st
+}
+
+// JoinIndexed computes the same similarity self-join as the filtered
+// Join — the match set is provably identical — but generates candidate
+// pairs from an inverted index over the corpus instead of enumerating
+// all O(n²) pairs. Candidates then flow through the existing pipeline:
+// the index's own lower bound has already pruned them once, the profiled
+// lower bounds and the constrained upper bound decide most of the rest,
+// and only the undecided middle runs exact GTED on the worker pool.
+//
+// JoinIndexed requires the unit cost model (the model of every published
+// bound). Results are deterministic and ordered by (I, J).
+func (e *Engine) JoinIndexed(trees []*PreparedTree, tau float64, opts JoinOptions) ([]Match, JoinStats) {
+	e.check(trees...)
+	if !e.unit {
+		panic("batch: JoinIndexed requires the unit cost model")
+	}
+	mode := opts.Mode
+	if mode == IndexAuto {
+		if indexablePrunes(trees, tau) {
+			mode = IndexHistogram
+		} else {
+			mode = IndexEnumerate
+		}
+	}
+	if mode == IndexEnumerate {
+		ms, st := e.Join(trees, tau, true)
+		st.Mode = IndexEnumerate
+		return ms, st
+	}
+
+	start := time.Now()
+	pairs, indexTime := generate(trees, tau, mode, opts)
+	ms, st := e.evalPairs(trees, pairs, tau, true)
+	st.Mode = mode
+	st.IndexTime = indexTime
+	st.Elapsed = time.Since(start)
+	return ms, st
+}
+
+// indexablePrunes reports whether an index can reject anything at this
+// threshold: once tau reaches the largest tree size, even the strongest
+// signature bound (max of the sizes) stays below tau for every pair, so
+// generation would reproduce full enumeration with extra steps.
+func indexablePrunes(trees []*PreparedTree, tau float64) bool {
+	if math.IsInf(tau, 1) {
+		return false
+	}
+	maxLen := 0
+	for _, t := range trees {
+		if t.Len() > maxLen {
+			maxLen = t.Len()
+		}
+	}
+	return tau < float64(maxLen)
+}
+
+// generate builds the selected index over the corpus and probes it once
+// per tree, producing the candidate pairs in (I, J) order.
+func generate(trees []*PreparedTree, tau float64, mode IndexMode, opts JoinOptions) ([]ij, time.Duration) {
+	start := time.Now()
+	var probe func(q int, buf []index.Candidate) []index.Candidate
+	switch mode {
+	case IndexHistogram:
+		ix := index.NewHistogram()
+		for _, t := range trees {
+			ix.Add(t.Tree())
+		}
+		probe = func(q int, buf []index.Candidate) []index.Candidate {
+			return ix.CandidatesBelow(q, tau, buf)
+		}
+	case IndexPQGram:
+		q := opts.Q
+		if q <= 0 {
+			q = 2
+		}
+		ix := index.NewPQGram(1, q)
+		for _, t := range trees {
+			ix.Add(t.Tree())
+		}
+		probe = func(q int, buf []index.Candidate) []index.Candidate {
+			return ix.CandidatesBelow(q, tau, buf)
+		}
+	default:
+		panic(fmt.Sprintf("batch: cannot generate candidates for mode %v", mode))
+	}
+	var pairs []ij
+	var buf []index.Candidate
+	for j := 1; j < len(trees); j++ {
+		buf = probe(j, buf)
+		for _, c := range buf {
+			pairs = append(pairs, ij{c.ID, j})
+		}
+	}
+	// Probing yields (J, I)-major order; the join contract is (I, J).
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	return pairs, time.Since(start)
+}
+
+// evalPairs runs the per-pair join pipeline — bound filters when
+// filtered, exact GTED otherwise or for the undecided middle — over the
+// worker pool and aggregates the outcomes deterministically.
+func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filtered bool) ([]Match, JoinStats) {
 	outcomes := make([]joinOutcome, len(pairs))
 	e.parallel(len(pairs), func(ws *workspace, k int) {
 		f, g := trees[pairs[k].i], trees[pairs[k].j]
@@ -101,6 +282,5 @@ func (e *Engine) Join(trees []*PreparedTree, tau float64, filtered bool) ([]Matc
 			}
 		}
 	}
-	st.Elapsed = time.Since(start)
 	return ms, st
 }

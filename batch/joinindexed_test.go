@@ -1,0 +1,114 @@
+package batch_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ted "repro"
+	"repro/batch"
+	"repro/gen"
+)
+
+// joinCorpus mixes the paper's synthetic shapes with random trees over a
+// small alphabet, so every threshold regime (no matches, few, all) is
+// reachable.
+func joinCorpus(seed int64, n, size int) []*ted.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	out := []*ted.Tree{
+		gen.LeftBranch(size),
+		gen.RightBranch(size),
+		gen.FullBinary(size),
+		gen.ZigZag(size),
+		gen.Mixed(size),
+	}
+	for len(out) < n {
+		out = append(out, gen.Random(rng.Int63(), gen.RandomSpec{
+			Size: 1 + rng.Intn(size), MaxDepth: 8, MaxFanout: 5, Labels: 3,
+		}))
+	}
+	return out
+}
+
+// TestJoinIndexedEquivalence is the acceptance property test: for random
+// corpora of the gen package's shapes, JoinIndexed must return exactly
+// the match set of the enumerate+filter join — same pairs, same reported
+// distances — in every mode and at every threshold, including the
+// degenerate 0 and +Inf.
+func TestJoinIndexedEquivalence(t *testing.T) {
+	modes := []batch.IndexMode{
+		batch.IndexAuto, batch.IndexEnumerate, batch.IndexHistogram, batch.IndexPQGram,
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		trees := joinCorpus(seed, 12+2*int(seed), 25)
+		e := batch.New(batch.WithWorkers(4))
+		ps := e.PrepareAll(trees)
+		for _, tau := range []float64{0, 1, 3.5, 8, 20, 60, math.Inf(1)} {
+			want, wst := e.Join(ps, tau, true)
+			for _, mode := range modes {
+				got, gst := e.JoinIndexed(ps, tau, batch.JoinOptions{Mode: mode})
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d tau=%v mode=%v: %d matches, enumerate+filter %d",
+						seed, tau, mode, len(got), len(want))
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("seed=%d tau=%v mode=%v: match %d = %+v, want %+v",
+							seed, tau, mode, k, got[k], want[k])
+					}
+				}
+				if gst.Comparisons > wst.Comparisons {
+					t.Fatalf("seed=%d tau=%v mode=%v: generated %d candidates, more than the %d enumerated pairs",
+						seed, tau, mode, gst.Comparisons, wst.Comparisons)
+				}
+				if gst.LowerPruned+gst.UpperAccepted+gst.ExactComputed != gst.Comparisons {
+					t.Fatalf("seed=%d tau=%v mode=%v: accounting %+v does not cover the candidates",
+						seed, tau, mode, gst)
+				}
+				if mode == batch.IndexAuto && math.IsInf(tau, 1) && gst.Mode != batch.IndexEnumerate {
+					t.Fatalf("auto mode at tau=+Inf resolved to %v, want enumerate", gst.Mode)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinIndexedPrunes pins the point of the tentpole: on a corpus with
+// diverse labels and a selective threshold, the histogram index must
+// visit strictly fewer pairs than enumeration, and the pq-gram index must
+// generate at most as many pairs as there are.
+func TestJoinIndexedPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var trees []*ted.Tree
+	for i := 0; i < 24; i++ {
+		trees = append(trees, gen.Random(rng.Int63(), gen.RandomSpec{
+			Size: 20 + rng.Intn(20), MaxDepth: 8, MaxFanout: 5, Labels: 40,
+		}))
+	}
+	e := batch.New()
+	ps := e.PrepareAll(trees)
+	tau := 6.0
+	_, est := e.Join(ps, tau, true)
+	for _, mode := range []batch.IndexMode{batch.IndexHistogram, batch.IndexPQGram, batch.IndexAuto} {
+		_, st := e.JoinIndexed(ps, tau, batch.JoinOptions{Mode: mode})
+		if st.Comparisons >= est.Comparisons {
+			t.Fatalf("mode %v generated %d candidates; enumeration visits %d — the index pruned nothing",
+				mode, st.Comparisons, est.Comparisons)
+		}
+		if st.Mode == batch.IndexAuto {
+			t.Fatalf("mode %v: stats report unresolved mode %v", mode, st.Mode)
+		}
+	}
+}
+
+// TestJoinIndexedPanicsNonUnit pins the cost-model requirement.
+func TestJoinIndexedPanicsNonUnit(t *testing.T) {
+	e := batch.New(batch.WithCost(ted.WeightedCost(2, 2, 1)))
+	ps := e.PrepareAll([]*ted.Tree{ted.MustParse("{a}"), ted.MustParse("{b}")})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JoinIndexed under a non-unit model did not panic")
+		}
+	}()
+	e.JoinIndexed(ps, 3, batch.JoinOptions{})
+}

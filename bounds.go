@@ -22,5 +22,7 @@ func ConstrainedDistance(f, g *Tree) float64 { return bounds.Constrained(f, g) }
 // pseudo-metric over label p,q-gram profiles used for approximate tree
 // joins and candidate generation. It is not a lower bound of the
 // unit-cost edit distance (it bounds a fanout-weighted variant); use
-// LowerBound for exact pruning. Typical parameters are p=2, q=3.
+// LowerBound for exact pruning. Typical parameters are p=2, q=3. To
+// generate join candidates from pq-grams at corpus scale, use the
+// inverted index in package index instead of pairwise calls.
 func PQGramDistance(f, g *Tree, p, q int) float64 { return bounds.PQGram(f, g, p, q) }

@@ -65,3 +65,39 @@ func TestJoinWorkersAndFilters(t *testing.T) {
 	}()
 	ted.Join(trees, tau, ted.WithFilters(), ted.WithCost(ted.WeightedCost(2, 2, 2)))
 }
+
+// TestJoinWithIndex checks the public indexed-join path: every mode must
+// reproduce the enumerating join's match set exactly, visit no more
+// pairs, and report which generator ran.
+func TestJoinWithIndex(t *testing.T) {
+	var trees []*ted.Tree
+	for i := int64(0); i < 10; i++ {
+		trees = append(trees, gen.TreeFamLike(i, 35))
+	}
+	tau := 20.0
+	base := ted.Join(trees, tau, ted.WithFilters())
+	for _, mode := range []ted.IndexMode{ted.IndexAuto, ted.IndexEnumerate, ted.IndexHistogram, ted.IndexPQGram} {
+		r := ted.Join(trees, tau, ted.WithIndex(mode), ted.WithWorkers(4))
+		if len(r.Pairs) != len(base.Pairs) {
+			t.Fatalf("mode %v: %d pairs, want %d", mode, len(r.Pairs), len(base.Pairs))
+		}
+		for k := range base.Pairs {
+			if r.Pairs[k] != base.Pairs[k] {
+				t.Fatalf("mode %v pair %d: %+v, want %+v", mode, k, r.Pairs[k], base.Pairs[k])
+			}
+		}
+		if r.Comparisons > base.Comparisons {
+			t.Fatalf("mode %v visited %d pairs, enumeration %d", mode, r.Comparisons, base.Comparisons)
+		}
+		if mode != ted.IndexAuto && r.Mode != mode {
+			t.Fatalf("mode %v: result reports %v", mode, r.Mode)
+		}
+	}
+	// Indexed joins reject non-unit cost models loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indexed join with weighted costs did not panic")
+		}
+	}()
+	ted.Join(trees, tau, ted.WithIndex(ted.IndexAuto), ted.WithCost(ted.WeightedCost(2, 2, 2)))
+}

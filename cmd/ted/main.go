@@ -7,7 +7,8 @@
 //
 //	ted [-algorithm rted] [-format bracket] [-stats] [-mapping] F G
 //	ted -e '{a{b}}' -e '{a{c}}'
-//	ted -join -tau 12 trees.txt     # one bracket tree per line
+//	ted -join -tau 12 trees.txt                # one bracket tree per line
+//	ted -join -tau 12 -index auto trees.txt    # index-generated candidates
 //
 // Exit status 0; the distance (or join result) is printed to stdout.
 package main
@@ -30,15 +31,16 @@ func (l *literals) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
 	var (
-		algName  = flag.String("algorithm", "rted", "rted | zhang-l | zhang-r | klein-h | demaine-h | zs")
-		format   = flag.String("format", "bracket", "bracket | newick | xml")
-		stats    = flag.Bool("stats", false, "print subproblem and timing statistics to stderr")
-		mapping  = flag.Bool("mapping", false, "print the edit mapping")
-		joinMode = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
-		tau      = flag.Float64("tau", 10, "join distance threshold")
-		workers  = flag.Int("workers", 0, "join worker goroutines (0 = all CPU cores)")
-		filters  = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
-		exprs    literals
+		algName   = flag.String("algorithm", "rted", "rted | zhang-l | zhang-r | klein-h | demaine-h | zs")
+		format    = flag.String("format", "bracket", "bracket | newick | xml")
+		stats     = flag.Bool("stats", false, "print subproblem and timing statistics to stderr")
+		mapping   = flag.Bool("mapping", false, "print the edit mapping")
+		joinMode  = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
+		tau       = flag.Float64("tau", 10, "join distance threshold")
+		workers   = flag.Int("workers", 0, "join worker goroutines (0 = all CPU cores)")
+		filters   = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
+		indexMode = flag.String("index", "", "join: generate candidates from an inverted index: auto | enumerate | histogram | pqgram (empty = off)")
+		exprs     literals
 	)
 	flag.Var(&exprs, "e", "tree literal (repeatable; used instead of file arguments)")
 	flag.Parse()
@@ -52,10 +54,13 @@ func main() {
 		if flag.NArg() != 1 {
 			fail("-join needs one file of trees (one bracket tree per line)")
 		}
-		if err := runJoin(flag.Arg(0), *tau, alg, *workers, *filters); err != nil {
+		if err := runJoin(flag.Arg(0), *tau, alg, *workers, *filters, *indexMode); err != nil {
 			fail("%v", err)
 		}
 		return
+	}
+	if *indexMode != "" {
+		fail("-index only applies to -join")
 	}
 
 	var sources []string
@@ -120,7 +125,21 @@ func main() {
 	}
 }
 
-func runJoin(path string, tau float64, alg ted.Algorithm, workers int, filters bool) error {
+func parseIndexMode(s string) (ted.IndexMode, bool) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return ted.IndexAuto, true
+	case "enumerate", "enum":
+		return ted.IndexEnumerate, true
+	case "histogram", "hist":
+		return ted.IndexHistogram, true
+	case "pqgram", "pq":
+		return ted.IndexPQGram, true
+	}
+	return 0, false
+}
+
+func runJoin(path string, tau float64, alg ted.Algorithm, workers int, filters bool, indexMode string) error {
 	fh, err := os.Open(path)
 	if err != nil {
 		return err
@@ -147,15 +166,30 @@ func runJoin(path string, tau float64, alg ted.Algorithm, workers int, filters b
 		workers = runtime.NumCPU()
 	}
 	// The join runs on the batch engine: trees are prepared once and the
-	// pairs fan out over the workers on reusable arenas.
+	// pairs fan out over the workers on reusable arenas. With -index, an
+	// inverted index generates the candidate pairs instead of enumerating
+	// them; the bound filters then run on the candidates.
 	opts := []ted.Option{ted.WithAlgorithm(alg), ted.WithWorkers(workers)}
 	if filters {
 		opts = append(opts, ted.WithFilters())
 	}
+	indexed := indexMode != ""
+	if indexed {
+		m, ok := parseIndexMode(indexMode)
+		if !ok {
+			return fmt.Errorf("unknown index mode %q (auto | enumerate | histogram | pqgram)", indexMode)
+		}
+		opts = append(opts, ted.WithIndex(m))
+	}
 	r := ted.Join(trees, tau, opts...)
-	fmt.Printf("# %d trees, %d comparisons, %d subproblems, %v\n",
-		len(trees), r.Comparisons, r.Subproblems, r.Elapsed)
-	if filters {
+	if indexed {
+		fmt.Printf("# %d trees, %d candidates (index %s, built+probed in %v), %d subproblems, %v\n",
+			len(trees), r.Comparisons, r.Mode, r.IndexTime, r.Subproblems, r.Elapsed)
+	} else {
+		fmt.Printf("# %d trees, %d comparisons, %d subproblems, %v\n",
+			len(trees), r.Comparisons, r.Subproblems, r.Elapsed)
+	}
+	if filters || indexed {
 		fmt.Printf("# filters: %d lb-pruned, %d ub-accepted, %d exact\n",
 			r.LowerPruned, r.UpperAccepted, r.ExactComputed)
 	}

@@ -61,16 +61,45 @@ func TestRunJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, filters := range []bool{false, true} {
-		if err := runJoin(path, 2, ted.RTED, 2, filters); err != nil {
+		if err := runJoin(path, 2, ted.RTED, 2, filters, ""); err != nil {
 			t.Fatalf("filters=%v: %v", filters, err)
 		}
 	}
-	if err := runJoin(filepath.Join(dir, "missing.txt"), 2, ted.RTED, 1, false); err == nil {
+	for _, mode := range []string{"auto", "enumerate", "histogram", "pqgram"} {
+		if err := runJoin(path, 2, ted.RTED, 2, false, mode); err != nil {
+			t.Fatalf("index=%s: %v", mode, err)
+		}
+	}
+	if err := runJoin(path, 2, ted.RTED, 2, false, "bogus"); err == nil {
+		t.Fatal("bogus index mode accepted")
+	}
+	if err := runJoin(filepath.Join(dir, "missing.txt"), 2, ted.RTED, 1, false, ""); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := filepath.Join(dir, "bad.txt")
 	os.WriteFile(bad, []byte("{oops\n"), 0o644)
-	if err := runJoin(bad, 2, ted.RTED, 1, false); err == nil {
+	if err := runJoin(bad, 2, ted.RTED, 1, false, ""); err == nil {
 		t.Fatal("malformed tree file accepted")
+	}
+}
+
+func TestParseIndexMode(t *testing.T) {
+	cases := map[string]ted.IndexMode{
+		"auto":      ted.IndexAuto,
+		"enum":      ted.IndexEnumerate,
+		"enumerate": ted.IndexEnumerate,
+		"hist":      ted.IndexHistogram,
+		"HISTOGRAM": ted.IndexHistogram,
+		"pqgram":    ted.IndexPQGram,
+		"pq":        ted.IndexPQGram,
+	}
+	for s, want := range cases {
+		got, ok := parseIndexMode(s)
+		if !ok || got != want {
+			t.Errorf("parseIndexMode(%q) = %v,%v want %v", s, got, ok, want)
+		}
+	}
+	if _, ok := parseIndexMode("made-up"); ok {
+		t.Error("bogus index mode accepted")
 	}
 }

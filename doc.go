@@ -51,6 +51,7 @@
 //
 //	ted (this package)   options, cost-model and algorithm selection
 //	ted/batch            concurrent batch engine: PreparedTree + arenas
+//	ted/index            inverted indexes for join candidate generation
 //	internal/tree        immutable postorder-indexed tree substrate
 //	internal/strategy    LRH strategies, Algorithm 2 (OptStrategy), cost formula
 //	internal/gted        GTED (Algorithm 1) and the single-path functions ΔL/ΔR/ΔI
@@ -67,4 +68,33 @@
 // hot path allocates nothing. Workloads that compare many trees
 // repeatedly (similarity joins, top-k serving, clustering) should use
 // package batch directly and keep the PreparedTrees.
+//
+// # Choosing a join configuration
+//
+// Join always returns exactly the pairs with distance below the
+// threshold; the options only change how much work that takes.
+//
+//	How many trees?
+//	├── a handful (cost dominated by a few hard pairs)
+//	│     └── Join(trees, tau)              — plain, add WithWorkers(n)
+//	├── many, non-unit cost model
+//	│     └── Join(trees, tau, WithWorkers) — bounds need unit costs;
+//	│                                          only the pool helps
+//	└── many, unit costs
+//	      ├── tau ≥ the largest tree size (non-selective)
+//	      │     └── WithFilters()           — indexes cannot prune;
+//	      │                                    bounds still decide pairs
+//	      └── tau selective
+//	            ├── labels diverse  → WithIndex(IndexAuto)
+//	            │                      (histogram candidate generation)
+//	            ├── labels carry little information (tiny alphabet,
+//	            │   near-duplicates) → WithIndex(IndexPQGram)
+//	            └── unsure          → WithIndex(IndexAuto); it falls
+//	                                   back to enumeration when the
+//	                                   threshold is too large to prune
+//
+// All of it composes: an indexed join's candidates run the bound
+// filters and fan out over WithWorkers goroutines. For repeated joins
+// over an evolving corpus, drop to batch.Engine + package index and
+// keep the PreparedTrees and the posting lists alive between calls.
 package ted

@@ -6,6 +6,7 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	ted "repro"
@@ -41,6 +42,29 @@ type RandomSpec struct {
 func Random(seed int64, spec RandomSpec) *ted.Tree {
 	rng := rand.New(rand.NewSource(seed))
 	return treegen.Random(rng, treegen.RandomSpec(spec))
+}
+
+// RenameSome returns a copy of t with k random node labels replaced by
+// labels drawn from a small auxiliary alphabet: a near-duplicate at edit
+// distance ≤ k (renames may collide or hit the same node twice, so the
+// true distance can be smaller). Deterministic in the seed. Useful for
+// building join corpora with known clusters of true matches.
+func RenameSome(t *ted.Tree, k int, seed int64) *ted.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	b := t.Builder(t.Root())
+	var nodes []*ted.Node
+	var walk func(nd *ted.Node)
+	walk = func(nd *ted.Node) {
+		nodes = append(nodes, nd)
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	walk(b)
+	for i := 0; i < k; i++ {
+		nodes[rng.Intn(len(nodes))].Label = fmt.Sprintf("r%d", rng.Intn(50))
+	}
+	return ted.Build(b)
 }
 
 // SwissProtLike generates a flat, wide XML-like tree with the published

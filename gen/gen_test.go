@@ -52,3 +52,20 @@ func TestGeneratorsAreDeterministic(t *testing.T) {
 		t.Fatal("TreeBankLike not deterministic")
 	}
 }
+
+func TestRenameSome(t *testing.T) {
+	base := Random(11, RandomSpec{Size: 60, MaxDepth: 8, MaxFanout: 4, Labels: 5})
+	v := RenameSome(base, 3, 42)
+	if v.Len() != base.Len() {
+		t.Fatalf("RenameSome changed the size: %d -> %d", base.Len(), v.Len())
+	}
+	if d := ted.Distance(base, v); d > 3 {
+		t.Fatalf("RenameSome(3) produced distance %v > 3", d)
+	}
+	if RenameSome(base, 3, 42).String() != v.String() {
+		t.Fatal("RenameSome not deterministic in seed")
+	}
+	if RenameSome(base, 0, 1).String() != base.String() {
+		t.Fatal("RenameSome(0) must be the identity")
+	}
+}

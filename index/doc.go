@@ -1,0 +1,60 @@
+// Package index provides inverted-index candidate generation for
+// tree-similarity joins: given a corpus of trees and a distance threshold
+// τ, an index generates the pairs that could possibly be within τ instead
+// of enumerating all O(n²) pairs and filtering them afterwards.
+//
+// # Why candidate generation
+//
+// The batch engine's filtered join already avoids most exact
+// tree-edit-distance computations by bracketing every pair with cheap
+// lower and upper bounds, but it still *visits* every pair — the join
+// stays quadratic in the corpus even when almost nothing matches. The
+// indexes in this package flip the loop around, in the spirit of
+// bounded-distance filtering (Jin et al. 2021, "Faster Algorithms for
+// Bounded Tree Edit Distance"): per-tree signatures go into inverted
+// posting lists once, and each query retrieves, in time proportional to
+// the size of its posting lists, only the trees whose signature overlap
+// makes a match possible. The join pipeline becomes
+//
+//	index probe  →  signature lower bound  →  bound filters  →  exact GTED
+//	(generates        (O(1) per              (per pair,         (undecided
+//	 candidates)       candidate)             unit cost)          middle only)
+//
+// and its cost is driven by the number of candidates, not the corpus
+// size squared.
+//
+// # The two indexes
+//
+// [Histogram] keys trees by their label multiset. The posting-list merge
+// computes the exact label intersection, which gives the classic O(1)
+// lower bound max(|F|,|G|) − |labels ∩|; generation is provably complete
+// for every threshold (a non-candidate pair provably cannot match). It
+// is the default of batch.JoinIndexed: cheap to build, one posting per
+// distinct label per tree, and strongest when labels are diverse.
+//
+// [PQGram] keys trees by their pq-gram profile — serialized label tuples
+// that encode local structure, not just label content. It generates the
+// trees sharing at least one gram and ranks them by pq-gram distance, so
+// verification can visit the most similar candidates first. With stems of
+// length p = 1 it carries the same completeness guarantee (see the type
+// comment for the argument); with p ≥ 2 it is a high-recall heuristic.
+// Prefer it over Histogram when labels alone are uninformative — corpora
+// drawn from a tiny alphabet, or near-duplicate detection where most
+// trees share most labels and only structure discriminates.
+//
+// Both indexes generate candidates for a self-join in "probe below"
+// style: CandidatesBelow(q, τ, dst) returns only candidates with id < q,
+// so iterating the queries in id order enumerates every unordered pair
+// exactly once.
+//
+// # Relation to the rest of the repository
+//
+// The indexes are deliberately engine-agnostic: they know trees and
+// thresholds, not PreparedTrees or worker pools. batch.JoinIndexed builds
+// an index over a prepared corpus, generates candidates sequentially (the
+// probes are cheap), and fans the candidates out to its worker pool where
+// the existing bound filters and arena-backed GTED runners finish the
+// job; ted.Join exposes the same path via ted.WithIndex. The standalone
+// [PQGramDistance] is exported for callers that want the pq-gram
+// pseudo-metric itself.
+package index

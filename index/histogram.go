@@ -1,0 +1,121 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Histogram is a label-histogram inverted index for threshold similarity
+// joins. Each indexed tree contributes its label multiset; an inverted
+// posting list maps every label to the trees containing it. A query
+// merges the posting lists of its own labels, which yields — in one pass
+// over the trees that share at least one label — the exact label-multiset
+// intersection, and with it the O(1) tree-edit-distance lower bound
+//
+//	d(F, G) ≥ max(|F|, |G|) − |labels(F) ∩ labels(G)|
+//
+// (every node not covered by a common label must be inserted, deleted or
+// renamed). Candidate generation is provably complete: a pair the index
+// does not generate has lower bound ≥ τ and therefore cannot match.
+// Pairs sharing no label at all are only possible matches when both trees
+// are smaller than τ; a size-ordered sweep covers that fringe without
+// touching the posting lists.
+//
+// A Histogram serves one query at a time (queries share scratch); the
+// batch engine probes it sequentially and fans the surviving candidates
+// out to its worker pool.
+type Histogram struct {
+	c   corpus
+	ids map[string]int32 // label interner
+
+	scratch []int32 // label-id buffer reused by Add
+}
+
+// NewHistogram returns an empty label-histogram index.
+func NewHistogram() *Histogram {
+	return &Histogram{ids: make(map[string]int32)}
+}
+
+// Len returns the number of indexed trees.
+func (ix *Histogram) Len() int { return len(ix.c.sizes) }
+
+// Size returns the node count of the indexed tree id.
+func (ix *Histogram) Size(id int) int { return ix.c.sizes[id] }
+
+// Add indexes t and returns its dense id (assigned in insertion order).
+func (ix *Histogram) Add(t *tree.Tree) int {
+	n := t.Len()
+	ids := ix.scratch[:0]
+	for v := 0; v < n; v++ {
+		l := t.Label(v)
+		id, ok := ix.ids[l]
+		if !ok {
+			id = int32(len(ix.ids))
+			ix.ids[l] = id
+		}
+		ids = append(ids, id)
+	}
+	ix.scratch = ids
+	return ix.c.add(n, runLength(ids))
+}
+
+// runLength sorts a key-id buffer in place and collapses it into a
+// (id, count) profile.
+func runLength(ids []int32) []keyCount {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var prof []keyCount
+	for i := 0; i < len(ids); {
+		j := i
+		for j < len(ids) && ids[j] == ids[i] {
+			j++
+		}
+		prof = append(prof, keyCount{id: ids[i], count: int32(j - i)})
+		i = j
+	}
+	return prof
+}
+
+// CandidatesBelow appends to dst every tree with id < q whose
+// label-histogram lower bound against tree q is strictly below tau, in
+// ascending id order, and returns the extended slice. The LB and Score of
+// each candidate are that bound. Restricting to smaller ids makes a
+// self-join enumerate each unordered pair exactly once.
+//
+// Completeness: every tree with id < q at edit distance < tau from q is
+// returned; everything omitted is at distance ≥ tau.
+func (ix *Histogram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candidate {
+	dst = dst[:0]
+	if tau <= 0 || q <= 0 {
+		return dst
+	}
+	nq := ix.c.sizes[q]
+	ix.c.accumulate(q)
+	for _, t := range ix.c.touched {
+		nt := ix.c.sizes[t]
+		m := nq
+		if nt > m {
+			m = nt
+		}
+		if lb := float64(m - int(ix.c.common[t])); lb < tau {
+			dst = append(dst, Candidate{ID: int(t), LB: lb, Score: lb})
+		}
+	}
+	// Zero-overlap pairs have lower bound max(|F|, |G|); they are
+	// candidates only when both trees are smaller than tau.
+	if float64(nq) < tau {
+		limit := maxOpsBelow(tau) // sizes ≤ this are < tau
+		for _, t := range ix.c.smallIDs(limit) {
+			if int(t) < q && ix.c.common[t] == 0 {
+				lb := float64(nq)
+				if nt := ix.c.sizes[t]; nt > nq {
+					lb = float64(nt)
+				}
+				dst = append(dst, Candidate{ID: int(t), LB: lb, Score: lb})
+			}
+		}
+	}
+	ix.c.reset()
+	sortByID(dst)
+	return dst
+}

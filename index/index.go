@@ -1,0 +1,151 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// Candidate is one generated join candidate: an indexed tree that may lie
+// within the query threshold. Every pair the index does NOT generate is
+// guaranteed to be at distance ≥ the threshold (see the per-index
+// completeness notes), so downstream verification never has to look at
+// non-candidates.
+type Candidate struct {
+	// ID is the candidate tree's index id (the value Add returned).
+	ID int
+	// LB is a valid lower bound on the unit-cost tree edit distance
+	// between the query and the candidate, always strictly below the
+	// generating threshold. The histogram index derives it from the label
+	// intersection; the pq-gram index only knows the size bound.
+	LB float64
+	// Score orders candidates from most to least promising (smaller is
+	// better): LB for histogram candidates, the pq-gram distance in
+	// [0, 1] for pq-gram candidates.
+	Score float64
+}
+
+// posting is one entry of an inverted list: the id of a tree containing
+// the key (ascending within a list, because ids are assigned in Add
+// order) and the key's multiplicity in that tree.
+type posting struct {
+	tree  int32
+	count int32
+}
+
+// keyCount is one entry of a tree's profile: an interned key id and its
+// multiplicity, sorted by id within the profile.
+type keyCount struct {
+	id    int32
+	count int32
+}
+
+// corpus is the bookkeeping shared by both index kinds: per-tree sizes
+// and profiles, the inverted posting lists, a size-ordered id list for
+// the small-tree sweeps, and the query-time intersection scratch.
+//
+// Queries mutate the scratch, so a corpus serves one query at a time.
+type corpus struct {
+	sizes    []int
+	profs    [][]keyCount
+	postings [][]posting
+
+	bySize []int32 // tree ids sorted by (size, id); rebuilt after Add
+	sorted bool
+
+	common  []int32 // per-tree intersection accumulator
+	touched []int32 // tree ids with common > 0, for O(|touched|) reset
+}
+
+// add indexes a profiled tree and returns its dense id.
+func (c *corpus) add(size int, prof []keyCount) int {
+	id := len(c.sizes)
+	c.sizes = append(c.sizes, size)
+	c.profs = append(c.profs, prof)
+	for _, kc := range prof {
+		for int(kc.id) >= len(c.postings) {
+			c.postings = append(c.postings, nil)
+		}
+		c.postings[kc.id] = append(c.postings[kc.id], posting{tree: int32(id), count: kc.count})
+	}
+	c.sorted = false
+	return id
+}
+
+// accumulate merges the posting lists of q's profile keys, summing the
+// multiset intersection size into common[t] for every tree t < q that
+// shares at least one key with q. Touched ids are recorded for reset.
+func (c *corpus) accumulate(q int) {
+	if len(c.common) < len(c.sizes) {
+		c.common = make([]int32, len(c.sizes))
+	}
+	for _, kc := range c.profs[q] {
+		for _, p := range c.postings[kc.id] {
+			if int(p.tree) >= q {
+				break // posting lists are id-ascending; the rest is ≥ q
+			}
+			if c.common[p.tree] == 0 {
+				c.touched = append(c.touched, p.tree)
+			}
+			if p.count < kc.count {
+				c.common[p.tree] += p.count
+			} else {
+				c.common[p.tree] += kc.count
+			}
+		}
+	}
+}
+
+// reset clears the intersection accumulator after a query.
+func (c *corpus) reset() {
+	for _, t := range c.touched {
+		c.common[t] = 0
+	}
+	c.touched = c.touched[:0]
+}
+
+// smallIDs returns the ids of all trees with size ≤ limit, ascending by
+// (size, id). The slice is shared; callers must not retain it across Add.
+func (c *corpus) smallIDs(limit int) []int32 {
+	if !c.sorted {
+		c.bySize = c.bySize[:0]
+		for id := range c.sizes {
+			c.bySize = append(c.bySize, int32(id))
+		}
+		sort.Slice(c.bySize, func(i, j int) bool {
+			a, b := c.bySize[i], c.bySize[j]
+			if c.sizes[a] != c.sizes[b] {
+				return c.sizes[a] < c.sizes[b]
+			}
+			return a < b
+		})
+		c.sorted = true
+	}
+	n := sort.Search(len(c.bySize), func(i int) bool {
+		return c.sizes[c.bySize[i]] > limit
+	})
+	return c.bySize[:n]
+}
+
+// maxOpsBelow returns the largest number of unit-cost edit operations a
+// pair with distance strictly below tau can use: one less than tau for
+// integral tau, ⌊tau⌋ otherwise (unit-cost distances are integers). It is
+// negative for tau ≤ 0 — no pair qualifies — and saturates for huge or
+// infinite thresholds.
+func maxOpsBelow(tau float64) int {
+	if math.IsInf(tau, 1) || tau >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if tau <= 0 {
+		return -1
+	}
+	c := math.Ceil(tau)
+	if c == tau {
+		return int(tau) - 1
+	}
+	return int(c) - 1
+}
+
+// sortByID orders candidates by id, the order join drivers consume.
+func sortByID(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+}

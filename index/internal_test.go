@@ -1,0 +1,42 @@
+package index
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxOpsBelow(t *testing.T) {
+	cases := []struct {
+		tau  float64
+		want int
+	}{
+		{-1, -1}, {0, -1}, {0.5, 0}, {1, 0}, {1.5, 1}, {3, 2}, {3.0001, 3},
+		{4, 3}, {math.Inf(1), math.MaxInt32}, {1e300, math.MaxInt32},
+	}
+	for _, c := range cases {
+		if got := maxOpsBelow(c.tau); got != c.want {
+			t.Errorf("maxOpsBelow(%v) = %d, want %d", c.tau, got, c.want)
+		}
+	}
+}
+
+func TestSmallIDsOrderedAndBounded(t *testing.T) {
+	var c corpus
+	sizes := []int{5, 2, 9, 2, 7}
+	for _, n := range sizes {
+		c.add(n, nil)
+	}
+	got := c.smallIDs(5)
+	want := []int32{1, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("smallIDs(5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("smallIDs(5) = %v, want %v", got, want)
+		}
+	}
+	if n := len(c.smallIDs(100)); n != len(sizes) {
+		t.Fatalf("smallIDs(100) covers %d trees, want %d", n, len(sizes))
+	}
+}

@@ -1,0 +1,167 @@
+package index
+
+import (
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/tree"
+)
+
+// PQGram is a pq-gram inverted index for threshold similarity joins
+// (Augsten, Böhlen, Gamper — references [4,5] of the RTED paper). Each
+// indexed tree contributes its pq-gram profile: the multiset of
+// serialized label tuples obtained by sliding a window of q consecutive
+// children under a stem of the node and its p−1 nearest ancestors. An
+// inverted posting list maps every gram to the trees containing it, so a
+// query generates exactly the trees sharing at least one gram — one
+// posting-list merge instead of a corpus scan — and ranks them by the
+// pq-gram distance
+//
+//	dist(F, G) = 1 − 2·|P(F) ∩ P(G)| / (|P(F)| + |P(G)|)
+//
+// computed for free from the intersection counts of the same merge.
+//
+// # Completeness
+//
+// The pq-gram distance does not lower-bound the standard tree edit
+// distance (it bounds a fanout-weighted variant), so gram overlap alone
+// cannot prune exactly. What does hold, for p = 1, is a structural
+// completeness guarantee: a single unit-cost edit operation perturbs the
+// grams anchored at most at two nodes of a tree — the edited node and its
+// parent (stems have no ancestors when p = 1, so no other node's grams
+// mention the edited one). A pair at distance k therefore still shares
+// every gram anchored at the ≥ |F| − 2k untouched nodes; if it shares NO
+// gram, both trees must have at most 2k nodes. CandidatesBelow exploits
+// this: it generates the gram-sharing trees plus, when the query itself
+// is small enough, the trees of at most 2·(⌈τ⌉−1) nodes, and the union
+// provably contains every true match.
+//
+// For p ≥ 2 the number of grams a single edit perturbs grows with the
+// fanout of the edited region (a renamed node sits in the stem of every
+// descendant within p−1 levels), so no corpus-independent small-tree
+// fringe exists and the same sweep makes the index a high-recall
+// heuristic rather than an exact generator — Complete reports which case
+// an index is in. Joins that must be exact (batch.JoinIndexed) use p = 1;
+// larger p buys a more structure-sensitive ranking for approximate
+// workloads such as top-k candidate ordering.
+//
+// A PQGram serves one query at a time (queries share scratch).
+type PQGram struct {
+	c       corpus
+	p, q    int
+	ids     map[string]int32 // gram interner
+	profLen []int            // |P(t)|, grams with multiplicity
+
+	scratch []int32 // gram-id buffer reused by Add
+}
+
+// NewPQGram returns an empty pq-gram index with the given stem length p
+// and base length q; both must be ≥ 1. Only p = 1 yields a provably
+// complete candidate generator (see the type comment); the conventional
+// profile parameterization p = q = 2 remains available for approximate
+// ranking.
+func NewPQGram(p, q int) *PQGram {
+	if p < 1 || q < 1 {
+		panic("index: pq-gram parameters must be positive")
+	}
+	return &PQGram{p: p, q: q, ids: make(map[string]int32)}
+}
+
+// P returns the stem length of the index's grams.
+func (ix *PQGram) P() int { return ix.p }
+
+// Q returns the base length of the index's grams.
+func (ix *PQGram) Q() int { return ix.q }
+
+// Complete reports whether CandidatesBelow is a provably complete
+// generator (true exactly when p = 1).
+func (ix *PQGram) Complete() bool { return ix.p == 1 }
+
+// Len returns the number of indexed trees.
+func (ix *PQGram) Len() int { return len(ix.c.sizes) }
+
+// Size returns the node count of the indexed tree id.
+func (ix *PQGram) Size(id int) int { return ix.c.sizes[id] }
+
+// Add indexes t and returns its dense id (assigned in insertion order).
+func (ix *PQGram) Add(t *tree.Tree) int {
+	grams := bounds.PQGramProfile(t, ix.p, ix.q) // sorted, so ids run-length cleanly
+	ids := ix.scratch[:0]
+	for _, g := range grams {
+		id, ok := ix.ids[g]
+		if !ok {
+			id = int32(len(ix.ids))
+			ix.ids[g] = id
+		}
+		ids = append(ids, id)
+	}
+	ix.scratch = ids
+	ix.profLen = append(ix.profLen, len(grams))
+	return ix.c.add(t.Len(), runLength(ids))
+}
+
+// CandidatesBelow appends to dst every tree with id < q that shares at
+// least one pq-gram with tree q — plus, for p = 1, the small-tree fringe
+// that keeps the generator complete — in ascending id order, and returns
+// the extended slice. Candidates whose size lower bound ||F|−|G|| already
+// reaches tau are omitted (they cannot match); LB carries that bound and
+// Score the pq-gram distance, so callers can verify the most similar
+// candidates first.
+func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candidate {
+	dst = dst[:0]
+	if tau <= 0 || q <= 0 {
+		return dst
+	}
+	nq := ix.c.sizes[q]
+	ix.c.accumulate(q)
+	for _, t := range ix.c.touched {
+		nt := ix.c.sizes[t]
+		diff := nq - nt
+		if diff < 0 {
+			diff = -diff
+		}
+		if lb := float64(diff); lb < tau {
+			score := 1 - 2*float64(ix.c.common[t])/float64(ix.profLen[q]+ix.profLen[t])
+			dst = append(dst, Candidate{ID: int(t), LB: lb, Score: score})
+		}
+	}
+	// Zero-overlap fringe: with p = 1, k < tau edits can only erase every
+	// shared gram when both trees have ≤ 2k nodes. The doubling must
+	// saturate: maxOpsBelow caps at MaxInt32, which 2× overflows where
+	// int is 32 bits, and a wrapped-negative limit would silently skip
+	// the fringe and break completeness.
+	limit := maxOpsBelow(tau)
+	if limit < math.MaxInt/2 {
+		limit *= 2
+	} else {
+		limit = math.MaxInt
+	}
+	if nq <= limit {
+		for _, t := range ix.c.smallIDs(limit) {
+			if int(t) >= q || ix.c.common[t] != 0 {
+				continue
+			}
+			nt := ix.c.sizes[t]
+			diff := nq - nt
+			if diff < 0 {
+				diff = -diff
+			}
+			if lb := float64(diff); lb < tau {
+				dst = append(dst, Candidate{ID: int(t), LB: lb, Score: 1})
+			}
+		}
+	}
+	ix.c.reset()
+	sortByID(dst)
+	return dst
+}
+
+// PQGramDistance is the standalone normalized pq-gram distance in [0, 1]
+// between two trees: 1 − 2·|P(F) ∩ P(G)| / (|P(F)| + |P(G)|) over their
+// (p, q)-gram profiles. It is a pseudo-metric — fast, and a faithful
+// proxy for tree similarity on many workloads — but NOT a lower bound of
+// the unit-cost tree edit distance, so use it for ranking and candidate
+// generation, never for exact pruning.
+func PQGramDistance(f, g *tree.Tree, p, q int) float64 {
+	return bounds.PQGram(f, g, p, q)
+}

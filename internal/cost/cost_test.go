@@ -101,3 +101,60 @@ func TestFuncModel(t *testing.T) {
 		t.Fatal("func model dispatch")
 	}
 }
+
+// TestRenameMemoReuse pins the arena-ization of the rename maps: two
+// pairs assembled through the same RenameMemo must resolve a rename the
+// first pair already paid for without consulting the model again, in both
+// orientations.
+func TestRenameMemoReuse(t *testing.T) {
+	f := tree.MustParseBracket("{a{b}}")
+	g := tree.MustParseBracket("{b{c}}")
+	calls := 0
+	m := Func{
+		DeleteF: func(string) float64 { return 1 },
+		InsertF: func(string) float64 { return 1 },
+		RenameF: func(a, b string) float64 { calls++; return 2 },
+	}
+	in := NewInterner()
+	pf, pg := CompileTree(m, f, in), CompileTree(m, g, in)
+
+	var rm RenameMemo
+	c1 := PairPreparedMemo(m, pf, pg, &rm)
+	c1.Ren(1, 1)             // a -> b, forward
+	c1.Transpose().Ren(1, 1) // b -> a, reverse
+	if calls != 2 {
+		t.Fatalf("cold pair consulted the model %d times, want 2", calls)
+	}
+	c2 := PairPreparedMemo(m, pf, pg, &rm)
+	c2.Ren(1, 1)
+	c2.Transpose().Ren(1, 1)
+	if calls != 2 {
+		t.Fatalf("warm pair consulted the model (%d calls total, want 2)", calls)
+	}
+	rm.Reset()
+	c3 := PairPreparedMemo(m, pf, pg, &rm)
+	c3.Ren(1, 1)
+	if calls != 3 {
+		t.Fatalf("reset memo did not re-consult the model (%d calls, want 3)", calls)
+	}
+}
+
+// TestPairPreparedNilMemo checks that the nil-memo path (the sequential
+// API) still memoizes within one pair.
+func TestPairPreparedNilMemo(t *testing.T) {
+	f := tree.MustParseBracket("{a}")
+	g := tree.MustParseBracket("{b}")
+	calls := 0
+	m := Func{
+		DeleteF: func(string) float64 { return 1 },
+		InsertF: func(string) float64 { return 1 },
+		RenameF: func(a, b string) float64 { calls++; return 2 },
+	}
+	in := NewInterner()
+	c := PairPreparedMemo(m, CompileTree(m, f, in), CompileTree(m, g, in), nil)
+	c.Ren(0, 0)
+	c.Ren(0, 0)
+	if calls != 1 {
+		t.Fatalf("within-pair memo consulted the model %d times, want 1", calls)
+	}
+}

@@ -73,12 +73,43 @@ func CompileTree(m Model, t *tree.Tree, in *Interner) *PerTree {
 	return p
 }
 
+// RenameMemo is a reusable rename-cost cache for non-unit models. Entries
+// are keyed by interned label-id pairs, which are stable across every tree
+// compiled against one Interner, so a memo owned by a worker stays valid
+// for every pair that worker serves — the rename maps stop being a
+// per-pair allocation and reach a steady state once the label vocabulary
+// has been seen. The two orientations of a pair cache separately (a
+// transposed rename swaps its arguments, so memo[x][y] means different
+// costs in the two directions).
+//
+// A RenameMemo is bound to one (Interner, Model) combination; Reset it
+// before reusing it with another.
+type RenameMemo struct {
+	fwd, rev map[[2]int]float64
+}
+
+// Reset empties the memo so it can serve a different interner or model.
+func (rm *RenameMemo) Reset() {
+	clear(rm.fwd)
+	clear(rm.rev)
+}
+
 // PairPrepared assembles the Compiled form for the pair (f, g) from two
 // per-tree halves that share an interner. Both orientations are built up
 // front by slice sharing — no cost vector is copied — so GTED's
 // right-hand-tree decompositions (which need the transposed direction)
-// stay allocation-free.
+// stay allocation-free. Non-unit models get fresh rename memos; batch
+// workloads should use PairPreparedMemo to reuse them across pairs.
 func PairPrepared(m Model, f, g *PerTree) *Compiled {
+	return PairPreparedMemo(m, f, g, nil)
+}
+
+// PairPreparedMemo is PairPrepared drawing the rename memos of a non-unit
+// model from rm, so a worker that serves many pairs through one memo
+// caches rename costs across its whole stream instead of per pair. A nil
+// rm allocates fresh memos (PairPrepared's behavior); under the unit
+// model rm is not touched.
+func PairPreparedMemo(m Model, f, g *PerTree, rm *RenameMemo) *Compiled {
 	labels := f.labels
 	if len(g.labels) > len(labels) {
 		labels = g.labels
@@ -102,8 +133,15 @@ func PairPrepared(m Model, f, g *PerTree) *Compiled {
 		model:  transposed{m},
 	}
 	if !c.unit {
-		c.memo = make(map[[2]int]float64)
-		t.memo = make(map[[2]int]float64)
+		if rm == nil {
+			rm = &RenameMemo{}
+		}
+		if rm.fwd == nil {
+			rm.fwd = make(map[[2]int]float64)
+			rm.rev = make(map[[2]int]float64)
+		}
+		c.memo = rm.fwd
+		t.memo = rm.rev
 	}
 	c.trans, t.trans = t, c
 	return c

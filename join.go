@@ -17,17 +17,41 @@ type JoinPair struct {
 
 // JoinResult reports the matches and the cost of a similarity self-join.
 type JoinResult struct {
-	Pairs       []JoinPair
+	Pairs []JoinPair
+	// Comparisons counts the pairs the join visited: all unordered pairs
+	// for enumerating joins, the generated candidates for indexed joins.
 	Comparisons int
 	Subproblems int64
 	Elapsed     time.Duration
-	// Filter accounting (only populated by filtered joins): pairs pruned
-	// by a lower bound, accepted by the upper bound, and resolved by the
-	// exact algorithm.
+	// Filter accounting (only populated by filtered and indexed joins):
+	// pairs pruned by a lower bound, accepted by the upper bound, and
+	// resolved by the exact algorithm.
 	LowerPruned   int
 	UpperAccepted int
 	ExactComputed int
+	// Indexed joins only: the candidate generator that ran (IndexAuto
+	// resolves before running) and the index build + probe time.
+	Mode      IndexMode
+	IndexTime time.Duration
 }
+
+// IndexMode selects how an indexed join generates candidate pairs; see
+// batch.IndexMode for the semantics of each value.
+type IndexMode = batch.IndexMode
+
+const (
+	// IndexAuto picks enumeration for non-selective thresholds and the
+	// histogram index otherwise.
+	IndexAuto = batch.IndexAuto
+	// IndexEnumerate visits all pairs (bound filters do every rejection).
+	IndexEnumerate = batch.IndexEnumerate
+	// IndexHistogram generates candidates from the label-histogram
+	// inverted index.
+	IndexHistogram = batch.IndexHistogram
+	// IndexPQGram generates candidates from the (1,2)-gram inverted
+	// index (pairs sharing local structure, not just labels).
+	IndexPQGram = batch.IndexPQGram
+)
 
 // WithWorkers runs the join's distance computations on n goroutines
 // (default 1). Results are identical and deterministic.
@@ -40,6 +64,26 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // bound (≥ the true distance, still below tau). Filtered joins require
 // the unit cost model, the model of all published bounds.
 func WithFilters() Option { return func(c *config) { c.filters = true } }
+
+// WithIndex routes Join through inverted-index candidate generation
+// (package index): instead of enumerating all O(n²) pairs and filtering,
+// the join builds an index over the collection and visits only the pairs
+// the index cannot rule out; the bound filters of WithFilters then run
+// on the candidates, so the match set is provably identical to the
+// enumerating join's. Indexed joins require the unit cost model.
+//
+// Use IndexAuto unless you know the workload: it enumerates when the
+// threshold is too large for any index to prune, and generates from the
+// label-histogram index otherwise. IndexPQGram trades a costlier index
+// build for structure-aware candidates — the better choice when most
+// trees share most labels. See the package index documentation for the
+// full decision guide.
+func WithIndex(m IndexMode) Option {
+	return func(c *config) {
+		c.indexed = true
+		c.imode = m
+	}
+}
 
 // batchEngine assembles the batch engine a config describes: worker
 // count, cost model, and — for the fixed-strategy competitor algorithms —
@@ -57,9 +101,9 @@ func (c config) batchEngine(workers int) *batch.Engine {
 
 // Join computes the similarity self-join of the paper's Table 1: all
 // pairs of trees in the collection with edit distance below tau. Options
-// select the algorithm and cost model as for Distance, plus WithWorkers
-// and WithFilters (which now compose: a filtered join fans out over the
-// workers too).
+// select the algorithm and cost model as for Distance, plus WithWorkers,
+// WithFilters and WithIndex (all of which compose: an indexed join's
+// candidates run the bound filters and fan out over the workers too).
 //
 // Join runs on the batch engine: every tree is prepared once — node
 // indexes, decomposition cardinalities, cost vectors, bound profiles —
@@ -67,15 +111,21 @@ func (c config) batchEngine(workers int) *batch.Engine {
 // per-pair cost is the GTED computation alone.
 func Join(trees []*Tree, tau float64, opts ...Option) JoinResult {
 	c := buildConfig(opts)
-	if c.filters && c.model != UnitCost {
-		panic("ted: filtered joins require the unit cost model")
+	if (c.filters || c.indexed) && c.model != UnitCost {
+		panic("ted: filtered and indexed joins require the unit cost model")
 	}
 	workers := c.workers
 	if workers < 1 {
 		workers = 1
 	}
 	e := c.batchEngine(workers)
-	ms, st := e.Join(e.PrepareAll(trees), tau, c.filters)
+	var ms []batch.Match
+	var st batch.JoinStats
+	if c.indexed {
+		ms, st = e.JoinIndexed(e.PrepareAll(trees), tau, batch.JoinOptions{Mode: c.imode})
+	} else {
+		ms, st = e.Join(e.PrepareAll(trees), tau, c.filters)
+	}
 	out := JoinResult{
 		Comparisons:   st.Comparisons,
 		Subproblems:   st.Subproblems,
@@ -83,6 +133,8 @@ func Join(trees []*Tree, tau float64, opts ...Option) JoinResult {
 		LowerPruned:   st.LowerPruned,
 		UpperAccepted: st.UpperAccepted,
 		ExactComputed: st.ExactComputed,
+		Mode:          st.Mode,
+		IndexTime:     st.IndexTime,
 	}
 	if c.stats != nil {
 		c.stats.Subproblems = st.Subproblems

@@ -120,6 +120,8 @@ type config struct {
 	stats   *Stats
 	workers int
 	filters bool
+	indexed bool
+	imode   IndexMode
 }
 
 // Option configures Distance, Mapping and Join.
