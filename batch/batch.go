@@ -39,6 +39,7 @@ package batch
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -143,8 +144,12 @@ func (e *Engine) putWS(w *workspace) { wsPool.Put(w) }
 // computations of one batch call.
 type Stats struct {
 	// Subproblems is the number of relevant subproblems evaluated (the
-	// paper's cost measure).
+	// paper's cost measure). Bounded computations count only the cells
+	// they actually evaluated.
 	Subproblems int64
+	// PrunedSubproblems is the number of DP cells bounded computations
+	// skipped because a cutoff proved them irrelevant.
+	PrunedSubproblems int64
 	// SPFCalls counts single-path function invocations.
 	SPFCalls int64
 	// MaxLiveRows is the peak number of retained heavy-path DP rows in
@@ -154,6 +159,7 @@ type Stats struct {
 
 func (s *Stats) add(g gted.Stats) {
 	s.Subproblems += g.Subproblems
+	s.PrunedSubproblems += g.PrunedSubproblems
 	s.SPFCalls += g.SPFCalls
 	if g.MaxLiveRows > s.MaxLiveRows {
 		s.MaxLiveRows = g.MaxLiveRows
@@ -193,20 +199,30 @@ func (e *Engine) Distance(f, g *PreparedTree) float64 {
 	return e.pairRunner(ws, f, g).Run()
 }
 
-// DistanceBounded is Distance with bound-based early exit: when the
-// cheap lower bounds already reach tau the exact algorithm is skipped and
-// (lb, false) is returned — the true distance is ≥ lb ≥ tau. Otherwise
-// the exact distance and true are returned. Requires the unit cost model
-// (the model of every published bound).
+// DistanceBounded answers "is the distance at most tau?" cheaply: it
+// returns (d, true) — d exact — iff the distance is ≤ tau, and otherwise
+// (lb, false) with lb a lower bound on the distance no smaller than tau.
+// Under the unit cost model the profiled lower bounds are consulted
+// first, skipping the DP entirely when they already exceed tau; otherwise
+// (and under any other model) GTED runs with tau threaded into its DP
+// loops, skipping provably-above-cutoff cells and aborting as soon as the
+// distance provably exceeds tau. Safe for concurrent use.
 func (e *Engine) DistanceBounded(f, g *PreparedTree, tau float64) (float64, bool) {
 	e.check(f, g)
-	if !e.unit {
-		panic("batch: DistanceBounded requires the unit cost model")
+	if math.IsNaN(tau) {
+		return 0, false // no distance is ≤ NaN; 0 is a trivial lower bound
 	}
-	if lb := bounds.LowerProfiled(f.profile(), g.profile()); lb >= tau {
-		return lb, false
+	if e.unit {
+		if lb := bounds.LowerProfiled(f.profile(), g.profile()); lb > tau {
+			return lb, false
+		}
 	}
-	return e.Distance(f, g), true
+	ws := e.getWS()
+	defer e.putWS(ws)
+	if d, ok := e.pairRunner(ws, f, g).RunBounded(tau); ok {
+		return d, true
+	}
+	return tau, false
 }
 
 // Pair names two prepared trees whose distance is wanted.

@@ -3,6 +3,7 @@ package batch_test
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -259,6 +260,114 @@ func TestDistanceBounded(t *testing.T) {
 	}
 	if pruned == 0 || exact == 0 {
 		t.Fatalf("bound test never exercised both branches (pruned=%d exact=%d)", pruned, exact)
+	}
+}
+
+// TestDistanceBoundedContract checks the ≤-threshold contract against the
+// public API: (d, true) iff Distance ≤ tau, with pruned answers being
+// true lower bounds in [tau, d].
+func TestDistanceBoundedContract(t *testing.T) {
+	trees := randomTrees(16, 8, 40)
+	e := batch.New(batch.WithWorkers(1))
+	ps := e.PrepareAll(trees)
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			want := ted.Distance(trees[i], trees[j])
+			for _, tau := range []float64{0, want / 2, want - 0.5, want, want + 0.5, 1e9} {
+				got, ok := e.DistanceBounded(ps[i], ps[j], tau)
+				if ok != (want <= tau) {
+					t.Fatalf("pair (%d,%d) tau=%v: ok=%v, exact %v", i, j, tau, ok, want)
+				}
+				if ok && got != want {
+					t.Fatalf("pair (%d,%d) tau=%v: got %v, exact %v", i, j, tau, got, want)
+				}
+				if !ok && (got < tau || got > want) {
+					t.Fatalf("pair (%d,%d) tau=%v: lower bound %v outside [tau, %v]", i, j, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKAcrossMatchesPerTree checks that the cutoff-shrinking
+// multi-tree top-k returns exactly the merge of per-tree exact top-k
+// runs, and that the shrinking cutoff actually pruned DP work.
+func TestTopKAcrossMatchesPerTree(t *testing.T) {
+	query := gen.Random(90, gen.RandomSpec{Size: 12, MaxDepth: 5, MaxFanout: 3, Labels: 3})
+	var data []*ted.Tree
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 12; i++ {
+		data = append(data, gen.Random(rng.Int63(), gen.RandomSpec{
+			Size: 20 + rng.Intn(40), MaxDepth: 8, MaxFanout: 4, Labels: 3,
+		}))
+	}
+	e := batch.New()
+	q := e.Prepare(query)
+	ps := e.PrepareAll(data)
+	for _, k := range []int{1, 5, 17} {
+		// Reference: exact per-tree top-k, merged and re-sorted.
+		var want []batch.CrossMatch
+		for di, p := range ps {
+			ms, _ := e.TopKSubtrees(q, p, k)
+			for _, m := range ms {
+				want = append(want, batch.CrossMatch{Tree: di, Root: m.Root, Dist: m.Dist})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			a, b := want[i], want[j]
+			if a.Dist != b.Dist {
+				return a.Dist < b.Dist
+			}
+			if a.Tree != b.Tree {
+				return a.Tree < b.Tree
+			}
+			return a.Root < b.Root
+		})
+		if len(want) > k {
+			want = want[:k]
+		}
+		got, st := e.TopKAcross(q, ps, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d matches, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d match %d: got %+v want %+v", k, i, got[i], want[i])
+			}
+		}
+		if k == 1 && st.PrunedSubproblems == 0 {
+			t.Fatal("k=1 across 12 trees pruned nothing — the shrinking cutoff is not reaching GTED")
+		}
+	}
+}
+
+// TestBoundedAllocFree is the bounded-mode allocation regression test:
+// bounded runs in a warm arena must stay as allocation-free as exact
+// runs — the cutoff machinery may not allocate per pair.
+func TestBoundedAllocFree(t *testing.T) {
+	query := gen.Random(85, gen.RandomSpec{Size: 50, MaxDepth: 8, MaxFanout: 4, Labels: 4})
+	others := randomTrees(86, 12, 50)
+	e := batch.New(batch.WithWorkers(1))
+	q := e.Prepare(query)
+	ps := e.PrepareAll(others)
+	// Warm the workspace pool, the arena, and the lazy bound profiles
+	// through both DistanceBounded branches.
+	for _, p := range ps {
+		e.DistanceBounded(q, p, 2)
+		e.DistanceBounded(q, p, 1e9)
+	}
+	for _, tau := range []float64{2, 25, 1e9} {
+		tau := tau
+		perPair := testing.AllocsPerRun(3, func() {
+			for _, p := range ps {
+				e.DistanceBounded(q, p, tau)
+			}
+		}) / float64(len(ps))
+		// Same bound as the exact-path steady-state test: a handful of
+		// fixed-size descriptors per pair, no DP-sized allocations.
+		if !raceEnabled && perPair > 16 {
+			t.Fatalf("tau=%v: bounded steady state allocates %.1f objects per pair", tau, perPair)
+		}
 	}
 }
 

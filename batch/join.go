@@ -87,7 +87,10 @@ type JoinStats struct {
 	LowerPruned   int
 	UpperAccepted int
 	ExactComputed int
-	Elapsed       time.Duration
+	// PrunedSubproblems counts the DP cells the cutoff-seeded exact stage
+	// skipped (filtered joins thread tau into GTED as a cutoff).
+	PrunedSubproblems int64
+	Elapsed           time.Duration
 
 	// Indexed joins only: the candidate generator that actually ran
 	// (IndexAuto resolves before running) and the time spent building
@@ -99,13 +102,19 @@ type JoinStats struct {
 // joinOutcome is the per-pair record a worker writes; aggregation
 // happens sequentially afterwards so the output is deterministic.
 type joinOutcome struct {
-	dist float64
-	subs int64
-	kind uint8 // 0 exact, 1 lower-pruned, 2 upper-accepted
+	dist   float64
+	subs   int64
+	pruned int64
+	kind   uint8 // 0 exact, 1 lower-pruned, 2 upper-accepted
 }
 
-// ij names one candidate pair by collection indices, i < j.
-type ij struct{ i, j int }
+// ij names one candidate pair by collection indices, i < j. lb carries
+// the candidate's index lower bound (zero for enumerated pairs), folded
+// into the filter pipeline.
+type ij struct {
+	i, j int
+	lb   float64
+}
 
 // Join computes the similarity self-join of the collection: all pairs
 // with edit distance below tau. Pairs are evaluated on the worker pool;
@@ -130,7 +139,7 @@ func (e *Engine) Join(trees []*PreparedTree, tau float64, filtered bool) ([]Matc
 	pairs := make([]ij, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, ij{i, j})
+			pairs = append(pairs, ij{i: i, j: j})
 		}
 	}
 	ms, st := e.evalPairs(trees, pairs, tau, filtered)
@@ -228,7 +237,7 @@ func generate(trees []*PreparedTree, tau float64, mode IndexMode, opts JoinOptio
 	for j := 1; j < len(trees); j++ {
 		buf = probe(j, buf)
 		for _, c := range buf {
-			pairs = append(pairs, ij{c.ID, j})
+			pairs = append(pairs, ij{i: c.ID, j: j, lb: c.LB})
 		}
 	}
 	// Probing yields (J, I)-major order; the join contract is (I, J).
@@ -244,12 +253,23 @@ func generate(trees []*PreparedTree, tau float64, mode IndexMode, opts JoinOptio
 // evalPairs runs the per-pair join pipeline — bound filters when
 // filtered, exact GTED otherwise or for the undecided middle — over the
 // worker pool and aggregates the outcomes deterministically.
+//
+// Filtered joins seed the exact stage with the threshold: GTED runs with
+// cutoff tau threaded into its DP loops, so a pair whose distance
+// provably reaches tau abandons most of its DP instead of finishing it.
+// The match set is provably unchanged — a pair with distance < tau
+// always completes exactly, and any pair the cutoff abandons could not
+// have matched.
 func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filtered bool) ([]Match, JoinStats) {
 	outcomes := make([]joinOutcome, len(pairs))
 	e.parallel(len(pairs), func(ws *workspace, k int) {
 		f, g := trees[pairs[k].i], trees[pairs[k].j]
 		if filtered {
-			if lb := bounds.LowerProfiled(f.profile(), g.profile()); lb >= tau {
+			lb := bounds.LowerProfiled(f.profile(), g.profile())
+			if cand := pairs[k].lb; cand > lb {
+				lb = cand // index candidates carry their own lower bound
+			}
+			if lb >= tau {
 				outcomes[k] = joinOutcome{dist: lb, kind: 1}
 				return
 			}
@@ -257,6 +277,13 @@ func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filte
 				outcomes[k] = joinOutcome{dist: ub, kind: 2}
 				return
 			}
+			r := e.pairRunner(ws, f, g)
+			d, ok := r.RunBounded(tau)
+			if !ok {
+				d = tau // below-threshold match impossible; tau is a valid floor
+			}
+			outcomes[k] = joinOutcome{dist: d, subs: r.Stats().Subproblems, pruned: r.Stats().PrunedSubproblems}
+			return
 		}
 		r := e.pairRunner(ws, f, g)
 		d := r.Run()
@@ -277,6 +304,7 @@ func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filte
 				st.ExactComputed++
 			}
 			st.Subproblems += o.subs
+			st.PrunedSubproblems += o.pruned
 			if o.dist < tau {
 				ms = append(ms, Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
 			}

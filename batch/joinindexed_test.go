@@ -101,6 +101,57 @@ func TestJoinIndexedPrunes(t *testing.T) {
 	}
 }
 
+// TestJoinBoundedMatchSetsUnchanged is the bounded-mode property test:
+// filtered joins (which seed GTED with the threshold as a cutoff) and
+// indexed joins (whose candidates additionally carry index lower bounds)
+// must report exactly the match set of the plain exhaustive join, while
+// never evaluating more DP cells — and, once the threshold leaves an
+// undecided middle, strictly fewer. Runs on a parallel engine so the
+// per-pair cutoffs are exercised race-clean.
+func TestJoinBoundedMatchSetsUnchanged(t *testing.T) {
+	for seed := int64(21); seed <= 23; seed++ {
+		trees := joinCorpus(seed, 14, 30)
+		e := batch.New(batch.WithWorkers(4))
+		ps := e.PrepareAll(trees)
+		var prunedSomewhere bool
+		for _, tau := range []float64{2, 5, 12, 40, math.Inf(1)} {
+			plain, pst := e.Join(ps, tau, false)
+			filt, fst := e.Join(ps, tau, true)
+			if len(plain) != len(filt) {
+				t.Fatalf("seed=%d tau=%v: bounded join found %d matches, plain %d",
+					seed, tau, len(filt), len(plain))
+			}
+			for k := range plain {
+				if plain[k].I != filt[k].I || plain[k].J != filt[k].J {
+					t.Fatalf("seed=%d tau=%v: match %d differs: %+v vs %+v",
+						seed, tau, k, plain[k], filt[k])
+				}
+			}
+			if fst.Subproblems > pst.Subproblems {
+				t.Fatalf("seed=%d tau=%v: bounded join evaluated %d subproblems, plain %d",
+					seed, tau, fst.Subproblems, pst.Subproblems)
+			}
+			if fst.PrunedSubproblems > 0 {
+				prunedSomewhere = true
+			}
+			ims, _ := e.JoinIndexed(ps, tau, batch.JoinOptions{})
+			if len(ims) != len(filt) {
+				t.Fatalf("seed=%d tau=%v: indexed bounded join found %d matches, want %d",
+					seed, tau, len(ims), len(filt))
+			}
+			for k := range filt {
+				if ims[k] != filt[k] {
+					t.Fatalf("seed=%d tau=%v: indexed match %d = %+v, want %+v",
+						seed, tau, k, ims[k], filt[k])
+				}
+			}
+		}
+		if !prunedSomewhere {
+			t.Fatalf("seed=%d: no threshold ever engaged the DP cutoff", seed)
+		}
+	}
+}
+
 // TestJoinIndexedPanicsNonUnit pins the cost-model requirement.
 func TestJoinIndexedPanicsNonUnit(t *testing.T) {
 	e := batch.New(batch.WithCost(ted.WeightedCost(2, 2, 1)))

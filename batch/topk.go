@@ -2,6 +2,7 @@ package batch
 
 import (
 	"container/heap"
+	"math"
 	"sort"
 )
 
@@ -48,6 +49,99 @@ func (e *Engine) TopKSubtrees(query, data *PreparedTree, k int) ([]SubtreeMatch,
 	out := append([]SubtreeMatch(nil), h.items...)
 	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out, st
+}
+
+// CrossMatch is one result of TopKAcross: the subtree rooted at postorder
+// id Root of the data tree at index Tree, at edit distance Dist from the
+// query.
+type CrossMatch struct {
+	Tree int
+	Root int
+	Dist float64
+}
+
+func crossLess(a, b CrossMatch) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.Tree != b.Tree {
+		return a.Tree < b.Tree
+	}
+	return a.Root < b.Root
+}
+
+// TopKAcross finds the k subtrees closest to the query across a whole
+// collection of data trees. Data trees are processed in order, and the
+// cutoff of each GTED run is the current k-th best distance: once the
+// result heap is full, DP cells that provably cannot beat it are skipped
+// and saturated (gted.SetCutoff), so the per-tree cost shrinks as the
+// results improve — the bounded-TED analogue of TASM's pruning. The
+// result is identical to running TopKSubtrees per tree and merging: ties
+// break toward smaller (Tree, Root); results are sorted by distance.
+//
+// Under the unit cost model a data tree whose size alone puts every one
+// of its subtrees beyond the current k-th best is skipped without running
+// any DP.
+func (e *Engine) TopKAcross(query *PreparedTree, data []*PreparedTree, k int) ([]CrossMatch, Stats) {
+	var st Stats
+	if k <= 0 || len(data) == 0 {
+		return nil, st
+	}
+	e.check(query)
+	e.check(data...)
+	ws := e.getWS()
+	defer e.putWS(ws)
+
+	q := query.t.Root()
+	h := &crossHeap{}
+	heap.Init(h)
+	for di, d := range data {
+		tau := math.Inf(1)
+		if h.Len() == k {
+			tau = h.items[0].Dist
+		}
+		// Every subtree of d has at most d.Len() nodes, so every distance
+		// to the query is at least |query| − |d| insertions-or-more.
+		if e.unit && float64(query.Len()-d.Len()) > tau {
+			continue
+		}
+		r := e.pairRunner(ws, query, d)
+		r.SetCutoff(tau, false)
+		r.Run()
+		st.add(r.Stats())
+		for w := 0; w < d.t.Len(); w++ {
+			m := CrossMatch{Tree: di, Root: w, Dist: r.Dist(q, w)}
+			if h.Len() < k {
+				heap.Push(h, m)
+				continue
+			}
+			// Saturated entries (Dist > tau ≥ heap max) can never win;
+			// entries at or below the cutoff are exact and compare fairly.
+			if crossLess(m, h.items[0]) {
+				h.items[0] = m
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	out := append([]CrossMatch(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return crossLess(out[i], out[j]) })
+	return out, st
+}
+
+// crossHeap is a max-heap on (Dist, Tree, Root) so the worst kept match
+// is evicted first.
+type crossHeap struct{ items []CrossMatch }
+
+func (h *crossHeap) Len() int           { return len(h.items) }
+func (h *crossHeap) Less(i, j int) bool { return crossLess(h.items[j], h.items[i]) }
+func (h *crossHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *crossHeap) Push(x any)         { h.items = append(h.items, x.(CrossMatch)) }
+func (h *crossHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
 }
 
 func less(a, b SubtreeMatch) bool {

@@ -33,6 +33,58 @@ func TestPublicPQGram(t *testing.T) {
 	}
 }
 
+// TestDistanceBoundedSkipsDP pins the bound-prefilter path: when the
+// cheap lower bounds of the bounds.Profile pipeline already exceed tau,
+// DistanceBounded must answer without launching the DP at all — zero
+// subproblems evaluated — and report the profile bound itself.
+func TestDistanceBoundedSkipsDP(t *testing.T) {
+	f := gen.LeftBranch(40)
+	g := ted.MustParse("{x}")
+	lb := ted.LowerBound(f, g)
+	if lb < 39 {
+		t.Fatalf("size bound %v, want ≥ 39", lb)
+	}
+	var st ted.Stats
+	got, ok := ted.DistanceBounded(f, g, 10, ted.WithStats(&st))
+	if ok {
+		t.Fatalf("distance ≥ %v reported within tau=10", lb)
+	}
+	if got != lb {
+		t.Fatalf("skip path returned %v, want the profile bound %v", got, lb)
+	}
+	if st.Subproblems != 0 || st.PrunedSubproblems != 0 {
+		t.Fatalf("DP ran despite lb %v > tau: %+v", lb, st)
+	}
+}
+
+// TestDistanceBoundedPrunesDP pins the cutoff path: a same-size
+// shape pair defeats the cheap bounds (lb below tau), so the DP must
+// run — but with the cutoff threaded in, skipping part of the exact
+// run's subproblems.
+func TestDistanceBoundedPrunesDP(t *testing.T) {
+	f := gen.LeftBranch(60)
+	g := gen.FullBinary(63)
+	var est ted.Stats
+	d := ted.Distance(f, g, ted.WithStats(&est))
+	lb := ted.LowerBound(f, g)
+	tau := lb + 1
+	if tau >= d {
+		t.Fatalf("scenario broken: lb+1 = %v not under d = %v", tau, d)
+	}
+	var st ted.Stats
+	got, ok := ted.DistanceBounded(f, g, tau, ted.WithStats(&st))
+	if ok || got < tau {
+		t.Fatalf("DistanceBounded(tau=%v) = (%v, %v) with d = %v", tau, got, ok, d)
+	}
+	if st.Subproblems == 0 {
+		t.Fatal("DP never ran — the prefilter should not fire here")
+	}
+	if st.PrunedSubproblems == 0 || st.Subproblems >= est.Subproblems {
+		t.Fatalf("cutoff pruned nothing: bounded %d cells (%d pruned), exact %d",
+			st.Subproblems, st.PrunedSubproblems, est.Subproblems)
+	}
+}
+
 func TestJoinWorkersAndFilters(t *testing.T) {
 	var trees []*ted.Tree
 	for i := int64(0); i < 8; i++ {

@@ -7,8 +7,13 @@
 //
 //	ted [-algorithm rted] [-format bracket] [-stats] [-mapping] F G
 //	ted -e '{a{b}}' -e '{a{c}}'
+//	ted -tau 5 F G                             # bounded: "is d ≤ 5?"
 //	ted -join -tau 12 trees.txt                # one bracket tree per line
 //	ted -join -tau 12 -index auto trees.txt    # index-generated candidates
+//
+// With -tau in two-tree mode the distance is computed in bounded mode:
+// the exact distance is printed when it is at most tau, and ">tau"
+// when it provably exceeds it (usually after skipping most of the DP).
 //
 // Exit status 0; the distance (or join result) is printed to stdout.
 package main
@@ -36,7 +41,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print subproblem and timing statistics to stderr")
 		mapping   = flag.Bool("mapping", false, "print the edit mapping")
 		joinMode  = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
-		tau       = flag.Float64("tau", 10, "join distance threshold")
+		tau       = flag.Float64("tau", 10, "join distance threshold; in two-tree mode, bounded-distance cutoff")
 		workers   = flag.Int("workers", 0, "join worker goroutines (0 = all CPU cores)")
 		filters   = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
 		indexMode = flag.String("index", "", "join: generate candidates from an inverted index: auto | enumerate | histogram | pqgram (empty = off)")
@@ -44,6 +49,12 @@ func main() {
 	)
 	flag.Var(&exprs, "e", "tree literal (repeatable; used instead of file arguments)")
 	flag.Parse()
+	tauSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tau" {
+			tauSet = true
+		}
+	})
 
 	alg, ok := parseAlgorithm(*algName)
 	if !ok {
@@ -91,6 +102,14 @@ func main() {
 		trees[i] = t
 	}
 
+	if tauSet {
+		if *mapping {
+			fail("-mapping needs the exact distance; drop -tau")
+		}
+		runBounded(trees[0], trees[1], *tau, alg, *stats)
+		return
+	}
+
 	var st ted.Stats
 	d := ted.Distance(trees[0], trees[1], ted.WithAlgorithm(alg), ted.WithStats(&st))
 	fmt.Println(d)
@@ -122,6 +141,24 @@ func main() {
 				fmt.Printf("insert  G:%d %q (cost %g)\n", op.GNode, op.GLabel, op.Cost)
 			}
 		}
+	}
+}
+
+// runBounded answers the threshold question for one pair: it prints the
+// exact distance when it is at most tau and ">tau" otherwise.
+func runBounded(f, g *ted.Tree, tau float64, alg ted.Algorithm, stats bool) {
+	var st ted.Stats
+	d, ok := ted.DistanceBounded(f, g, tau, ted.WithAlgorithm(alg), ted.WithStats(&st))
+	if ok {
+		fmt.Println(d)
+	} else {
+		fmt.Printf(">%g\n", tau)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "algorithm    %s (bounded, tau=%g)\n", alg, tau)
+		fmt.Fprintf(os.Stderr, "sizes        |F|=%d |G|=%d\n", f.Len(), g.Len())
+		fmt.Fprintf(os.Stderr, "subproblems  %d evaluated, %d pruned\n", st.Subproblems, st.PrunedSubproblems)
+		fmt.Fprintf(os.Stderr, "total        %v\n", st.TotalTime)
 	}
 }
 

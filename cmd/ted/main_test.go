@@ -83,6 +83,20 @@ func TestRunJoin(t *testing.T) {
 	}
 }
 
+// TestRunBounded exercises both output branches of the bounded two-tree
+// mode (exact-within-tau and exceeds-tau) with and without stats.
+func TestRunBounded(t *testing.T) {
+	f := ted.MustParse("{a{b}{c}}")
+	g := ted.MustParse("{a{b{d}}}")
+	d := ted.Distance(f, g)
+	for _, tau := range []float64{d - 1, d, d + 1} {
+		for _, stats := range []bool{false, true} {
+			runBounded(f, g, tau, ted.RTED, stats)
+		}
+	}
+	runBounded(f, g, 0.5, ted.ZhangShashaClassic, false)
+}
+
 func TestParseIndexMode(t *testing.T) {
 	cases := map[string]ted.IndexMode{
 		"auto":      ted.IndexAuto,

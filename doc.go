@@ -38,12 +38,17 @@
 // converted with FromXML and ParseNewick. Nodes of a parsed tree are
 // identified by their postorder id (0-based; the root is Len()-1).
 //
-// Beyond Distance, the package offers Mapping (the optimal edit script),
-// Join (the threshold similarity self-join of the paper's Table 1, with
-// optional bound-based filtering and a worker pool), TopKSubtrees (top-k
-// approximate subtree matching), SubtreeDistances (the full
-// subtree-pair distance matrix), and LowerBound/ConstrainedDistance
-// (cheap lower and upper bounds for pruning).
+// Beyond Distance, the package offers DistanceBounded (the threshold
+// question "is d ≤ τ?", answered without always paying for the full
+// computation: cheap bounds first, then GTED with τ threaded into its DP
+// as a saturating cutoff), Mapping (the optimal edit script), Join (the
+// threshold similarity self-join of the paper's Table 1, with optional
+// bound-based filtering and a worker pool), TopKSubtrees and
+// TopKSubtreesAcross (top-k approximate subtree matching, the latter
+// shrinking the cutoff to the running k-th best across a collection),
+// SubtreeDistances (the full subtree-pair distance matrix), and
+// LowerBound/ConstrainedDistance (cheap lower and upper bounds for
+// pruning).
 //
 // # Architecture
 //
@@ -69,7 +74,21 @@
 // repeatedly (similarity joins, top-k serving, clustering) should use
 // package batch directly and keep the PreparedTrees.
 //
-// # Choosing a join configuration
+// # Choosing a distance or join configuration
+//
+// For a single pair, the first question is whether the exact distance is
+// needed at all:
+//
+//	What is the question?
+//	├── "what is d?"        → Distance(f, g)
+//	├── "is d ≤ τ?"         → DistanceBounded(f, g, τ) — cheap bounds
+//	│                          first, then GTED with τ as a DP cutoff;
+//	│                          exact d returned whenever d ≤ τ
+//	└── "which subtrees of the data are closest?"
+//	      ├── one data tree  → TopKSubtrees(query, data, k)
+//	      └── a collection   → TopKSubtreesAcross(query, data, k) —
+//	                            the cutoff shrinks to the running
+//	                            k-th best as trees stream through
 //
 // Join always returns exactly the pairs with distance below the
 // threshold; the options only change how much work that takes.
@@ -94,7 +113,9 @@
 //	                                   threshold is too large to prune
 //
 // All of it composes: an indexed join's candidates run the bound
-// filters and fan out over WithWorkers goroutines. For repeated joins
-// over an evolving corpus, drop to batch.Engine + package index and
-// keep the PreparedTrees and the posting lists alive between calls.
+// filters, seed exact GTED with the threshold as a cutoff (so pairs that
+// provably exceed it abandon most of their DP), and fan out over
+// WithWorkers goroutines. For repeated joins over an evolving corpus,
+// drop to batch.Engine + package index and keep the PreparedTrees and
+// the posting lists alive between calls.
 package ted

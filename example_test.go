@@ -23,6 +23,24 @@ func ExampleDistance_weighted() {
 	// Output: 1
 }
 
+// The bounded distance answers "is the distance at most tau?" without
+// always paying for the full computation: cheap lower bounds run first,
+// and the DP itself abandons work once tau is provably exceeded. The
+// distance is exact whenever it is within the cutoff.
+func ExampleDistanceBounded() {
+	f := ted.MustParse("{a{b}{c}}")
+	g := ted.MustParse("{a{b{d}}}")
+	if d, ok := ted.DistanceBounded(f, g, 3); ok {
+		fmt.Printf("within cutoff: %g\n", d)
+	}
+	if _, ok := ted.DistanceBounded(f, g, 1); !ok {
+		fmt.Println("exceeds 1")
+	}
+	// Output:
+	// within cutoff: 2
+	// exceeds 1
+}
+
 // The similarity self-join: all pairs of the collection with distance
 // below the threshold. It runs on the batch engine — every tree is
 // prepared once and compared on reusable arenas.

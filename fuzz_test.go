@@ -1,0 +1,63 @@
+package ted_test
+
+import (
+	"math"
+	"testing"
+
+	ted "repro"
+	"repro/internal/cost"
+	"repro/internal/difftest"
+)
+
+// FuzzDistanceBounded fuzzes the bounded-distance contract over bracket
+// tree pairs and arbitrary cutoffs: DistanceBounded(f, g, tau) must
+// return (d, true) exactly when Distance(f, g) ≤ tau (with d the exact
+// distance), and otherwise a lower bound in [tau, d]. Small pairs
+// additionally run the full differential oracle (all strategies, bounded
+// cutoffs around the distance, Zhang–Shasha, naive).
+//
+// Run continuously with: go test -fuzz=FuzzDistanceBounded
+func FuzzDistanceBounded(f *testing.F) {
+	f.Add("{a{b}{c}}", "{a{b{d}}}", 1.5)
+	f.Add("{a{b}{c}}", "{a{b{d}}}", 2.0)
+	f.Add("{a}", "{a}", 0.0)
+	f.Add("{a}", "{b}", 0.0)
+	f.Add("{x{x{x{x}}}}", "{x}{", 3.0)
+	f.Add("{a{a}{a}{a}}", "{a{a{a}{a}}}", math.Inf(1))
+	f.Add("{l0{l1}{l2{l3}}}", "{l0{l2{l3}}{l1}}", -1.0)
+	f.Add("{r{a{b}{c}}{d}}", "{r{d}{a{c}{b}}}", 4.0)
+
+	f.Fuzz(func(t *testing.T, fs, gs string, tau float64) {
+		ft, err := ted.Parse(fs)
+		if err != nil || ft.Len() > 60 {
+			t.Skip()
+		}
+		gt, err := ted.Parse(gs)
+		if err != nil || gt.Len() > 60 {
+			t.Skip()
+		}
+		if math.IsNaN(tau) {
+			t.Skip()
+		}
+		d := ted.Distance(ft, gt)
+		var st ted.Stats
+		got, ok := ted.DistanceBounded(ft, gt, tau, ted.WithStats(&st))
+		if ok != (d <= tau) {
+			t.Fatalf("DistanceBounded(tau=%v) ok=%v, Distance=%v\nF=%s\nG=%s", tau, ok, d, fs, gs)
+		}
+		if ok && got != d {
+			t.Fatalf("DistanceBounded(tau=%v) = %v, Distance = %v\nF=%s\nG=%s", tau, got, d, fs, gs)
+		}
+		if !ok && (got > d || got < tau) {
+			t.Fatalf("DistanceBounded(tau=%v) lower bound %v outside [tau, %v]\nF=%s\nG=%s", tau, got, d, fs, gs)
+		}
+		if st.PrunedSubproblems < 0 || st.Subproblems < 0 {
+			t.Fatalf("negative instrumentation: %+v", st)
+		}
+		if ft.Len()*gt.Len() <= 32*32 {
+			if err := difftest.Check(ft, gt, cost.Unit{}); err != nil {
+				t.Fatalf("differential oracle: %v", err)
+			}
+		}
+	})
+}

@@ -122,6 +122,11 @@ func Compile(m Model, f, g *tree.Tree) *Compiled {
 	return c
 }
 
+// IsUnit reports whether the compiled model is the unit cost model, whose
+// float64 arithmetic is exact (all values are small integers). Bounded
+// GTED uses this to decide whether cutoff comparisons need a rounding pad.
+func (c *Compiled) IsUnit() bool { return c.unit }
+
 // Ren returns the rename cost between F-node v and G-node w.
 func (c *Compiled) Ren(v, w int) float64 {
 	a, b := c.FID[v], c.GID[w]

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/treegen"
+)
+
+// TestDifferentialBounded is the differential table: corpora of
+// treegen-generated trees (paper shapes and bounded random trees), all
+// pairs cross-checked through Check — GTED under every strategy, bounded
+// GTED at cutoffs straddling the distance, Zhang–Shasha and the naive
+// oracle.
+func TestDifferentialBounded(t *testing.T) {
+	cases := []struct {
+		name    string
+		seed    int64
+		n       int
+		maxSize int
+		model   cost.Model
+	}{
+		{"small-unit", 1, 10, 12, cost.Unit{}},
+		{"small-weighted", 2, 8, 12, cost.Weighted{DeleteW: 1.3, InsertW: 0.7, RenameW: 2.1}},
+		{"medium-unit", 3, 8, 34, cost.Unit{}},
+		{"shapes-unit", 4, 10, 26, cost.Unit{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trees := Corpus(tc.seed, tc.n, tc.maxSize)
+			for i := range trees {
+				for j := i; j < len(trees); j++ {
+					if err := Check(trees[i], trees[j], tc.model); err != nil {
+						t.Fatalf("pair (%d,%d): %v", i, j, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomPairs hammers Check on many independent random
+// pairs, the configuration fuzzing has historically found bugs in:
+// tiny trees, degenerate chains, single nodes.
+func TestDifferentialRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 80; iter++ {
+		f := treegen.Random(rng, treegen.RandomSpec{
+			Size: 1 + rng.Intn(16), MaxDepth: 6, MaxFanout: 4, Labels: 1 + rng.Intn(3),
+		})
+		g := treegen.Random(rng, treegen.RandomSpec{
+			Size: 1 + rng.Intn(16), MaxDepth: 6, MaxFanout: 4, Labels: 1 + rng.Intn(3),
+		})
+		if err := Check(f, g, cost.Unit{}); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}

@@ -15,6 +15,8 @@
 package gted
 
 import (
+	"math"
+
 	"repro/internal/cost"
 	"repro/internal/strategy"
 	"repro/internal/tree"
@@ -24,8 +26,14 @@ import (
 type Stats struct {
 	// Subproblems is the number of relevant subproblems evaluated: the
 	// count of DP cells with two non-empty forests across all
-	// single-path function invocations.
+	// single-path function invocations. Bounded runs (SetCutoff) count
+	// only the cells they actually compute.
 	Subproblems int64
+	// PrunedSubproblems is the number of relevant subproblems a bounded
+	// run skipped: DP cells whose forest sizes alone prove the cell value
+	// exceeds the pair cutoff, saturated to +Inf instead of computed.
+	// Always zero for exact runs.
+	PrunedSubproblems int64
 	// SPFCalls counts single-path function invocations (one per subtree
 	// pair the strategy decomposes).
 	SPFCalls int64
@@ -60,6 +68,62 @@ type Runner struct {
 	// postorder id c, lfm[c] is the mirror postorder id of its rightmost
 	// leaf descendant (the "leftmost leaf" of the mirrored tree).
 	lfmF, lfmG []int32
+
+	// Bounded mode (SetCutoff): tau is the caller's cutoff, abortEarly
+	// enables the global early exit, exceeded records that the run proved
+	// the root distance greater than tau. cb/cbT cache the per-node cost
+	// extrema of the two cost orientations.
+	tau        float64
+	bounded    bool
+	abortEarly bool
+	exceeded   bool
+	cb, cbT    opCosts
+}
+
+// opCosts holds the extrema of the per-node delete/insert costs of one
+// cost orientation: the cheapest operations drive the size-difference
+// band pruning, the costliest ones the subproblem-boundary slack.
+type opCosts struct {
+	dmin, imin float64
+	dmax, imax float64
+	set        bool
+}
+
+func scanOpCosts(cm *cost.Compiled) opCosts {
+	if cm.IsUnit() {
+		return opCosts{dmin: 1, imin: 1, dmax: 1, imax: 1, set: true}
+	}
+	oc := opCosts{dmin: math.Inf(1), imin: math.Inf(1), set: true}
+	for _, c := range cm.Del {
+		if c < oc.dmin {
+			oc.dmin = c
+		}
+		if c > oc.dmax {
+			oc.dmax = c
+		}
+	}
+	for _, c := range cm.Ins {
+		if c < oc.imin {
+			oc.imin = c
+		}
+		if c > oc.imax {
+			oc.imax = c
+		}
+	}
+	return oc
+}
+
+// opCostsFor returns (computing on first use) the cost extrema of the
+// orientation cm, which is always one of the runner's two compiled forms.
+func (r *Runner) opCostsFor(cm *cost.Compiled) *opCosts {
+	c := &r.cb
+	if cm != r.cm {
+		c = &r.cbT
+	}
+	if !c.set {
+		*c = scanOpCosts(cm)
+	}
+	return c
 }
 
 // New prepares a GTED runner for the pair (f, g) under cost model m and
@@ -110,6 +174,80 @@ func (r *Runner) Run() float64 {
 	return r.Dist(r.f.Root(), r.g.Root())
 }
 
+// SetCutoff puts the runner in bounded mode: DP cells whose forest sizes
+// alone prove their value greater than the pair's local cutoff (tau plus
+// the subproblem slack, see pairCutoff) are saturated to +Inf instead of
+// computed. Every computed value at most its cutoff stays bit-identical
+// to the exact run's, so after Run the distance matrix holds, for each
+// subtree pair, either the exact distance or +Inf/an overestimate that is
+// provably above the pair cutoff.
+//
+// With abortEarly set the run additionally stops as soon as any subtree
+// pair proves the root distance greater than tau (Exceeded reports it);
+// the matrix is then partial and only the exceeded verdict is usable.
+// A +Inf tau disables bounded mode.
+func (r *Runner) SetCutoff(tau float64, abortEarly bool) {
+	r.tau = tau
+	r.bounded = !math.IsInf(tau, 1)
+	r.abortEarly = abortEarly && r.bounded
+}
+
+// RunBounded is Run with cutoff tau: it returns (d, true) iff the exact
+// distance d is at most tau, and (+Inf, false) — typically after
+// abandoning most of the DP — when the distance provably exceeds tau.
+func (r *Runner) RunBounded(tau float64) (float64, bool) {
+	if math.IsNaN(tau) {
+		// No distance is ≤ NaN; don't let NaN comparisons (all false)
+		// masquerade as an unbounded run.
+		r.exceeded = true
+		return math.Inf(1), false
+	}
+	r.SetCutoff(tau, true)
+	r.gted(r.f.Root(), r.g.Root())
+	if r.exceeded {
+		return math.Inf(1), false
+	}
+	d := r.Dist(r.f.Root(), r.g.Root())
+	if d > tau {
+		return math.Inf(1), false
+	}
+	return d, true
+}
+
+// Exceeded reports whether a bounded run aborted because the distance
+// provably exceeds the cutoff.
+func (r *Runner) Exceeded() bool { return r.exceeded }
+
+// pairCutoff returns the saturation cutoff of the subtree pair (v, w): a
+// value that the true δ(F_v, G_w) must exceed before the root distance
+// provably exceeds tau. Restricting an optimal mapping of (F, G) to
+// F_v × G_w turns at most |G|−|G_w| matches into F_v deletions and at
+// most |F|−|F_v| matches into G_w insertions, so
+//
+//	δ(F_v, G_w) ≤ δ(F, G) + (|G|−|G_w|)·maxDel + (|F|−|F_v|)·maxIns.
+//
+// The slack shrinks as subtrees grow (it is zero at the root pair), so a
+// value saturated at its own pair cutoff is above the cutoff of every
+// pair that may consume it.
+func (r *Runner) pairCutoff(v, w int) float64 {
+	oc := r.opCostsFor(r.cm)
+	return r.tau +
+		float64(r.g.Len()-r.g.Size(w))*oc.dmax +
+		float64(r.f.Len()-r.f.Size(v))*oc.imax
+}
+
+// cutPad returns the slack added to cutoff comparisons. Unit costs sum to
+// small integers, which float64 represents exactly, so the bounded
+// contract is exact and the pad is zero. Arbitrary cost models accumulate
+// rounding along DP paths; the pad absorbs it so saturation never hides a
+// value the exact run would have computed at or below the cutoff.
+func (r *Runner) cutPad(tcut float64) float64 {
+	if r.cm.IsUnit() {
+		return 0
+	}
+	return 1e-9 * (1 + math.Abs(tcut))
+}
+
 // Dist returns δ(F_v, G_w) after Run.
 func (r *Runner) Dist(v, w int) float64 { return r.d[v*r.g.Len()+w] }
 
@@ -122,8 +260,14 @@ func (r *Runner) Stats() Stats { return r.stats }
 
 // gted is Algorithm 1: look up the strategy's path for the pair, recurse
 // into the relevant subtrees of the decomposed tree, then run the
-// single-path function matching the path type.
+// single-path function matching the path type. In bounded mode each pair
+// runs its single-path function under the pair's saturation cutoff, and
+// with abortEarly a computed subtree distance above that cutoff ends the
+// whole run (the root distance is then provably above tau).
 func (r *Runner) gted(v, w int) {
+	if r.exceeded {
+		return
+	}
 	idx := v*r.g.Len() + w
 	if r.seen[idx] {
 		return
@@ -132,19 +276,33 @@ func (r *Runner) gted(v, w int) {
 	ch := r.strat.Choose(v, w)
 	r.stats.SPFCalls++
 	r.stats.SPFByChoice[ch]++
+	tcut := math.Inf(1)
+	if r.bounded {
+		tcut = r.pairCutoff(v, w)
+	}
 	if !ch.InG() {
 		strategy.ForEachHanging(r.f, v, ch.Type(), func(rt int) { r.gted(rt, w) })
-		r.runSPF(r.f, v, r.g, w, ch.Type(), false)
+		if r.exceeded {
+			return
+		}
+		r.runSPF(r.f, v, r.g, w, ch.Type(), false, tcut)
 	} else {
 		strategy.ForEachHanging(r.g, w, ch.Type(), func(rt int) { r.gted(v, rt) })
-		r.runSPF(r.g, w, r.f, v, ch.Type(), true)
+		if r.exceeded {
+			return
+		}
+		r.runSPF(r.g, w, r.f, v, ch.Type(), true, tcut)
+	}
+	if r.abortEarly && r.d[idx] > tcut+r.cutPad(tcut) {
+		r.exceeded = true
 	}
 }
 
 // runSPF dispatches to the single-path function for a path of type pt in
 // the subtree t1/v1, with t2/v2 the other tree. swap records that t1 is
 // the original right-hand tree (the "transposition flag" of Algorithm 1).
-func (r *Runner) runSPF(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.PathType, swap bool) {
+// tcut is the pair's saturation cutoff (+Inf outside bounded mode).
+func (r *Runner) runSPF(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.PathType, swap bool, tcut float64) {
 	cm := r.cm
 	if swap {
 		if r.cmT == nil {
@@ -155,11 +313,11 @@ func (r *Runner) runSPF(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strateg
 	dv := dview{d: r.d, ng: r.g.Len(), swap: swap}
 	switch pt {
 	case strategy.Left:
-		r.spfLR(leftView(t1, nil), v1, leftView(t2, nil), v2, cm, dv)
+		r.spfLR(leftView(t1, nil), v1, leftView(t2, nil), v2, cm, dv, tcut)
 	case strategy.Right:
-		r.spfLR(rightView(t1, r.mirrorLeafmost(t1)), v1, rightView(t2, r.mirrorLeafmost(t2)), v2, cm, dv)
+		r.spfLR(rightView(t1, r.mirrorLeafmost(t1)), v1, rightView(t2, r.mirrorLeafmost(t2)), v2, cm, dv, tcut)
 	default:
-		r.spfI(t1, v1, t2, v2, pt, cm, dv)
+		r.spfI(t1, v1, t2, v2, pt, cm, dv, tcut)
 	}
 }
 

@@ -1,6 +1,8 @@
 package gted
 
 import (
+	"math"
+
 	"repro/internal/cost"
 	"repro/internal/strategy"
 	"repro/internal/tree"
@@ -198,8 +200,11 @@ func (gs *gside) cell(la, lb int) int {
 // along its path of type pt, against the subtree of t2 rooted at v2.
 // Precondition: the distance matrix holds δ(T1_x, T2_y) for every x in a
 // subtree hanging off the path and every y in T2_v2. Postcondition: it
-// additionally holds δ(T1_x, T2_y) for every x ON the path.
-func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.PathType, cm *cost.Compiled, dv dview) {
+// additionally holds δ(T1_x, T2_y) for every x ON the path. In bounded
+// mode (tcut finite) cells whose forest sizes differ by more than the
+// cheapest operations allow under tcut are saturated to +Inf, as in
+// spfLR.
+func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.PathType, cm *cost.Compiled, dv dview, tcut float64) {
 	ch := &r.ar.ch
 	ch.build(t1, v1, pt, cm.Del)
 	gs := &r.ar.gs
@@ -249,6 +254,17 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 		return rows[tt][c]
 	}
 
+	// Band pruning setup, as in spfLR.
+	bounded := r.bounded && !math.IsInf(tcut, 1)
+	var dmin, imin float64
+	if bounded {
+		oc := r.opCostsFor(cm)
+		dmin, imin = oc.dmin, oc.imin
+		bounded = dmin > 0 || imin > 0
+		tcut += r.cutPad(tcut)
+	}
+	inf := math.Inf(1)
+
 	for t := s1 - 1; t >= 0; t-- {
 		row := alloc()
 		rows[t] = row
@@ -262,7 +278,10 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 		dirR := ch.dirR[t]
 		jump := t + uSz
 		delU := cm.Del[u]
-		r.stats.Subproblems += gs.canon
+		fSz := s1 - t // F-side forest size of this chain state
+		if !bounded {
+			r.stats.Subproblems += gs.canon
+		}
 
 		for la := s2 - 1; la >= 0; la-- {
 			n0 := int(gs.lByPre[la])
@@ -278,6 +297,18 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 					continue
 				}
 				gSz := int(gs.szCell[c])
+				if bounded {
+					if d := fSz - gSz; (d > 0 && float64(d)*dmin > tcut) ||
+						(d < 0 && float64(-d)*imin > tcut) {
+						row[c] = inf
+						r.stats.PrunedSubproblems++
+						if isT && gSz == n0sz {
+							dv.set(u, gs.g0+lb, inf)
+						}
+						continue
+					}
+					r.stats.Subproblems++
+				}
 				var val float64
 				switch {
 				case isT && gSz == n0sz:

@@ -1,6 +1,8 @@
 package gted
 
 import (
+	"math"
+
 	"repro/internal/cost"
 	"repro/internal/tree"
 )
@@ -53,8 +55,12 @@ func (v zsview) leafmost(c int) int {
 // already in the distance matrix.
 //
 // It evaluates |T1_v1| × |F(T2_v2, Γ_view(T2_v2))| relevant subproblems
-// (Lemma 4), counted into the runner's stats.
-func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Compiled, dv dview) {
+// (Lemma 4), counted into the runner's stats. In bounded mode (tcut
+// finite) cells whose prefix sizes differ by more than the cheapest
+// operations allow under tcut are saturated to +Inf instead of computed:
+// such a forest pair needs at least |di−dj| deletions or insertions, so
+// its true value already exceeds the cutoff.
+func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Compiled, dv dview, tcut float64) {
 	t1, t2 := view1.t, view2.t
 	s1 := t1.Size(v1)
 	hi1 := view1.coordOf(v1)
@@ -81,10 +87,24 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 
 	fd := growF64(&r.ar.fd, (r.f.Len()+1)*(r.g.Len()+1))
 
+	// Band pruning: with both operation minima zero no size argument can
+	// prove a cell above the cutoff, so the exact path runs unchanged.
+	bounded := r.bounded && !math.IsInf(tcut, 1)
+	var dmin, imin float64
+	if bounded {
+		oc := r.opCostsFor(cm)
+		dmin, imin = oc.dmin, oc.imin
+		bounded = dmin > 0 || imin > 0
+		tcut += r.cutPad(tcut)
+	}
+	inf := math.Inf(1)
+
 	for _, kc := range ks {
 		jlo := view2.leafmost(kc)
 		s2k := kc - jlo + 1
-		r.stats.Subproblems += int64(s1) * int64(s2k)
+		if !bounded {
+			r.stats.Subproblems += int64(s1) * int64(s2k)
+		}
 		w := s2k + 1 // scratch row width
 
 		fd[0] = 0
@@ -102,10 +122,22 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 				j := jlo + dj - 1
 				n2 := view2.nodeOf(j)
 				fl2 := view2.leafmost(j)
+				tt := onPath1 && fl2 == jlo
+				if bounded {
+					if d := di - dj; (d > 0 && float64(d)*dmin > tcut) ||
+						(d < 0 && float64(-d)*imin > tcut) {
+						fd[di*w+dj] = inf
+						r.stats.PrunedSubproblems++
+						if tt {
+							dv.set(n1, n2, inf)
+						}
+						continue
+					}
+					r.stats.Subproblems++
+				}
 				del := fd[(di-1)*w+dj] + del1
 				ins := fd[di*w+dj-1] + cm.Ins[n2]
 				var match float64
-				tt := onPath1 && fl2 == jlo
 				if tt {
 					// Both prefixes are whole trees rooted at n1, n2.
 					match = fd[(di-1)*w+dj-1] + cm.Ren(n1, n2)

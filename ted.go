@@ -2,8 +2,10 @@ package ted
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/gted"
@@ -103,7 +105,12 @@ var Algorithms = []Algorithm{RTED, ZhangL, ZhangR, KleinH, DemaineH}
 type Stats struct {
 	// Subproblems is the number of relevant subproblems the algorithm
 	// evaluated (the paper's cost measure, Figures 8 and Tables 1–2).
+	// Bounded calls count only the cells they actually computed.
 	Subproblems int64
+	// PrunedSubproblems is the number of relevant subproblems a bounded
+	// call (DistanceBounded) skipped because the cutoff proved them
+	// irrelevant. Always zero for exact calls.
+	PrunedSubproblems int64
 	// SPFCalls counts single-path function invocations.
 	SPFCalls int64
 	// StrategyTime is the time spent computing the optimal strategy
@@ -205,6 +212,65 @@ func Distance(f, g *Tree, opts ...Option) float64 {
 		}
 		return d
 	}
+}
+
+// DistanceBounded answers the threshold question "is the tree edit
+// distance at most tau?" without always paying for the full exact
+// computation. It returns (d, true) — with d the exact distance — if and
+// only if Distance(f, g) ≤ tau; otherwise it returns (lb, false), where
+// lb is a lower bound on the distance no smaller than tau.
+//
+// Two mechanisms make it cheaper than Distance. Under the unit cost
+// model, the cheap lower bounds of LowerBound are consulted first: when
+// they already exceed tau the DP never launches. Otherwise GTED runs with
+// the cutoff threaded into its DP loops — cells whose forest sizes alone
+// prove them above the cutoff are skipped, and the run aborts as soon as
+// any subtree pair proves the final distance above tau. With WithStats,
+// Subproblems counts only the DP cells actually evaluated and
+// PrunedSubproblems the cells the cutoff skipped.
+//
+// All cost models are supported (the bound prefilter only applies to
+// UnitCost). Under non-unit models the cutoff comparison carries a ~1e-9
+// relative rounding pad; unit-cost results are exact. The
+// ZhangShashaClassic algorithm has no bounded form and is served by the
+// equivalent ZhangL strategy.
+func DistanceBounded(f, g *Tree, tau float64, opts ...Option) (float64, bool) {
+	c := buildConfig(opts)
+	start := time.Now()
+	if c.stats != nil {
+		*c.stats = Stats{}
+	}
+	if math.IsNaN(tau) {
+		return 0, false // no distance is ≤ NaN; 0 is a trivial lower bound
+	}
+	if c.model == UnitCost {
+		if lb := bounds.Lower(f, g); lb > tau {
+			if c.stats != nil {
+				c.stats.TotalTime = time.Since(start)
+			}
+			return lb, false
+		}
+	}
+	alg := c.alg
+	if alg == ZhangShashaClassic {
+		alg = ZhangL
+	}
+	run := gted.New(f, g, c.model, StrategyFor(alg, f, g))
+	d, ok := run.RunBounded(tau)
+	if c.stats != nil {
+		st := run.Stats()
+		*c.stats = Stats{
+			Subproblems:       st.Subproblems,
+			PrunedSubproblems: st.PrunedSubproblems,
+			SPFCalls:          st.SPFCalls,
+			TotalTime:         time.Since(start),
+			MaxLiveRows:       st.MaxLiveRows,
+		}
+	}
+	if !ok {
+		return tau, false
+	}
+	return d, true
 }
 
 // CountSubproblems returns, without computing any distances, the exact

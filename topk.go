@@ -47,6 +47,48 @@ func TopKSubtrees(query, data *Tree, k int, opts ...Option) []SubtreeMatch {
 	return out
 }
 
+// CrossSubtreeMatch is one result of TopKSubtreesAcross: the subtree
+// rooted at postorder id Root of the data tree at index Tree, at edit
+// distance Dist from the query.
+type CrossSubtreeMatch struct {
+	Tree int
+	Root int
+	Dist float64
+}
+
+// TopKSubtreesAcross finds the k subtrees closest to the query across a
+// whole collection of data trees — the result of running TopKSubtrees on
+// every tree and merging, computed far cheaper: data trees stream through
+// the batch engine and each GTED run is bounded by the current k-th best
+// distance, so DP work shrinks as the results improve (and whole trees
+// are skipped once their size alone rules them out, under UnitCost).
+// Ties break toward smaller (Tree, Root); results are sorted by distance.
+//
+// To amortize preparation across repeated queries, use
+// batch.Engine.TopKAcross directly and keep the PreparedTrees.
+func TopKSubtreesAcross(query *Tree, data []*Tree, k int, opts ...Option) []CrossSubtreeMatch {
+	if k <= 0 || len(data) == 0 {
+		return nil
+	}
+	c := buildConfig(opts)
+	if c.alg == ZhangShashaClassic {
+		c.alg = RTED // no strategy form; RTED dominates it anyway
+	}
+	e := c.batchEngine(1)
+	ms, st := e.TopKAcross(e.Prepare(query), e.PrepareAll(data), k)
+	if c.stats != nil {
+		c.stats.Subproblems = st.Subproblems
+		c.stats.PrunedSubproblems = st.PrunedSubproblems
+		c.stats.SPFCalls = st.SPFCalls
+		c.stats.MaxLiveRows = st.MaxLiveRows
+	}
+	out := make([]CrossSubtreeMatch, len(ms))
+	for i, m := range ms {
+		out[i] = CrossSubtreeMatch{Tree: m.Tree, Root: m.Root, Dist: m.Dist}
+	}
+	return out
+}
+
 // SubtreeDistances computes the full |f|×|g| matrix of subtree-pair
 // distances δ(F_v, G_w) — GTED fills it as part of any distance
 // computation, and several applications (joins with common subtrees,

@@ -76,6 +76,59 @@ func TestTopKEdgeCases(t *testing.T) {
 	}
 }
 
+// TestTopKSubtreesAcross cross-checks the multi-tree, cutoff-shrinking
+// top-k against per-tree TopKSubtrees merged by brute force.
+func TestTopKSubtreesAcross(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	query := gen.Random(rng.Int63(), gen.RandomSpec{Size: 8, MaxDepth: 5, MaxFanout: 3, Labels: 3})
+	var data []*ted.Tree
+	for i := 0; i < 6; i++ {
+		data = append(data, gen.Random(rng.Int63(), gen.RandomSpec{
+			Size: 10 + rng.Intn(25), MaxDepth: 7, MaxFanout: 4, Labels: 3,
+		}))
+	}
+	for _, k := range []int{1, 4, 9} {
+		var want []ted.CrossSubtreeMatch
+		for di, d := range data {
+			for _, m := range ted.TopKSubtrees(query, d, k) {
+				want = append(want, ted.CrossSubtreeMatch{Tree: di, Root: m.Root, Dist: m.Dist})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			a, b := want[i], want[j]
+			if a.Dist != b.Dist {
+				return a.Dist < b.Dist
+			}
+			if a.Tree != b.Tree {
+				return a.Tree < b.Tree
+			}
+			return a.Root < b.Root
+		})
+		if len(want) > k {
+			want = want[:k]
+		}
+		var st ted.Stats
+		got := ted.TopKSubtreesAcross(query, data, k, ted.WithStats(&st))
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d matches, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d match %d: got %+v want %+v", k, i, got[i], want[i])
+			}
+		}
+		if st.Subproblems <= 0 {
+			t.Fatalf("k=%d: no subproblems reported", k)
+		}
+	}
+	if got := ted.TopKSubtreesAcross(query, nil, 3); got != nil {
+		t.Fatal("empty data should return nil")
+	}
+	if got := ted.TopKSubtreesAcross(query, data, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
 func TestSubtreeDistances(t *testing.T) {
 	f := gen.ZigZag(31)
 	g := gen.Mixed(29)
