@@ -39,6 +39,7 @@ package batch
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -64,8 +65,12 @@ type Engine struct {
 	workers int
 	strat   StrategyFunc
 
-	mu sync.Mutex     // guards in during Prepare
-	in *cost.Interner // label ids shared by every PreparedTree
+	// in assigns the label ids shared by every PreparedTree. It is
+	// internally synchronized, and may be shared with other engines (a
+	// corpus attaches every engine it creates to one interner, which is
+	// what lets corpus-stored artifacts hydrate PreparedTrees for any of
+	// them).
+	in *cost.Interner
 }
 
 // Option configures New.
@@ -84,6 +89,20 @@ func WithCost(m cost.Model) Option { return func(e *Engine) { e.model = m } }
 // decomposition). Used to run the paper's fixed-strategy competitors
 // through the same engine.
 func WithStrategy(fn StrategyFunc) Option { return func(e *Engine) { e.strat = fn } }
+
+// WithInterner makes the engine assign label ids from a shared interner
+// instead of a private one. Engines sharing an interner agree on label
+// ids, which is the compatibility a corpus needs to hydrate one stored
+// artifact set into PreparedTrees for every engine it creates
+// (corpus.Corpus.Engine passes the corpus's interner here). The interner
+// is internally synchronized; nil is ignored.
+func WithInterner(in *cost.Interner) Option {
+	return func(e *Engine) {
+		if in != nil {
+			e.in = in
+		}
+	}
+}
 
 // New builds an engine.
 func New(opts ...Option) *Engine {
@@ -104,6 +123,22 @@ func New(opts ...Option) *Engine {
 
 // Workers returns the engine's worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Interner returns the engine's label interner. Two engines with the
+// same interner assign identical label ids, so prepared artifacts (and
+// corpus-stored ones) are portable between them.
+func (e *Engine) Interner() *cost.Interner { return e.in }
+
+// UnitCost reports whether the engine runs the unit cost model — the
+// model required by every bound-based filter (filtered and indexed
+// joins, profiled lower bounds).
+func (e *Engine) UnitCost() bool { return e.unit }
+
+// FixedStrategy reports whether the engine overrides the per-pair
+// decomposition strategy (WithStrategy). Such engines never consult the
+// per-tree decomposition cardinalities, so hydration producers can skip
+// computing or supplying them.
+func (e *Engine) FixedStrategy() bool { return e.strat != nil }
 
 // workspace is the per-worker reusable memory: a GTED arena for the DP
 // tables, the OptStrategy scratch (which owns the strategy array the
@@ -186,7 +221,11 @@ func (e *Engine) pairRunner(ws *workspace, f, g *PreparedTree) *gted.Runner {
 func (e *Engine) check(ps ...*PreparedTree) {
 	for _, p := range ps {
 		if p.eng != e {
-			panic("batch: PreparedTree was prepared by a different Engine")
+			panic(fmt.Sprintf(
+				"batch: PreparedTree was prepared by engine %p but passed to engine %p; "+
+					"label ids are per-interner, so either use the preparing engine, or give both "+
+					"engines one interner (WithInterner / corpus.Corpus.Engine) and hydrate with "+
+					"PrepareHydrated", p.eng, e))
 		}
 	}
 }

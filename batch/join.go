@@ -186,6 +186,52 @@ func (e *Engine) JoinIndexed(trees []*PreparedTree, tau float64, opts JoinOption
 	return ms, st
 }
 
+// CandidatePair names one externally generated candidate pair by
+// collection indices (I < J), with LB a valid lower bound on the pair's
+// distance (0 when unknown). It is the currency of JoinCandidates.
+type CandidatePair struct {
+	I, J int
+	LB   float64
+}
+
+// JoinCandidates runs the filtered join pipeline over candidate pairs
+// the caller generated — a corpus probing its own persistent sharded
+// indexes, or a distributed driver that owns a shard of the pair space —
+// instead of pairs this engine enumerated or indexed itself. Candidates
+// flow through the same filters as JoinIndexed (the carried LB, the
+// profiled lower bounds, the constrained upper bound, cutoff-seeded
+// exact GTED), so the matches among the candidates are exactly the
+// candidates at distance < tau. Requires the unit cost model. Results
+// are deterministic and ordered by (I, J).
+func (e *Engine) JoinCandidates(trees []*PreparedTree, cands []CandidatePair, tau float64) ([]Match, JoinStats) {
+	e.check(trees...)
+	if !e.unit {
+		panic("batch: JoinCandidates requires the unit cost model")
+	}
+	start := time.Now()
+	pairs := make([]ij, len(cands))
+	for k, c := range cands {
+		i, j := c.I, c.J
+		if i > j {
+			i, j = j, i
+		}
+		if i < 0 || j >= len(trees) || i == j {
+			panic(fmt.Sprintf("batch: candidate pair (%d, %d) outside the %d-tree collection", c.I, c.J, len(trees)))
+		}
+		pairs[k] = ij{i: i, j: j, lb: c.LB}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	ms, st := e.evalPairs(trees, pairs, tau, true)
+	st.Mode = IndexEnumerate
+	st.Elapsed = time.Since(start)
+	return ms, st
+}
+
 // indexablePrunes reports whether an index can reject anything at this
 // threshold: once tau reaches the largest tree size, even the strongest
 // signature bound (max of the sizes) stays below tau for every pair, so

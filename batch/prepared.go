@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/bounds"
@@ -18,7 +19,14 @@ import (
 // as a tree participates in more than one comparison.
 //
 // PreparedTrees are immutable and safe to share across goroutines. They
-// are bound to the preparing engine; mixing engines panics.
+// are bound to the preparing engine, because label ids come from that
+// engine's interner; passing one to another engine panics, naming both
+// engines. There are two ways to reuse per-tree work across engines:
+// share one interner between them (WithInterner), or — the persistent
+// form of the same idea — store the artifacts in a corpus.Corpus and
+// rebuild the PreparedTree with PrepareHydrated, which is how a corpus
+// loaded from disk turns stored bytes back into engine-ready trees
+// without recomputing anything.
 type PreparedTree struct {
 	eng    *Engine
 	t      *tree.Tree
@@ -27,7 +35,8 @@ type PreparedTree struct {
 	lfm    []int32
 
 	// The bound profile is only consumed by DistanceBounded and the
-	// filtered Join, so it is built lazily on first use.
+	// filtered Join, so it is built lazily on first use — unless a
+	// hydration supplied it up front.
 	profOnce sync.Once
 	prof     *bounds.Profile
 }
@@ -37,13 +46,10 @@ type PreparedTree struct {
 // strategy override (they only feed the optimal-strategy computation),
 // and the lower-bound profile is deferred until a bounded call needs it.
 func (e *Engine) Prepare(t *tree.Tree) *PreparedTree {
-	e.mu.Lock()
-	pc := cost.CompileTree(e.model, t, e.in)
-	e.mu.Unlock()
 	p := &PreparedTree{
 		eng:   e,
 		t:     t,
-		costs: pc,
+		costs: cost.CompileTree(e.model, t, e.in),
 		lfm:   gted.MirrorLeafmost(t),
 	}
 	if e.strat == nil {
@@ -52,10 +58,83 @@ func (e *Engine) Prepare(t *tree.Tree) *PreparedTree {
 	return p
 }
 
-// profile returns the tree's bound profile, building it on first use.
-// Safe for concurrent callers.
+// Hydration carries per-tree artifacts computed earlier — typically
+// loaded from a persisted corpus — so PrepareHydrated can assemble a
+// PreparedTree without redoing the per-tree work of Prepare.
+type Hydration struct {
+	// In is the interner the label ids were assigned by. It must be the
+	// engine's own interner (engines created via corpus.Corpus.Engine
+	// share the corpus's): ids minted by any other interner would alias
+	// arbitrary labels.
+	In *cost.Interner
+	// IDs is the interned label id of every node, in postorder.
+	IDs []int32
+	// Decomp holds the decomposition cardinalities of every subtree
+	// (strategy.NewDecomp output). Optional: nil recomputes on demand.
+	Decomp *strategy.Decomp
+	// Lfm is the mirror-coordinate leafmost array (gted.MirrorLeafmost
+	// output). Optional: nil recomputes.
+	Lfm []int32
+	// Profile is the lower-bound profile. Optional: nil falls back to
+	// the usual lazy build on first bounded use.
+	Profile *bounds.Profile
+}
+
+// PrepareHydrated is Prepare fed from stored artifacts: label ids,
+// decomposition cardinalities, the mirror-leafmost array and the bound
+// profile come from h instead of being recomputed, and only the
+// per-node delete/insert costs are (re)priced under the engine's cost
+// model — which is what makes one stored artifact set serve engines
+// with different models. The engine-binding rule is unchanged; what
+// moves is the compatibility check: instead of "same engine", the
+// hydration must carry the engine's interner, and mismatches panic with
+// both parties named.
+func (e *Engine) PrepareHydrated(t *tree.Tree, h Hydration) *PreparedTree {
+	if h.In != e.in {
+		panic(fmt.Sprintf(
+			"batch: Hydration carries interner %p but engine %p uses interner %p; "+
+				"hydrate only into engines attached to the artifacts' corpus (corpus.Corpus.Engine)",
+			h.In, e, e.in))
+	}
+	pc, err := cost.CompileTreeFromIDs(e.model, t, h.IDs, e.in)
+	if err != nil {
+		panic("batch: " + err.Error())
+	}
+	n := t.Len()
+	p := &PreparedTree{
+		eng:   e,
+		t:     t,
+		costs: pc,
+		lfm:   h.Lfm,
+	}
+	if len(p.lfm) != n {
+		if p.lfm != nil {
+			panic(fmt.Sprintf("batch: hydrated mirror-leafmost array has %d entries for a %d-node tree", len(p.lfm), n))
+		}
+		p.lfm = gted.MirrorLeafmost(t)
+	}
+	if e.strat == nil {
+		d := h.Decomp
+		if d != nil && (d.T != t || len(d.A) != n || len(d.FL) != n || len(d.FR) != n) {
+			panic("batch: hydrated decomposition does not describe the hydrated tree")
+		}
+		p.decomp = d
+		if p.decomp == nil {
+			p.decomp = strategy.NewDecomp(t)
+		}
+	}
+	p.prof = h.Profile
+	return p
+}
+
+// profile returns the tree's bound profile, building it on first use
+// (hydrated profiles skip the build). Safe for concurrent callers.
 func (p *PreparedTree) profile() *bounds.Profile {
-	p.profOnce.Do(func() { p.prof = bounds.NewProfile(p.t) })
+	p.profOnce.Do(func() {
+		if p.prof == nil {
+			p.prof = bounds.NewProfile(p.t)
+		}
+	})
 	return p.prof
 }
 

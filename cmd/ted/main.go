@@ -1,19 +1,30 @@
 // Command ted computes the tree edit distance between two trees.
 //
 // Trees are read from files (or literals with -e) in bracket notation
-// ({a{b}{c}}), Newick (-format newick) or XML (-format xml).
+// ({a{b}{c}}), Newick or XML. The format is detected from the file
+// extension (.xml → xml, .nwk/.newick → newick, anything else →
+// bracket); -format overrides the detection, and is required for
+// literals that are not bracket trees.
 //
 // Usage:
 //
-//	ted [-algorithm rted] [-format bracket] [-stats] [-mapping] F G
+//	ted [-algorithm rted] [-stats] [-mapping] F G
 //	ted -e '{a{b}}' -e '{a{c}}'
 //	ted -tau 5 F G                             # bounded: "is d ≤ 5?"
 //	ted -join -tau 12 trees.txt                # one bracket tree per line
 //	ted -join -tau 12 -index auto trees.txt    # index-generated candidates
 //
+//	ted -join -tau 12 -corpus-save t.tedc trees.txt   # join, then persist
+//	ted -join -tau 12 -corpus-load t.tedc             # join a saved corpus
+//
 // With -tau in two-tree mode the distance is computed in bounded mode:
 // the exact distance is printed when it is at most tau, and ">tau"
 // when it provably exceeds it (usually after skipping most of the DP).
+//
+// -corpus-save writes the join collection as a persistent corpus (trees,
+// prepared artifacts, inverted-index posting lists; package corpus), and
+// -corpus-load joins such a corpus directly — a restart skips parsing,
+// preparation and index building entirely.
 //
 // Exit status 0; the distance (or join result) is printed to stdout.
 package main
@@ -23,10 +34,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 
 	ted "repro"
+	"repro/batch"
+	"repro/corpus"
+	"repro/internal/strategy"
+	"repro/internal/tree"
 )
 
 type literals []string
@@ -36,16 +52,18 @@ func (l *literals) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
 	var (
-		algName   = flag.String("algorithm", "rted", "rted | zhang-l | zhang-r | klein-h | demaine-h | zs")
-		format    = flag.String("format", "bracket", "bracket | newick | xml")
-		stats     = flag.Bool("stats", false, "print subproblem and timing statistics to stderr")
-		mapping   = flag.Bool("mapping", false, "print the edit mapping")
-		joinMode  = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
-		tau       = flag.Float64("tau", 10, "join distance threshold; in two-tree mode, bounded-distance cutoff")
-		workers   = flag.Int("workers", 0, "join worker goroutines (0 = all CPU cores)")
-		filters   = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
-		indexMode = flag.String("index", "", "join: generate candidates from an inverted index: auto | enumerate | histogram | pqgram (empty = off)")
-		exprs     literals
+		algName    = flag.String("algorithm", "rted", "rted | zhang-l | zhang-r | klein-h | demaine-h | zs")
+		format     = flag.String("format", "", "bracket | newick | xml (default: detect from the file extension)")
+		stats      = flag.Bool("stats", false, "print subproblem and timing statistics to stderr")
+		mapping    = flag.Bool("mapping", false, "print the edit mapping")
+		joinMode   = flag.Bool("join", false, "similarity self-join over a file of trees (one per line)")
+		tau        = flag.Float64("tau", 10, "join distance threshold; in two-tree mode, bounded-distance cutoff")
+		workers    = flag.Int("workers", 0, "join worker goroutines (0 = all CPU cores)")
+		filters    = flag.Bool("filters", false, "join: prune with lower/upper bounds (unit costs)")
+		indexMode  = flag.String("index", "", "join: generate candidates from an inverted index: auto | enumerate | histogram | pqgram (empty = off)")
+		corpusSave = flag.String("corpus-save", "", "join: persist the collection as a corpus (trees + prepared artifacts + indexes) to this path")
+		corpusLoad = flag.String("corpus-load", "", "join: load the collection from a saved corpus instead of a tree file")
+		exprs      literals
 	)
 	flag.Var(&exprs, "e", "tree literal (repeatable; used instead of file arguments)")
 	flag.Parse()
@@ -62,8 +80,23 @@ func main() {
 	}
 
 	if *joinMode {
-		if flag.NArg() != 1 {
-			fail("-join needs one file of trees (one bracket tree per line)")
+		switch {
+		case *corpusLoad != "":
+			if flag.NArg() != 0 {
+				fail("-corpus-load replaces the tree file argument")
+			}
+		case flag.NArg() != 1:
+			fail("-join needs one file of trees (one bracket tree per line), or -corpus-load")
+		}
+		if *corpusLoad != "" || *corpusSave != "" {
+			treesPath := ""
+			if flag.NArg() == 1 {
+				treesPath = flag.Arg(0)
+			}
+			if err := runCorpusJoin(*corpusLoad, *corpusSave, treesPath, *tau, alg, *workers, *indexMode); err != nil {
+				fail("%v", err)
+			}
+			return
 		}
 		if err := runJoin(flag.Arg(0), *tau, alg, *workers, *filters, *indexMode); err != nil {
 			fail("%v", err)
@@ -73,10 +106,14 @@ func main() {
 	if *indexMode != "" {
 		fail("-index only applies to -join")
 	}
+	if *corpusSave != "" || *corpusLoad != "" {
+		fail("-corpus-save/-corpus-load only apply to -join")
+	}
 
-	var sources []string
+	var sources, names []string
 	if len(exprs) > 0 {
 		sources = exprs
+		names = make([]string, len(exprs)) // literals have no extension
 	} else {
 		if flag.NArg() != 2 {
 			fail("need two tree files (or two -e literals)")
@@ -87,6 +124,7 @@ func main() {
 				fail("%v", err)
 			}
 			sources = append(sources, string(b))
+			names = append(names, p)
 		}
 	}
 	if len(sources) != 2 {
@@ -95,7 +133,7 @@ func main() {
 
 	trees := make([]*ted.Tree, 2)
 	for i, s := range sources {
-		t, err := parseTree(s, *format)
+		t, err := parseTree(s, resolveFormat(*format, names[i]))
 		if err != nil {
 			fail("tree %d: %v", i+1, err)
 		}
@@ -177,26 +215,8 @@ func parseIndexMode(s string) (ted.IndexMode, bool) {
 }
 
 func runJoin(path string, tau float64, alg ted.Algorithm, workers int, filters bool, indexMode string) error {
-	fh, err := os.Open(path)
+	trees, err := readTreeLines(path)
 	if err != nil {
-		return err
-	}
-	defer fh.Close()
-	var trees []*ted.Tree
-	sc := bufio.NewScanner(fh)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	for ln := 1; sc.Scan(); ln++ {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		t, err := ted.Parse(line)
-		if err != nil {
-			return fmt.Errorf("%s:%d: %v", path, ln, err)
-		}
-		trees = append(trees, t)
-	}
-	if err := sc.Err(); err != nil {
 		return err
 	}
 	if workers <= 0 {
@@ -252,6 +272,130 @@ func parseAlgorithm(s string) (ted.Algorithm, bool) {
 		return ted.ZhangShashaClassic, true
 	}
 	return 0, false
+}
+
+// detectFormat maps a file extension to a tree format: .xml is XML,
+// .nwk/.newick are Newick, and everything else (including no file at
+// all) is bracket notation.
+func detectFormat(path string) string {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xml":
+		return "xml"
+	case ".nwk", ".newick":
+		return "newick"
+	}
+	return "bracket"
+}
+
+// resolveFormat applies the -format override, falling back to detection
+// from the input's file name.
+func resolveFormat(override, path string) string {
+	if override != "" {
+		return override
+	}
+	return detectFormat(path)
+}
+
+// corpusEngineOpts mirrors the engine a plain join would build: worker
+// pool plus the fixed-strategy override for the competitor algorithms
+// (RTED is the engine default).
+func corpusEngineOpts(alg ted.Algorithm, workers int) []batch.Option {
+	opts := []batch.Option{batch.WithWorkers(workers)}
+	if alg == ted.ZhangShashaClassic {
+		alg = ted.ZhangL // no strategy form; identical distances
+	}
+	if alg != ted.RTED {
+		a := alg
+		opts = append(opts, batch.WithStrategy(func(f, g *tree.Tree) strategy.Strategy {
+			return ted.StrategyFor(a, f, g)
+		}))
+	}
+	return opts
+}
+
+// runCorpusJoin is the persistent-corpus join path: the collection comes
+// from a saved corpus (-corpus-load) or from a tree file that is then
+// persisted (-corpus-save), and the join runs on corpus-hydrated
+// prepared trees with the corpus's own maintained index generating
+// candidates.
+func runCorpusJoin(loadPath, savePath, treesPath string, tau float64, alg ted.Algorithm, workers int, indexMode string) error {
+	mode := ted.IndexAuto
+	if indexMode != "" {
+		m, ok := parseIndexMode(indexMode)
+		if !ok {
+			return fmt.Errorf("unknown index mode %q (auto | enumerate | histogram | pqgram)", indexMode)
+		}
+		mode = m
+	}
+	var cp *corpus.Corpus
+	switch {
+	case loadPath != "":
+		var err error
+		if cp, err = corpus.LoadFile(loadPath); err != nil {
+			return err
+		}
+	default:
+		trees, err := readTreeLines(treesPath)
+		if err != nil {
+			return err
+		}
+		// Maintain the index the join will probe; pq-gram mode keeps the
+		// histogram too, so a reloaded corpus can serve either.
+		opts := []corpus.Option{corpus.WithHistogramIndex()}
+		if mode == ted.IndexPQGram {
+			opts = append(opts, corpus.WithPQGramIndex(2))
+		}
+		cp = corpus.New(opts...)
+		for _, t := range trees {
+			cp.Add(t)
+		}
+	}
+	if savePath != "" {
+		if err := cp.SaveFile(savePath); err != nil {
+			return err
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := cp.Engine(corpusEngineOpts(alg, workers)...)
+	ms, st := cp.Join(e, tau, batch.JoinOptions{Mode: mode})
+	fmt.Printf("# corpus of %d trees, %d candidates (index %s, probed in %v), %d subproblems, %v\n",
+		cp.Len(), st.Comparisons, st.Mode, st.IndexTime, st.Subproblems, st.Elapsed)
+	fmt.Printf("# filters: %d lb-pruned, %d ub-accepted, %d exact\n",
+		st.LowerPruned, st.UpperAccepted, st.ExactComputed)
+	for _, m := range ms {
+		fmt.Printf("%d\t%d\t%g\n", m.I, m.J, m.Dist)
+	}
+	return nil
+}
+
+// readTreeLines reads a join collection: one bracket tree per line,
+// blank lines skipped.
+func readTreeLines(path string) ([]*ted.Tree, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	var trees []*ted.Tree
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		t, err := ted.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, ln, err)
+		}
+		trees = append(trees, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return trees, nil
 }
 
 func parseTree(s, format string) (*ted.Tree, error) {

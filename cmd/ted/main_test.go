@@ -97,6 +97,89 @@ func TestRunBounded(t *testing.T) {
 	runBounded(f, g, 0.5, ted.ZhangShashaClassic, false)
 }
 
+// TestDetectFormat is the table-driven pin for extension-based format
+// autodetection and the -format override.
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		path, override, want string
+	}{
+		{"trees/doc.xml", "", "xml"},
+		{"doc.XML", "", "xml"},
+		{"phylo.nwk", "", "newick"},
+		{"phylo.newick", "", "newick"},
+		{"phylo.NWK", "", "newick"},
+		{"trees.txt", "", "bracket"},
+		{"trees.bracket", "", "bracket"},
+		{"noextension", "", "bracket"},
+		{"", "", "bracket"},               // -e literal: no file name
+		{"doc.xml", "bracket", "bracket"}, // explicit -format wins
+		{"trees.txt", "newick", "newick"},
+		{"phylo.nwk", "xml", "xml"},
+	}
+	for _, c := range cases {
+		if got := resolveFormat(c.override, c.path); got != c.want {
+			t.Errorf("resolveFormat(%q, %q) = %q, want %q", c.override, c.path, got, c.want)
+		}
+	}
+}
+
+// TestDetectFormatParses runs the detected format end to end: the same
+// content parses (or fails) according to the file name it arrived under.
+func TestDetectFormatParses(t *testing.T) {
+	cases := []struct {
+		name, content string
+		nodes         int
+	}{
+		{"a.xml", "<a><b/><c/></a>", 3},
+		{"a.nwk", "(A,B)r;", 3},
+		{"a.txt", "{r{a}{b}}", 3},
+	}
+	for _, c := range cases {
+		tr, err := parseTree(c.content, resolveFormat("", c.name))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if tr.Len() != c.nodes {
+			t.Fatalf("%s: %d nodes, want %d", c.name, tr.Len(), c.nodes)
+		}
+	}
+	if _, err := parseTree("<a/>", resolveFormat("", "a.txt")); err == nil {
+		t.Fatal("XML content under a bracket name must fail to parse")
+	}
+}
+
+// TestRunCorpusJoin drives the -corpus-save/-corpus-load path: save a
+// collection, reload it in place of the tree file, and join both ways.
+func TestRunCorpusJoin(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.txt")
+	content := "{a{b}{c}}\n{a{b}{d}}\n{x{y{z}}}\n{a{b}{c}}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	saved := filepath.Join(dir, "trees.tedc")
+	if err := runCorpusJoin("", saved, path, 2, ted.RTED, 2, "auto"); err != nil {
+		t.Fatalf("save+join: %v", err)
+	}
+	if _, err := os.Stat(saved); err != nil {
+		t.Fatalf("corpus file not written: %v", err)
+	}
+	for _, mode := range []string{"", "auto", "histogram", "enumerate"} {
+		if err := runCorpusJoin(saved, "", "", 2, ted.RTED, 2, mode); err != nil {
+			t.Fatalf("load+join (%q): %v", mode, err)
+		}
+	}
+	if err := runCorpusJoin(saved, "", "", 2, ted.ZhangL, 1, ""); err != nil {
+		t.Fatalf("load+join with fixed strategy: %v", err)
+	}
+	if err := runCorpusJoin(filepath.Join(dir, "missing.tedc"), "", "", 2, ted.RTED, 1, ""); err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+	if err := runCorpusJoin("", "", path, 2, ted.RTED, 1, "bogus"); err == nil {
+		t.Fatal("bogus index mode accepted")
+	}
+}
+
 func TestParseIndexMode(t *testing.T) {
 	cases := map[string]ted.IndexMode{
 		"auto":      ted.IndexAuto,

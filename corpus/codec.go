@@ -1,0 +1,620 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/index"
+	"repro/internal/bounds"
+	"repro/internal/cost"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// The corpus binary format, version 1. Everything multi-byte is an
+// unsigned varint; strings are length-prefixed; label-valued fields
+// reference the shared label table by id (branch triples use 0 for a
+// missing position and id+1 otherwise).
+//
+//	"TEDC" | version u8 | flags u8 (bit0: histogram index, bit1: pq-gram index)
+//	label table:  count, then per label: len, bytes
+//	next ID, tree count
+//	per tree (ascending id):
+//	  id, n
+//	  n × label id           (the tree, with its postorder child counts:)
+//	  n × child count
+//	  n × mirror-leafmost    (artifacts)
+//	  3 × n × decomposition cardinality (A, FL, FR)
+//	  profile flag u8; if 1: label histogram pairs, branch histogram entries
+//	per maintained index (histogram, then pq-gram; pq-gram leads with p, q):
+//	  key table: count, then per key: len, bytes
+//	  next id, entry count
+//	  per entry: id, size, profile length, pairs of (key id, count)
+//
+// The decoder returns an error — never panics — on malformed input, and
+// allocates proportionally to bytes actually read (counts are sanity-
+// capped and slices grow by append), so truncated or hostile streams
+// fail fast instead of OOMing. That contract is pinned by
+// FuzzCorpusDecode.
+
+const (
+	codecMagic   = "TEDC"
+	codecVersion = 1
+
+	flagHistogram = 1 << 0
+	flagPQGram    = 1 << 1
+
+	// Sanity caps: far above anything real, low enough that a hostile
+	// count cannot drive super-linear work before the stream runs dry.
+	maxLabels   = 1 << 24
+	maxLabelLen = 1 << 20
+	maxTrees    = 1 << 24
+	maxNodes    = 1 << 26
+	maxPostings = 1 << 28
+)
+
+// errCorrupt wraps a decode failure with stream position context.
+var errCorrupt = errors.New("corpus: corrupt stream")
+
+// Save writes the corpus — trees, label table, prepared artifacts and
+// any maintained indexes — to w in the versioned binary format. A Load
+// of the written bytes reproduces the corpus exactly: same IDs, same
+// artifacts, same candidate generation. Lower-bound profiles are forced
+// before writing so the persisted corpus never recomputes them.
+func (c *Corpus) Save(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	ids := make([]ID, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	// Lazy artifacts are forced now: the stream always carries them, so
+	// a loaded corpus never recomputes what the saving process already
+	// paid for.
+	for _, id := range ids {
+		en := c.entries[id]
+		if en.prof == nil {
+			en.prof = bounds.NewProfile(en.t)
+		}
+		if en.decomp == nil {
+			en.decomp = strategy.NewDecomp(en.t)
+		}
+	}
+	table := c.in.Table()
+	labelID := make(map[string]uint64, len(table))
+	for i, l := range table {
+		labelID[l] = uint64(i)
+	}
+
+	e := &encoder{w: bufio.NewWriter(w)}
+	e.raw([]byte(codecMagic))
+	flags := byte(0)
+	if c.hist != nil {
+		flags |= flagHistogram
+	}
+	if c.pq != nil {
+		flags |= flagPQGram
+	}
+	e.raw([]byte{codecVersion, flags})
+
+	e.uv(uint64(len(table)))
+	for _, l := range table {
+		e.str(l)
+	}
+	e.uv(uint64(c.next))
+	e.uv(uint64(len(ids)))
+	for _, id := range ids {
+		en := c.entries[id]
+		n := en.t.Len()
+		e.uv(uint64(id))
+		e.uv(uint64(n))
+		for _, lid := range en.ids {
+			e.uv(uint64(lid))
+		}
+		for v := 0; v < n; v++ {
+			e.uv(uint64(en.t.NumChildren(v)))
+		}
+		for _, m := range en.lfm {
+			e.uv(uint64(m))
+		}
+		for _, a := range en.decomp.A {
+			e.uv(uint64(a))
+		}
+		for _, a := range en.decomp.FL {
+			e.uv(uint64(a))
+		}
+		for _, a := range en.decomp.FR {
+			e.uv(uint64(a))
+		}
+		e.raw([]byte{1})
+		lcs := en.prof.LabelCounts()
+		e.uv(uint64(len(lcs)))
+		for _, lc := range lcs {
+			e.uv(labelID[lc.Label])
+			e.uv(uint64(lc.Count))
+		}
+		bcs := en.prof.BranchCounts()
+		e.uv(uint64(len(bcs)))
+		for _, bc := range bcs {
+			e.branchLabel(bc.Label, labelID)
+			e.branchLabel(bc.FirstChild, labelID)
+			e.branchLabel(bc.NextSibling, labelID)
+			e.uv(uint64(bc.Count))
+		}
+	}
+	if c.hist != nil {
+		e.snapshot(c.hist.Snapshot())
+	}
+	if c.pq != nil {
+		e.uv(uint64(1)) // stem length p; always 1 for maintained indexes
+		e.uv(uint64(c.pq.Q()))
+		e.snapshot(c.pq.Snapshot())
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// SaveFile writes the corpus to path (created or truncated).
+func (c *Corpus) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// corpusFileName is the file SaveDir/LoadDir use inside their directory.
+const corpusFileName = "corpus.tedc"
+
+// SaveDir writes the corpus into dir (created if missing) under the
+// canonical file name, the layout LoadDir expects.
+func (c *Corpus) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return c.SaveFile(filepath.Join(dir, corpusFileName))
+}
+
+// Load reads a corpus in the binary format from r. The result is
+// equivalent to the saved corpus: same IDs and trees, artifacts decoded
+// rather than recomputed (O(bytes) instead of O(prepare)), maintained
+// indexes rebuilt from their persisted profiles with plain appends —
+// no re-parsing, no re-hashing of grams, no re-sorting.
+func Load(r io.Reader) (*Corpus, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+
+	head := d.raw(6)
+	if d.err != nil {
+		return nil, d.fail("header")
+	}
+	if string(head[:4]) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errCorrupt, head[:4])
+	}
+	if head[4] != codecVersion {
+		return nil, fmt.Errorf("corpus: format version %d not supported (want %d)", head[4], codecVersion)
+	}
+	flags := head[5]
+	if flags&^(flagHistogram|flagPQGram) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", errCorrupt, flags)
+	}
+
+	nLabels := d.count(maxLabels, "label table size")
+	table := make([]string, 0, capHint(nLabels))
+	for i := uint64(0); i < nLabels; i++ {
+		table = append(table, d.str(maxLabelLen))
+		if d.err != nil {
+			return nil, d.fail("label table")
+		}
+	}
+	in, err := cost.NewInternerFromTable(table)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+
+	c := &Corpus{in: in, entries: make(map[ID]*entry)}
+	next := d.count(math.MaxInt32, "next id")
+	nTrees := d.count(maxTrees, "tree count")
+	if nTrees > next {
+		return nil, fmt.Errorf("%w: %d trees but next id %d", errCorrupt, nTrees, next)
+	}
+	c.next = ID(next)
+	lastID := int64(-1)
+	for ti := uint64(0); ti < nTrees; ti++ {
+		id := int64(d.count(uint64(next), "tree id"))
+		if d.err != nil {
+			return nil, d.fail("tree id")
+		}
+		if id <= lastID || uint64(id) >= next {
+			return nil, fmt.Errorf("%w: tree id %d out of order or beyond next id %d", errCorrupt, id, next)
+		}
+		lastID = id
+		en, err := d.entry(table)
+		if err != nil {
+			return nil, err
+		}
+		c.entries[ID(id)] = en
+	}
+
+	if flags&flagHistogram != 0 {
+		snap, err := d.indexSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		c.hist, err = index.RestoreHistogram(snap)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+		}
+		if err := c.crossCheckIndex(c.hist.Len(), snap, "histogram"); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagPQGram != 0 {
+		p := d.count(64, "pq-gram stem length")
+		q := d.count(64, "pq-gram base length")
+		snap, err := d.indexSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		if p < 1 || q < 1 {
+			return nil, fmt.Errorf("%w: pq-gram parameters (%d, %d)", errCorrupt, p, q)
+		}
+		c.pq, err = index.RestorePQGram(int(p), int(q), snap)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+		}
+		if err := c.crossCheckIndex(c.pq.Len(), snap, "pq-gram"); err != nil {
+			return nil, err
+		}
+	}
+	// The stream must end exactly here: trailing garbage means the
+	// payload and the container disagree about what was written.
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after corpus", errCorrupt)
+	}
+	return c, nil
+}
+
+// LoadFile reads a corpus from path.
+func LoadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// LoadDir reads the corpus SaveDir wrote into dir.
+func LoadDir(dir string) (*Corpus, error) {
+	return LoadFile(filepath.Join(dir, corpusFileName))
+}
+
+// crossCheckIndex verifies that a restored index covers exactly the
+// corpus's trees with the right sizes — an index drifting from its
+// store would silently produce wrong join candidates.
+func (c *Corpus) crossCheckIndex(liveCount int, snap *index.Snapshot, kind string) error {
+	if liveCount != len(c.entries) {
+		return fmt.Errorf("%w: %s index holds %d trees, corpus %d", errCorrupt, kind, liveCount, len(c.entries))
+	}
+	for _, se := range snap.Entries {
+		en, ok := c.entries[ID(se.ID)]
+		if !ok {
+			return fmt.Errorf("%w: %s index entry %d has no corpus tree", errCorrupt, kind, se.ID)
+		}
+		if en.t.Len() != se.Size {
+			return fmt.Errorf("%w: %s index entry %d has size %d, tree has %d nodes", errCorrupt, kind, se.ID, se.Size, en.t.Len())
+		}
+	}
+	return nil
+}
+
+// ---- encoding ----
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) uv(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uv(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+// branchLabel encodes a branch-triple position: 0 for missing, label
+// id + 1 otherwise.
+func (e *encoder) branchLabel(l string, labelID map[string]uint64) {
+	if l == "" {
+		// A genuinely empty label and a missing position collapse to the
+		// same branch key either way, so 0 is faithful for both.
+		e.uv(0)
+		return
+	}
+	e.uv(labelID[l] + 1)
+}
+
+func (e *encoder) snapshot(s *index.Snapshot) {
+	e.uv(uint64(len(s.Keys)))
+	for _, k := range s.Keys {
+		e.str(k)
+	}
+	e.uv(uint64(s.NextID))
+	e.uv(uint64(len(s.Entries)))
+	for _, se := range s.Entries {
+		e.uv(uint64(se.ID))
+		e.uv(uint64(se.Size))
+		e.uv(uint64(len(se.Prof)))
+		for _, kc := range se.Prof {
+			e.uv(uint64(kc.Key))
+			e.uv(uint64(kc.Count))
+		}
+	}
+}
+
+// ---- decoding ----
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) fail(what string) error {
+	if d.err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %s: %v", errCorrupt, what, d.err)
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	return v
+}
+
+// count reads a uvarint and enforces an inclusive upper bound; the first
+// violation poisons the decoder.
+func (d *decoder) count(max uint64, what string) uint64 {
+	v := d.uv()
+	if d.err == nil && v > max {
+		d.err = fmt.Errorf("%s %d exceeds limit %d", what, v, max)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return v
+}
+
+// idx reads a uvarint that must index into a table of the given size
+// (strictly less than limit; limit 0 admits nothing).
+func (d *decoder) idx(limit uint64, what string) uint64 {
+	v := d.uv()
+	if d.err == nil && v >= limit {
+		d.err = fmt.Errorf("%s %d outside [0, %d)", what, v, limit)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return nil
+	}
+	return b
+}
+
+func (d *decoder) str(maxLen uint64) string {
+	n := d.count(maxLen, "string length")
+	if d.err != nil {
+		return ""
+	}
+	return string(d.raw(int(n)))
+}
+
+// capHint bounds an upfront allocation by what a short stream could
+// actually back: slices start at min(claimed, 4096) and grow by append,
+// so a hostile count allocates no faster than bytes arrive.
+func capHint(n uint64) int {
+	if n > 4096 {
+		return 4096
+	}
+	return int(n)
+}
+
+// entry decodes one tree with its artifacts.
+func (d *decoder) entry(table []string) (*entry, error) {
+	n64 := d.count(maxNodes, "node count")
+	if d.err != nil {
+		return nil, d.fail("node count")
+	}
+	if n64 == 0 {
+		return nil, fmt.Errorf("%w: zero-node tree", errCorrupt)
+	}
+	n := int(n64)
+
+	ids := make([]int32, 0, capHint(n64))
+	labels := make([]string, 0, capHint(n64))
+	for v := 0; v < n; v++ {
+		lid := d.idx(uint64(len(table)), "label id")
+		if d.err != nil {
+			return nil, d.fail("labels")
+		}
+		ids = append(ids, int32(lid))
+		labels = append(labels, table[lid])
+	}
+	counts := make([]int, 0, capHint(n64))
+	for v := 0; v < n; v++ {
+		k := d.idx(uint64(n), "child count")
+		if d.err != nil {
+			return nil, d.fail("child counts")
+		}
+		counts = append(counts, int(k))
+	}
+	t, err := tree.FromPostorder(tree.PostorderForm{Labels: labels, ChildCounts: counts})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+
+	lfm := make([]int32, 0, capHint(n64))
+	for v := 0; v < n; v++ {
+		m := d.idx(uint64(n), "mirror-leafmost id")
+		if d.err != nil {
+			return nil, d.fail("mirror-leafmost")
+		}
+		lfm = append(lfm, int32(m))
+	}
+	dec := &strategy.Decomp{T: t}
+	for _, dst := range []*[]int64{&dec.A, &dec.FL, &dec.FR} {
+		arr := make([]int64, 0, capHint(n64))
+		for v := 0; v < n; v++ {
+			a := d.count(math.MaxInt64, "decomposition cardinality")
+			if d.err != nil {
+				return nil, d.fail("decomposition")
+			}
+			arr = append(arr, int64(a))
+		}
+		*dst = arr
+	}
+
+	en := &entry{t: t, ids: ids, lfm: lfm, decomp: dec}
+	hasProf := d.raw(1)
+	if d.err != nil {
+		return nil, d.fail("profile flag")
+	}
+	switch hasProf[0] {
+	case 0:
+	case 1:
+		nl := d.count(uint64(n), "profile label entries")
+		lcs := make([]bounds.LabelCount, 0, capHint(nl))
+		for i := uint64(0); i < nl; i++ {
+			lid := d.idx(uint64(len(table)), "profile label id")
+			cnt := d.count(uint64(n), "profile label count")
+			if d.err != nil {
+				return nil, d.fail("profile labels")
+			}
+			if cnt == 0 {
+				return nil, fmt.Errorf("%w: zero profile label count", errCorrupt)
+			}
+			lcs = append(lcs, bounds.LabelCount{Label: table[lid], Count: int(cnt)})
+		}
+		nb := d.count(uint64(n), "profile branch entries")
+		bcs := make([]bounds.BranchCount, 0, capHint(nb))
+		for i := uint64(0); i < nb; i++ {
+			var bc bounds.BranchCount
+			var err error
+			if bc.Label, err = d.branchLabel(table); err != nil {
+				return nil, err
+			}
+			if bc.FirstChild, err = d.branchLabel(table); err != nil {
+				return nil, err
+			}
+			if bc.NextSibling, err = d.branchLabel(table); err != nil {
+				return nil, err
+			}
+			cnt := d.count(uint64(n), "profile branch count")
+			if d.err != nil {
+				return nil, d.fail("profile branches")
+			}
+			if cnt == 0 {
+				return nil, fmt.Errorf("%w: zero profile branch count", errCorrupt)
+			}
+			bc.Count = int(cnt)
+			bcs = append(bcs, bc)
+		}
+		en.prof = bounds.RestoreProfile(t, lcs, bcs)
+	default:
+		return nil, fmt.Errorf("%w: profile flag %d", errCorrupt, hasProf[0])
+	}
+	return en, nil
+}
+
+func (d *decoder) branchLabel(table []string) (string, error) {
+	v := d.count(uint64(len(table)), "branch label id")
+	if d.err != nil {
+		return "", d.fail("branch label")
+	}
+	if v == 0 {
+		return "", nil
+	}
+	return table[v-1], nil
+}
+
+func (d *decoder) indexSnapshot() (*index.Snapshot, error) {
+	nKeys := d.count(maxPostings, "index key count")
+	keys := make([]string, 0, capHint(nKeys))
+	for i := uint64(0); i < nKeys; i++ {
+		keys = append(keys, d.str(maxLabelLen))
+		if d.err != nil {
+			return nil, d.fail("index keys")
+		}
+	}
+	nextID := d.count(math.MaxInt32, "index next id")
+	nEntries := d.count(maxTrees, "index entry count")
+	if d.err != nil {
+		return nil, d.fail("index header")
+	}
+	s := &index.Snapshot{Keys: keys, NextID: int(nextID)}
+	for i := uint64(0); i < nEntries; i++ {
+		id := d.count(math.MaxInt32, "index entry id")
+		size := d.count(maxNodes, "index entry size")
+		profLen := d.count(maxPostings, "index profile length")
+		if d.err != nil {
+			return nil, d.fail("index entry")
+		}
+		prof := make([]index.KeyCount, 0, capHint(profLen))
+		for k := uint64(0); k < profLen; k++ {
+			key := d.count(math.MaxInt32, "index key id")
+			cnt := d.count(math.MaxInt32, "index key count")
+			if d.err != nil {
+				return nil, d.fail("index profile")
+			}
+			prof = append(prof, index.KeyCount{Key: int32(key), Count: int32(cnt)})
+		}
+		s.Entries = append(s.Entries, index.SnapshotEntry{ID: int(id), Size: int(size), Prof: prof})
+	}
+	return s, nil
+}
+
+func sortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,154 @@
+package corpus_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	ted "repro"
+	"repro/batch"
+	"repro/corpus"
+)
+
+func buildCorpus(t *testing.T, opts ...corpus.Option) (*corpus.Corpus, []*ted.Tree) {
+	t.Helper()
+	trees := randomTrees(7, 14, 22)
+	c := corpus.New(opts...)
+	for _, tr := range trees {
+		c.Add(tr)
+	}
+	// A mutation history, so tombstoned ids and ID gaps are part of what
+	// round-trips.
+	c.Delete(2)
+	c.Replace(6, trees[0])
+	return c, trees
+}
+
+func saveBytes(t *testing.T, c *corpus.Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSaveLoadRoundTrip: a reloaded corpus holds identical trees under
+// identical IDs, joins identically in every mode, and re-saves to the
+// identical byte stream (the codec is deterministic).
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, _ := buildCorpus(t, corpus.WithHistogramIndex(), corpus.WithPQGramIndex(2))
+	data := saveBytes(t, c)
+
+	c2, err := corpus.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("loaded %d trees, want %d", c2.Len(), c.Len())
+	}
+	if !c2.HasHistogramIndex() {
+		t.Fatal("histogram index lost")
+	}
+	if q, ok := c2.HasPQGramIndex(); !ok || q != 2 {
+		t.Fatalf("pq-gram index lost (q=%d ok=%v)", q, ok)
+	}
+	ids, ids2 := c.IDs(), c2.IDs()
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Fatalf("IDs diverge: %v vs %v", ids, ids2)
+		}
+		a, _ := c.Tree(ids[i])
+		b, _ := c2.Tree(ids[i])
+		if a.String() != b.String() {
+			t.Fatalf("tree %d differs after reload:\n%s\n%s", ids[i], a, b)
+		}
+	}
+	// New Adds in the loaded corpus continue above every burned ID.
+	tr, _ := c.Tree(ids[0])
+	idA, idB := c.Add(tr), c2.Add(tr)
+	if idA != idB {
+		t.Fatalf("post-load Add assigned %d, original %d", idB, idA)
+	}
+
+	// Deterministic re-encode (after removing the extra tree again).
+	c.Delete(idA)
+	c2.Delete(idB)
+	if !bytes.Equal(saveBytes(t, c), saveBytes(t, c2)) {
+		t.Fatal("re-saved streams differ")
+	}
+}
+
+// TestLoadJoinEquivalence is the acceptance pin: a corpus saved and
+// reloaded in a fresh state joins bit-identically to the never-
+// serialized corpus, across modes and thresholds.
+func TestLoadJoinEquivalence(t *testing.T) {
+	c, _ := buildCorpus(t, corpus.WithHistogramIndex(), corpus.WithPQGramIndex(2))
+	c2, err := corpus.Load(bytes.NewReader(saveBytes(t, c)))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	e, e2 := c.Engine(), c2.Engine()
+	for _, tau := range []float64{0, 4, 11.5, math.Inf(1)} {
+		for _, mode := range []batch.IndexMode{batch.IndexEnumerate, batch.IndexHistogram, batch.IndexPQGram} {
+			ms, _ := c.Join(e, tau, batch.JoinOptions{Mode: mode})
+			ms2, _ := c2.Join(e2, tau, batch.JoinOptions{Mode: mode})
+			if len(ms) != len(ms2) {
+				t.Fatalf("tau=%v mode=%v: %d vs %d matches", tau, mode, len(ms), len(ms2))
+			}
+			for k := range ms {
+				if ms[k] != ms2[k] {
+					t.Fatalf("tau=%v mode=%v: match %d = %+v vs %+v", tau, mode, k, ms[k], ms2[k])
+				}
+			}
+		}
+	}
+}
+
+// TestLoadErrorsNeverPanic feeds the decoder every truncation of a valid
+// stream plus assorted corruptions; each must produce an error, not a
+// panic and not a bogus corpus.
+func TestLoadErrorsNeverPanic(t *testing.T) {
+	c, _ := buildCorpus(t, corpus.WithHistogramIndex())
+	data := saveBytes(t, c)
+
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := corpus.Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := corpus.Load(bytes.NewReader(append(append([]byte{}, data...), 0x00))); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Bad magic / version / flags.
+	for _, mut := range []struct {
+		off int
+		val byte
+	}{{0, 'X'}, {4, 99}, {5, 0xFF}} {
+		bad := append([]byte{}, data...)
+		bad[mut.off] = mut.val
+		if _, err := corpus.Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at offset %d accepted", mut.off)
+		}
+	}
+	// Single-byte corruptions must never panic (they may still decode —
+	// e.g. a flipped bit inside a label — but most shift the framing).
+	for off := 6; off < len(data); off += 7 {
+		bad := append([]byte{}, data...)
+		bad[off] ^= 0x55
+		corpus.Load(bytes.NewReader(bad))
+	}
+	// SaveDir/LoadDir round trip.
+	dir := t.TempDir()
+	if err := c.SaveDir(dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	c2, err := corpus.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("LoadDir returned %d trees, want %d", c2.Len(), c.Len())
+	}
+}

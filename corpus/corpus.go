@@ -1,0 +1,339 @@
+// Package corpus is the persistence layer of the batch-TED stack: a
+// Corpus holds trees under stable IDs together with everything the
+// distance machinery derives from them — interned label ids, RTED
+// decomposition cardinalities, mirror-leafmost arrays, lower-bound
+// profiles, and the inverted-index posting lists of the similarity-join
+// generators — and serializes the whole thing through a versioned binary
+// codec (Save/Load).
+//
+// RTED's design front-loads per-tree work so it can be amortized across
+// many comparisons; a corpus extends the amortization across process
+// lifetimes. A server that restarts does not re-prepare and re-index its
+// collection: Load decodes the stored artifacts in O(bytes), and
+// corpus-attached engines hydrate PreparedTrees from them
+// (batch.PrepareHydrated) instead of recomputing.
+//
+// # Stable IDs
+//
+// Add assigns monotonically increasing IDs that survive Delete and
+// Replace — an ID names the same logical tree for the corpus's whole
+// life, across saves and loads, which is what lets external systems
+// (and the sharded posting lists) refer to trees without renumbering.
+//
+// # Engines
+//
+// A Corpus is model-free: artifacts are cost-model independent, and
+// per-node operation costs are priced at hydration time. Engines are
+// created through Corpus.Engine, which attaches them to the corpus's
+// label interner; the engine-binding check of batch.PreparedTree
+// thereby becomes a corpus-compatibility check — any engine the corpus
+// created can hydrate any of its trees.
+//
+// Typical use:
+//
+//	c := corpus.New(corpus.WithHistogramIndex())
+//	for _, t := range trees {
+//		c.Add(t)
+//	}
+//	c.SaveFile("trees.tedc")
+//	// ... later, in a fresh process:
+//	c, _ = corpus.LoadFile("trees.tedc")
+//	e := c.Engine(batch.WithWorkers(8))
+//	matches, _ := c.Join(e, 12, batch.JoinOptions{})
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/batch"
+	"repro/index"
+	"repro/internal/bounds"
+	"repro/internal/cost"
+	"repro/internal/gted"
+	"repro/internal/strategy"
+	"repro/internal/tree"
+)
+
+// ID names one logical tree of a corpus for the corpus's whole life:
+// IDs are assigned in Add order, survive Delete (never reused) and
+// Replace (same ID, new tree), and are the join/index identity after a
+// save/load round trip.
+type ID int64
+
+// entry is one stored tree with its prepared artifacts. The tree and
+// artifacts are immutable once built; prof and decomp are built lazily
+// under c.mu on first need (bounded calls and Save need the profile,
+// only optimal-strategy engines need the decomposition — fixed-strategy
+// competitors never do), and prep caches the last hydration so repeated
+// joins through one engine prepare nothing.
+type entry struct {
+	t      *tree.Tree
+	ids    []int32 // interned label id per node (corpus interner)
+	lfm    []int32
+	decomp *strategy.Decomp
+	prof   *bounds.Profile
+
+	prep    *batch.PreparedTree
+	prepEng *batch.Engine
+}
+
+// Corpus is a persistent store of trees and their prepared artifacts.
+// All methods are safe for concurrent use.
+type Corpus struct {
+	mu      sync.RWMutex
+	in      *cost.Interner
+	entries map[ID]*entry
+	next    ID
+
+	hist *index.Histogram
+	pq   *index.PQGram
+}
+
+// Option configures New.
+type Option func(*Corpus)
+
+// WithHistogramIndex makes the corpus maintain a label-histogram
+// inverted index (index.Histogram) incrementally: Add, Delete and
+// Replace keep the posting lists in sync, Save persists them, and Join
+// uses them for candidate generation instead of building a throwaway
+// index per call.
+func WithHistogramIndex() Option {
+	return func(c *Corpus) { c.hist = index.NewHistogram() }
+}
+
+// WithPQGramIndex is WithHistogramIndex for the (1, q)-gram index
+// (index.PQGram with stem length 1, the provably complete
+// parameterization); q must be ≥ 1.
+func WithPQGramIndex(q int) Option {
+	return func(c *Corpus) { c.pq = index.NewPQGram(1, q) }
+}
+
+// New builds an empty corpus.
+func New(opts ...Option) *Corpus {
+	c := &Corpus{
+		in:      cost.NewInterner(),
+		entries: make(map[ID]*entry),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// HasHistogramIndex reports whether the corpus maintains a histogram
+// index.
+func (c *Corpus) HasHistogramIndex() bool { return c.hist != nil }
+
+// HasPQGramIndex reports whether the corpus maintains a pq-gram index,
+// and with which base length.
+func (c *Corpus) HasPQGramIndex() (q int, ok bool) {
+	if c.pq == nil {
+		return 0, false
+	}
+	return c.pq.Q(), true
+}
+
+// build computes the eager artifacts of t: interned label ids and the
+// mirror-leafmost array. The decomposition cardinalities and the bound
+// profile are deferred (see entry).
+func (c *Corpus) build(t *tree.Tree) *entry {
+	n := t.Len()
+	ids := make([]int32, n)
+	for v := 0; v < n; v++ {
+		ids[v] = int32(c.in.Intern(t.Label(v)))
+	}
+	return &entry{
+		t:   t,
+		ids: ids,
+		lfm: gted.MirrorLeafmost(t),
+	}
+}
+
+// Add stores t under a fresh ID and returns it. The per-tree artifacts
+// are computed now, once; every later join, top-k or bounded call — in
+// this process or any process that Loads a Save — reuses them.
+//
+// Mutations update the maintained indexes while still holding the
+// corpus lock (here and in Delete/Replace), so a concurrent Save — which
+// serializes store and index snapshots under the same lock — can never
+// persist a corpus whose index disagrees with its trees.
+func (c *Corpus) Add(t *tree.Tree) ID {
+	en := c.build(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.next
+	c.next++
+	if id > math.MaxInt32 {
+		panic("corpus: ID space exhausted (2^31 trees)")
+	}
+	c.entries[id] = en
+	c.indexPut(id, t)
+	return id
+}
+
+// Delete removes the tree under id. The ID is never reused; the index
+// postings become tombstones reclaimed by compaction. It reports
+// whether a tree was stored under id.
+func (c *Corpus) Delete(id ID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[id]; !ok {
+		return false
+	}
+	delete(c.entries, id)
+	if c.hist != nil {
+		c.hist.Delete(int(id))
+	}
+	if c.pq != nil {
+		c.pq.Delete(int(id))
+	}
+	return true
+}
+
+// Replace swaps the tree under an existing id for t, rebuilding its
+// artifacts and re-indexing it under the same ID (the old postings
+// become tombstones). It reports whether id was present.
+func (c *Corpus) Replace(id ID, t *tree.Tree) bool {
+	en := c.build(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[id]; !ok {
+		return false
+	}
+	c.entries[id] = en
+	c.indexPut(id, t)
+	return true
+}
+
+// indexPut re-indexes one tree; callers hold c.mu.
+func (c *Corpus) indexPut(id ID, t *tree.Tree) {
+	if c.hist != nil {
+		c.hist.Put(int(id), t)
+	}
+	if c.pq != nil {
+		c.pq.Put(int(id), t)
+	}
+}
+
+// Tree returns the tree stored under id.
+func (c *Corpus) Tree(id ID) (*tree.Tree, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	en, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return en.t, true
+}
+
+// Len returns the number of stored trees.
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// IDs returns the stored IDs in ascending order.
+func (c *Corpus) IDs() []ID {
+	c.mu.RLock()
+	out := make([]ID, 0, len(c.entries))
+	for id := range c.entries {
+		out = append(out, id)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Engine builds a batch engine attached to this corpus: it shares the
+// corpus's label interner, so corpus-stored artifacts hydrate directly
+// into its PreparedTrees. Options are as for batch.New; a WithInterner
+// among them is overridden — attachment is the point of this
+// constructor.
+func (c *Corpus) Engine(opts ...batch.Option) *batch.Engine {
+	return batch.New(append(append([]batch.Option{}, opts...), batch.WithInterner(c.in))...)
+}
+
+// checkEngine panics unless e was attached to this corpus.
+func (c *Corpus) checkEngine(e *batch.Engine) {
+	if e.Interner() != c.in {
+		panic(fmt.Sprintf(
+			"corpus: engine %p is not attached to this corpus (its label ids come from a "+
+				"different interner); create engines with Corpus.Engine", e))
+	}
+}
+
+// prepared returns the hydrated PreparedTree of en for engine e,
+// caching it on the entry. Callers hold c.mu for writing.
+func (c *Corpus) prepared(e *batch.Engine, en *entry) *batch.PreparedTree {
+	if en.prep != nil && en.prepEng == e {
+		return en.prep
+	}
+	if en.decomp == nil && !e.FixedStrategy() {
+		en.decomp = strategy.NewDecomp(en.t)
+	}
+	en.prep = e.PrepareHydrated(en.t, batch.Hydration{
+		In:      c.in,
+		IDs:     en.ids,
+		Decomp:  en.decomp,
+		Lfm:     en.lfm,
+		Profile: en.prof,
+	})
+	en.prepEng = e
+	return en.prep
+}
+
+// snapshotPrepared hydrates every stored tree for e and returns the IDs
+// (ascending) with their PreparedTrees, positions aligned.
+func (c *Corpus) snapshotPrepared(e *batch.Engine) ([]ID, []*batch.PreparedTree) {
+	ids := c.IDs()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := make([]*batch.PreparedTree, 0, len(ids))
+	kept := ids[:0]
+	for _, id := range ids {
+		en, ok := c.entries[id]
+		if !ok {
+			continue // deleted between the two locks
+		}
+		ps = append(ps, c.prepared(e, en))
+		kept = append(kept, id)
+	}
+	return kept, ps
+}
+
+// Warm makes the corpus fully ready to serve engine e: every stored
+// tree is hydrated into a cached PreparedTree and every outstanding
+// bound profile is built, so the first join after Warm pays for nothing
+// but the distance computations. On a corpus that came from Load the
+// profiles are already decoded and warming is pure hydration — the
+// server-restart fast path this package exists for.
+func (c *Corpus) Warm(e *batch.Engine) {
+	c.checkEngine(e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, en := range c.entries {
+		if en.prof == nil {
+			en.prof = bounds.NewProfile(en.t)
+			en.prep, en.prepEng = nil, nil // rehydrate with the profile attached
+		}
+		c.prepared(e, en)
+	}
+}
+
+// Prepared returns the PreparedTree of id hydrated for engine e (from
+// the stored artifacts, caching the result), for callers that drive
+// batch.Engine directly — streaming pair queues, top-k, bounded calls.
+func (c *Corpus) Prepared(e *batch.Engine, id ID) (*batch.PreparedTree, bool) {
+	c.checkEngine(e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	en, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return c.prepared(e, en), true
+}

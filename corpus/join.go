@@ -1,0 +1,157 @@
+package corpus
+
+import (
+	"math"
+	"time"
+
+	"repro/batch"
+	"repro/index"
+)
+
+// Match is one similarity-join result: the trees stored under IDs I and
+// J (I < J) are at edit distance Dist < tau (for a pair accepted by the
+// upper-bound filter, Dist is that upper bound, still below tau).
+type Match struct {
+	I, J ID
+	Dist float64
+}
+
+// Join computes the similarity self-join of the corpus on engine e: all
+// unordered ID pairs at edit distance below tau. The engine must be
+// corpus-attached (Corpus.Engine); every stored tree is hydrated from
+// its artifacts, not re-prepared.
+//
+// Candidate generation follows opts.Mode as in batch.JoinIndexed, with
+// one upgrade: when the corpus maintains the selected index
+// (WithHistogramIndex / WithPQGramIndex), its persistent sharded
+// posting lists are probed directly — no per-call index build — and the
+// candidates run through batch.JoinCandidates. Otherwise the call falls
+// back to batch.JoinIndexed's throwaway index (or plain enumeration).
+// The match set is identical in every mode; under a non-unit cost model
+// only unfiltered enumeration is available and opts.Mode is ignored.
+//
+// Results are deterministic and ordered by (I, J) — assuming no
+// concurrent Add/Delete/Replace; mutations during a join are safe but
+// the join reflects some consistent snapshot-in-between.
+func (c *Corpus) Join(e *batch.Engine, tau float64, opts batch.JoinOptions) ([]Match, batch.JoinStats) {
+	c.checkEngine(e)
+	ids, ps := c.snapshotPrepared(e)
+
+	if !e.UnitCost() {
+		ms, st := e.Join(ps, tau, false)
+		return c.toMatches(ids, ms), st
+	}
+
+	mode := opts.Mode
+	auto := mode == batch.IndexAuto
+	if auto {
+		mode = c.resolveAuto(ps, tau)
+	}
+	wantQ := opts.Q
+	if wantQ <= 0 {
+		wantQ = 2
+	}
+
+	var probe func(q int, buf []index.Candidate) []index.Candidate
+	switch {
+	case mode == batch.IndexHistogram && c.hist != nil:
+		probe = func(q int, buf []index.Candidate) []index.Candidate {
+			return c.hist.CandidatesBelow(q, tau, buf)
+		}
+	// An auto-resolved pq-gram mode takes the maintained index at
+	// whatever base length it was built with (any (1, q) generator is
+	// complete); an explicit IndexPQGram request honors opts.Q.
+	case mode == batch.IndexPQGram && c.pq != nil && (auto || c.pq.Q() == wantQ):
+		probe = func(q int, buf []index.Candidate) []index.Candidate {
+			return c.pq.CandidatesBelow(q, tau, buf)
+		}
+	}
+	if probe == nil {
+		// No maintained index serves this mode: let the engine enumerate
+		// or build its own transient index over the positions.
+		ms, st := e.JoinIndexed(ps, tau, batch.JoinOptions{Mode: mode, Q: opts.Q})
+		return c.toMatches(ids, ms), st
+	}
+
+	start := time.Now()
+	pos := make(map[int]int, len(ids))
+	for i, id := range ids {
+		pos[int(id)] = i
+	}
+	var cands []batch.CandidatePair
+	var buf []index.Candidate
+	for j, id := range ids {
+		buf = probe(int(id), buf)
+		for _, cd := range buf {
+			i, ok := pos[cd.ID]
+			if !ok {
+				continue // deleted after the snapshot; nothing to verify
+			}
+			cands = append(cands, batch.CandidatePair{I: i, J: j, LB: cd.LB})
+		}
+	}
+	probeTime := time.Since(start)
+
+	ms, st := e.JoinCandidates(ps, cands, tau)
+	st.Mode = mode
+	st.IndexTime = probeTime
+	st.Elapsed = time.Since(start)
+	return c.toMatches(ids, ms), st
+}
+
+// resolveAuto picks the generator for IndexAuto: enumeration when tau is
+// too large for any signature to prune, otherwise the best maintained
+// index (histogram first — cheaper probes — then pq-gram), otherwise the
+// histogram default of batch.JoinIndexed.
+func (c *Corpus) resolveAuto(ps []*batch.PreparedTree, tau float64) batch.IndexMode {
+	if math.IsInf(tau, 1) {
+		return batch.IndexEnumerate
+	}
+	maxLen := 0
+	for _, p := range ps {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	if tau >= float64(maxLen) {
+		return batch.IndexEnumerate
+	}
+	if c.hist == nil && c.pq != nil {
+		return batch.IndexPQGram
+	}
+	return batch.IndexHistogram
+}
+
+func (c *Corpus) toMatches(ids []ID, ms []batch.Match) []Match {
+	out := make([]Match, len(ms))
+	for k, m := range ms {
+		out[k] = Match{I: ids[m.I], J: ids[m.J], Dist: m.Dist}
+	}
+	return out
+}
+
+// CrossMatch is one result of TopKAcross: the subtree rooted at
+// postorder id Root of the stored tree Tree, at edit distance Dist from
+// the query.
+type CrossMatch struct {
+	Tree ID
+	Root int
+	Dist float64
+}
+
+// TopKAcross finds the k subtrees closest to query across every stored
+// tree, on engine e (corpus-attached). Stored trees hydrate from their
+// artifacts; the query is prepared fresh. Semantics are those of
+// batch.Engine.TopKAcross: results sorted by distance, ties toward
+// smaller (Tree, Root), and each GTED run bounded by the running k-th
+// best distance.
+func (c *Corpus) TopKAcross(e *batch.Engine, query *batch.PreparedTree, k int) ([]CrossMatch, batch.Stats) {
+	c.checkEngine(e)
+	ids, ps := c.snapshotPrepared(e)
+	ms, st := e.TopKAcross(query, ps, k)
+	out := make([]CrossMatch, len(ms))
+	for i, m := range ms {
+		out[i] = CrossMatch{Tree: ids[m.Tree], Root: m.Root, Dist: m.Dist}
+	}
+	return out, st
+}

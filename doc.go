@@ -115,7 +115,29 @@
 // All of it composes: an indexed join's candidates run the bound
 // filters, seed exact GTED with the threshold as a cutoff (so pairs that
 // provably exceed it abandon most of their DP), and fan out over
-// WithWorkers goroutines. For repeated joins over an evolving corpus,
-// drop to batch.Engine + package index and keep the PreparedTrees and
-// the posting lists alive between calls.
+// WithWorkers goroutines.
+//
+// The last axis is the collection's lifetime — whether to rebuild the
+// prepared state per run or persist it (package corpus):
+//
+//	How long does the collection live?
+//	├── one process, one join        → the Join options above; the
+//	│                                   transient index is built and
+//	│                                   dropped inside the call
+//	├── one process, evolving        → corpus.New(WithHistogramIndex());
+//	│     (adds/deletes/replaces       Add/Delete/Replace keep the
+//	│      between joins)              sharded posting lists in sync, and
+//	│                                   every join reuses the artifacts
+//	└── many processes (a server    → the same corpus, plus Save at
+//	      that restarts, a fleet       build time and Load at start:
+//	      that shares one build)       trees, artifacts and posting
+//	                                    lists come back in O(bytes),
+//	                                    Corpus.Engine + Warm make the
+//	                                    first join pay only GTED
+//
+// Persist when the per-tree work is paid more than once per build:
+// restarts, repeated batch jobs over one collection, or any fan-out
+// where workers can Load a shared artifact set instead of each
+// re-preparing it. Rebuild when trees are joined once and discarded —
+// the codec's bytes buy nothing a dropped process would not also drop.
 package ted

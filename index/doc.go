@@ -47,14 +47,32 @@
 // so iterating the queries in id order enumerates every unordered pair
 // exactly once.
 //
+// # Stable ids, mutation, and sharding
+//
+// Trees are indexed under stable ids: Add auto-assigns the next unused
+// id, Put indexes under a caller-chosen id (the id a corpus.Corpus
+// assigned), and ids are never reused. Long-lived indexes mutate in
+// place — Delete and Put-replacement tombstone the superseded postings
+// through a per-tree generation counter, probes skip tombstones with
+// one comparison, and a compaction pass (automatic once tombstones
+// dominate, or explicit via Compact) rewrites the lists without them.
+// The posting lists themselves are hash-sharded with per-shard locks:
+// concurrent Add/Put/Delete and CandidatesBelow calls are safe, probes
+// run fully in parallel on pooled accumulators, and a distributed join
+// can own disjoint shards. Snapshot/Restore serialize the whole
+// structure by profile (the lists are rebuilt with plain appends on
+// restore), which is how package corpus persists its indexes.
+//
 // # Relation to the rest of the repository
 //
 // The indexes are deliberately engine-agnostic: they know trees and
 // thresholds, not PreparedTrees or worker pools. batch.JoinIndexed builds
-// an index over a prepared corpus, generates candidates sequentially (the
-// probes are cheap), and fans the candidates out to its worker pool where
-// the existing bound filters and arena-backed GTED runners finish the
-// job; ted.Join exposes the same path via ted.WithIndex. The standalone
-// [PQGramDistance] is exported for callers that want the pq-gram
-// pseudo-metric itself.
+// an index over a prepared corpus, generates candidates sequentially,
+// and fans the candidates out to its worker pool where the existing
+// bound filters and arena-backed GTED runners finish the job; ted.Join
+// exposes the same path via ted.WithIndex. corpus.Corpus maintains
+// these indexes incrementally across mutations and process restarts,
+// probing them per query and handing the pairs to batch.JoinCandidates.
+// The standalone [PQGramDistance] is exported for callers that want the
+// pq-gram pseudo-metric itself.
 package index

@@ -2,6 +2,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/tree"
 )
@@ -22,14 +23,20 @@ import (
 // are smaller than τ; a size-ordered sweep covers that fringe without
 // touching the posting lists.
 //
-// A Histogram serves one query at a time (queries share scratch); the
-// batch engine probes it sequentially and fans the surviving candidates
-// out to its worker pool.
+// Trees are indexed under stable ids: Add assigns the next unused id,
+// Put indexes (or re-indexes) under an id of the caller's choosing — the
+// id a corpus assigned, so the index survives deletes and replaces
+// without renumbering. Delete and Put tombstone the old postings (a
+// generation check makes them invisible to probes) and a compaction pass
+// reclaims them once they dominate the lists.
+//
+// The posting lists are hash-sharded with per-shard locks, so concurrent
+// Add/Put/Delete and CandidatesBelow calls are safe and parallelize;
+// each probe carries its own pooled accumulator.
 type Histogram struct {
-	c   corpus
+	kmu sync.Mutex
 	ids map[string]int32 // label interner
-
-	scratch []int32 // label-id buffer reused by Add
+	iv  inverted
 }
 
 // NewHistogram returns an empty label-histogram index.
@@ -37,28 +44,57 @@ func NewHistogram() *Histogram {
 	return &Histogram{ids: make(map[string]int32)}
 }
 
-// Len returns the number of indexed trees.
-func (ix *Histogram) Len() int { return len(ix.c.sizes) }
+// Len returns the number of live (not deleted) indexed trees.
+func (ix *Histogram) Len() int { return ix.iv.liveCount() }
 
-// Size returns the node count of the indexed tree id.
-func (ix *Histogram) Size(id int) int { return ix.c.sizes[id] }
+// Size returns the node count of the indexed tree id, or 0 if no live
+// tree is indexed under it.
+func (ix *Histogram) Size(id int) int {
+	sz, _, alive := ix.iv.meta(int32(id))
+	if !alive {
+		return 0
+	}
+	return int(sz)
+}
 
-// Add indexes t and returns its dense id (assigned in insertion order).
+// Add indexes t under the next unused id (insertion order when trees are
+// never deleted) and returns that id.
 func (ix *Histogram) Add(t *tree.Tree) int {
+	id := ix.iv.reserve()
+	ix.Put(id, t)
+	return id
+}
+
+// Put indexes t under the stable id of the caller's choosing, replacing
+// whatever tree was indexed there: the previous postings become
+// tombstones and t's postings are written under a fresh generation, so
+// in-flight probes never see a half-replaced tree.
+func (ix *Histogram) Put(id int, t *tree.Tree) {
 	n := t.Len()
-	ids := ix.scratch[:0]
+	ids := make([]int32, 0, n)
+	ix.kmu.Lock()
 	for v := 0; v < n; v++ {
 		l := t.Label(v)
-		id, ok := ix.ids[l]
+		kid, ok := ix.ids[l]
 		if !ok {
-			id = int32(len(ix.ids))
-			ix.ids[l] = id
+			kid = int32(len(ix.ids))
+			ix.ids[l] = kid
 		}
-		ids = append(ids, id)
+		ids = append(ids, kid)
 	}
-	ix.scratch = ids
-	return ix.c.add(n, runLength(ids))
+	ix.kmu.Unlock()
+	ix.iv.put(id, n, runLength(ids))
 }
+
+// Delete removes the tree id from the index (its postings become
+// tombstones, reclaimed by the next compaction). It reports whether a
+// live tree was indexed under id.
+func (ix *Histogram) Delete(id int) bool { return ix.iv.delete(id) }
+
+// Compact rewrites the posting lists, dropping every tombstoned posting.
+// It runs automatically once tombstones dominate; calling it explicitly
+// is only useful before Snapshot or a latency-sensitive probe phase.
+func (ix *Histogram) Compact() { ix.iv.compact() }
 
 // runLength sorts a key-id buffer in place and collapses it into a
 // (id, count) profile.
@@ -76,28 +112,39 @@ func runLength(ids []int32) []keyCount {
 	return prof
 }
 
-// CandidatesBelow appends to dst every tree with id < q whose
+// CandidatesBelow appends to dst every live tree with id < q whose
 // label-histogram lower bound against tree q is strictly below tau, in
 // ascending id order, and returns the extended slice. The LB and Score of
 // each candidate are that bound. Restricting to smaller ids makes a
 // self-join enumerate each unordered pair exactly once.
 //
 // Completeness: every tree with id < q at edit distance < tau from q is
-// returned; everything omitted is at distance ≥ tau.
+// returned; everything omitted is at distance ≥ tau. Safe for concurrent
+// use with other probes and with Add/Put/Delete (a probe concurrent with
+// a mutation sees the index before or after that mutation, never
+// half-applied).
 func (ix *Histogram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candidate {
 	dst = dst[:0]
 	if tau <= 0 || q <= 0 {
 		return dst
 	}
-	nq := ix.c.sizes[q]
-	ix.c.accumulate(q)
-	for _, t := range ix.c.touched {
-		nt := ix.c.sizes[t]
-		m := nq
-		if nt > m {
-			m = nt
+	sc := getScratch()
+	defer sc.release()
+	nq32, _, ok := ix.iv.accumulate(q, sc)
+	if !ok {
+		return dst
+	}
+	nq := int(nq32)
+	for _, t := range sc.touched {
+		nt, _, alive := ix.iv.meta(t)
+		if !alive {
+			continue
 		}
-		if lb := float64(m - int(ix.c.common[t])); lb < tau {
+		m := nq
+		if int(nt) > m {
+			m = int(nt)
+		}
+		if lb := float64(m - int(sc.common[t])); lb < tau {
 			dst = append(dst, Candidate{ID: int(t), LB: lb, Score: lb})
 		}
 	}
@@ -105,17 +152,22 @@ func (ix *Histogram) CandidatesBelow(q int, tau float64, dst []Candidate) []Cand
 	// candidates only when both trees are smaller than tau.
 	if float64(nq) < tau {
 		limit := maxOpsBelow(tau) // sizes ≤ this are < tau
-		for _, t := range ix.c.smallIDs(limit) {
-			if int(t) < q && ix.c.common[t] == 0 {
-				lb := float64(nq)
-				if nt := ix.c.sizes[t]; nt > nq {
-					lb = float64(nt)
-				}
-				dst = append(dst, Candidate{ID: int(t), LB: lb, Score: lb})
+		ix.iv.smallIDs(limit, sc)
+		for _, t := range sc.fringe {
+			if int(t) >= q || sc.common[t] != 0 {
+				continue
 			}
+			nt, _, alive := ix.iv.meta(t)
+			if !alive {
+				continue
+			}
+			lb := float64(nq)
+			if int(nt) > nq {
+				lb = float64(nt)
+			}
+			dst = append(dst, Candidate{ID: int(t), LB: lb, Score: lb})
 		}
 	}
-	ix.c.reset()
 	sortByID(dst)
 	return dst
 }

@@ -21,22 +21,86 @@ func TestMaxOpsBelow(t *testing.T) {
 }
 
 func TestSmallIDsOrderedAndBounded(t *testing.T) {
-	var c corpus
+	var iv inverted
 	sizes := []int{5, 2, 9, 2, 7}
-	for _, n := range sizes {
-		c.add(n, nil)
+	for id, n := range sizes {
+		iv.put(id, n, nil)
 	}
-	got := c.smallIDs(5)
+	sc := getScratch()
+	defer sc.release()
+	iv.smallIDs(5, sc)
 	want := []int32{1, 3, 0}
-	if len(got) != len(want) {
-		t.Fatalf("smallIDs(5) = %v, want %v", got, want)
+	if len(sc.fringe) != len(want) {
+		t.Fatalf("smallIDs(5) = %v, want %v", sc.fringe, want)
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("smallIDs(5) = %v, want %v", got, want)
+		if sc.fringe[i] != want[i] {
+			t.Fatalf("smallIDs(5) = %v, want %v", sc.fringe, want)
 		}
 	}
-	if n := len(c.smallIDs(100)); n != len(sizes) {
-		t.Fatalf("smallIDs(100) covers %d trees, want %d", n, len(sizes))
+	sc.fringe = sc.fringe[:0]
+	iv.smallIDs(100, sc)
+	if len(sc.fringe) != len(sizes) {
+		t.Fatalf("smallIDs(100) covers %d trees, want %d", len(sc.fringe), len(sizes))
+	}
+	// Deleting drops a tree from the sweep after the lazy rebuild.
+	iv.delete(1)
+	sc.fringe = sc.fringe[:0]
+	iv.smallIDs(5, sc)
+	want = []int32{3, 0}
+	if len(sc.fringe) != len(want) || sc.fringe[0] != want[0] || sc.fringe[1] != want[1] {
+		t.Fatalf("smallIDs(5) after delete = %v, want %v", sc.fringe, want)
+	}
+}
+
+// TestTombstoneAndCompaction drives the generation machinery directly:
+// replaced and deleted trees stop being visible to probes, and a
+// compaction physically drops their postings without changing the view.
+func TestTombstoneAndCompaction(t *testing.T) {
+	var iv inverted
+	prof := func(kcs ...keyCount) []keyCount { return kcs }
+	iv.put(0, 3, prof(keyCount{0, 2}, keyCount{1, 1}))
+	iv.put(1, 2, prof(keyCount{0, 1}, keyCount{2, 1}))
+	iv.put(2, 4, prof(keyCount{0, 4}))
+
+	count := func(q int) map[int32]int32 {
+		sc := getScratch()
+		defer sc.release()
+		if _, _, ok := iv.accumulate(q, sc); !ok {
+			return nil
+		}
+		out := map[int32]int32{}
+		for _, tr := range sc.touched {
+			out[tr] = sc.common[tr]
+		}
+		return out
+	}
+
+	if got := count(2); got[0] != 2 || got[1] != 1 {
+		t.Fatalf("initial probe of 2: %v", got)
+	}
+	// Replace tree 0: smaller overlap under the new profile.
+	iv.put(0, 3, prof(keyCount{0, 1}))
+	if got := count(2); got[0] != 1 {
+		t.Fatalf("probe after replace: %v", got)
+	}
+	if iv.dead.Load() == 0 {
+		t.Fatal("replace left no tombstones")
+	}
+	iv.delete(1)
+	if got := count(2); got[1] != 0 {
+		t.Fatalf("probe sees deleted tree: %v", got)
+	}
+	before := count(2)
+	iv.compact()
+	if iv.dead.Load() != 0 {
+		t.Fatalf("compaction left %d tombstones", iv.dead.Load())
+	}
+	after := count(2)
+	if len(before) != len(after) || before[0] != after[0] {
+		t.Fatalf("compaction changed the probe view: %v -> %v", before, after)
+	}
+	if iv.liveCount() != 2 {
+		t.Fatalf("live count %d, want 2", iv.liveCount())
 	}
 }

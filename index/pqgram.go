@@ -2,6 +2,7 @@ package index
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/bounds"
 	"repro/internal/tree"
@@ -45,14 +46,16 @@ import (
 // larger p buys a more structure-sensitive ranking for approximate
 // workloads such as top-k candidate ordering.
 //
-// A PQGram serves one query at a time (queries share scratch).
+// Like Histogram, a PQGram indexes trees under stable ids (Add/Put),
+// supports Delete and Put-replacement through generation-tombstoned
+// postings with automatic compaction, and serves concurrent probes over
+// hash-sharded posting lists.
 type PQGram struct {
-	c       corpus
-	p, q    int
-	ids     map[string]int32 // gram interner
-	profLen []int            // |P(t)|, grams with multiplicity
+	p, q int
 
-	scratch []int32 // gram-id buffer reused by Add
+	kmu sync.Mutex
+	ids map[string]int32 // gram interner
+	iv  inverted
 }
 
 // NewPQGram returns an empty pq-gram index with the given stem length p
@@ -77,51 +80,84 @@ func (ix *PQGram) Q() int { return ix.q }
 // generator (true exactly when p = 1).
 func (ix *PQGram) Complete() bool { return ix.p == 1 }
 
-// Len returns the number of indexed trees.
-func (ix *PQGram) Len() int { return len(ix.c.sizes) }
+// Len returns the number of live (not deleted) indexed trees.
+func (ix *PQGram) Len() int { return ix.iv.liveCount() }
 
-// Size returns the node count of the indexed tree id.
-func (ix *PQGram) Size(id int) int { return ix.c.sizes[id] }
-
-// Add indexes t and returns its dense id (assigned in insertion order).
-func (ix *PQGram) Add(t *tree.Tree) int {
-	grams := bounds.PQGramProfile(t, ix.p, ix.q) // sorted, so ids run-length cleanly
-	ids := ix.scratch[:0]
-	for _, g := range grams {
-		id, ok := ix.ids[g]
-		if !ok {
-			id = int32(len(ix.ids))
-			ix.ids[g] = id
-		}
-		ids = append(ids, id)
+// Size returns the node count of the indexed tree id, or 0 if no live
+// tree is indexed under it.
+func (ix *PQGram) Size(id int) int {
+	sz, _, alive := ix.iv.meta(int32(id))
+	if !alive {
+		return 0
 	}
-	ix.scratch = ids
-	ix.profLen = append(ix.profLen, len(grams))
-	return ix.c.add(t.Len(), runLength(ids))
+	return int(sz)
 }
 
-// CandidatesBelow appends to dst every tree with id < q that shares at
-// least one pq-gram with tree q — plus, for p = 1, the small-tree fringe
-// that keeps the generator complete — in ascending id order, and returns
-// the extended slice. Candidates whose size lower bound ||F|−|G|| already
-// reaches tau are omitted (they cannot match); LB carries that bound and
-// Score the pq-gram distance, so callers can verify the most similar
-// candidates first.
+// Add indexes t under the next unused id (insertion order when trees are
+// never deleted) and returns that id.
+func (ix *PQGram) Add(t *tree.Tree) int {
+	id := ix.iv.reserve()
+	ix.Put(id, t)
+	return id
+}
+
+// Put indexes t under the stable id of the caller's choosing, replacing
+// whatever tree was indexed there (the old postings become tombstones).
+func (ix *PQGram) Put(id int, t *tree.Tree) {
+	grams := bounds.PQGramProfile(t, ix.p, ix.q) // sorted, so ids run-length cleanly
+	ids := make([]int32, 0, len(grams))
+	ix.kmu.Lock()
+	for _, g := range grams {
+		kid, ok := ix.ids[g]
+		if !ok {
+			kid = int32(len(ix.ids))
+			ix.ids[g] = kid
+		}
+		ids = append(ids, kid)
+	}
+	ix.kmu.Unlock()
+	ix.iv.put(id, t.Len(), runLength(ids))
+}
+
+// Delete removes the tree id from the index (its postings become
+// tombstones, reclaimed by the next compaction). It reports whether a
+// live tree was indexed under id.
+func (ix *PQGram) Delete(id int) bool { return ix.iv.delete(id) }
+
+// Compact rewrites the posting lists, dropping every tombstoned posting.
+func (ix *PQGram) Compact() { ix.iv.compact() }
+
+// CandidatesBelow appends to dst every live tree with id < q that shares
+// at least one pq-gram with tree q — plus, for p = 1, the small-tree
+// fringe that keeps the generator complete — in ascending id order, and
+// returns the extended slice. Candidates whose size lower bound ||F|−|G||
+// already reaches tau are omitted (they cannot match); LB carries that
+// bound and Score the pq-gram distance, so callers can verify the most
+// similar candidates first. Safe for concurrent use with other probes
+// and with Add/Put/Delete.
 func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candidate {
 	dst = dst[:0]
 	if tau <= 0 || q <= 0 {
 		return dst
 	}
-	nq := ix.c.sizes[q]
-	ix.c.accumulate(q)
-	for _, t := range ix.c.touched {
-		nt := ix.c.sizes[t]
-		diff := nq - nt
+	sc := getScratch()
+	defer sc.release()
+	nq32, qProfLen, ok := ix.iv.accumulate(q, sc)
+	if !ok {
+		return dst
+	}
+	nq := int(nq32)
+	for _, t := range sc.touched {
+		nt, tProfLen, alive := ix.iv.meta(t)
+		if !alive {
+			continue
+		}
+		diff := nq - int(nt)
 		if diff < 0 {
 			diff = -diff
 		}
 		if lb := float64(diff); lb < tau {
-			score := 1 - 2*float64(ix.c.common[t])/float64(ix.profLen[q]+ix.profLen[t])
+			score := 1 - 2*float64(sc.common[t])/float64(qProfLen+tProfLen)
 			dst = append(dst, Candidate{ID: int(t), LB: lb, Score: score})
 		}
 	}
@@ -137,12 +173,16 @@ func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candida
 		limit = math.MaxInt
 	}
 	if nq <= limit {
-		for _, t := range ix.c.smallIDs(limit) {
-			if int(t) >= q || ix.c.common[t] != 0 {
+		ix.iv.smallIDs(limit, sc)
+		for _, t := range sc.fringe {
+			if int(t) >= q || sc.common[t] != 0 {
 				continue
 			}
-			nt := ix.c.sizes[t]
-			diff := nq - nt
+			nt, _, alive := ix.iv.meta(t)
+			if !alive {
+				continue
+			}
+			diff := nq - int(nt)
 			if diff < 0 {
 				diff = -diff
 			}
@@ -151,7 +191,6 @@ func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candida
 			}
 		}
 	}
-	ix.c.reset()
 	sortByID(dst)
 	return dst
 }

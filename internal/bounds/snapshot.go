@@ -1,0 +1,91 @@
+package bounds
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// This file is the serialization face of Profile: a Profile is pure
+// per-tree precomputation, so a persisted corpus stores its histograms
+// and rebuilds the rest from the tree, instead of re-hashing every label
+// on every restart. The two histogram snapshots are sorted so that
+// encoding a profile is deterministic.
+
+// LabelCount is one entry of the label-multiset histogram.
+type LabelCount struct {
+	Label string
+	Count int
+}
+
+// BranchCount is one entry of the binary-branch histogram: the triple of
+// the Yang et al. binary-branch transform with its multiplicity. Missing
+// first-child/next-sibling positions are the empty string.
+type BranchCount struct {
+	Label, FirstChild, NextSibling string
+	Count                          int
+}
+
+// LabelCounts returns the profile's label histogram, sorted by label.
+func (p *Profile) LabelCounts() []LabelCount {
+	out := make([]LabelCount, 0, len(p.labels))
+	for l, c := range p.labels {
+		out = append(out, LabelCount{Label: l, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// BranchCounts returns the profile's binary-branch histogram, sorted by
+// (label, first child, next sibling).
+func (p *Profile) BranchCounts() []BranchCount {
+	out := make([]BranchCount, 0, len(p.branches))
+	for b, c := range p.branches {
+		out = append(out, BranchCount{
+			Label:       b.label,
+			FirstChild:  b.firstChild,
+			NextSibling: b.nextSibling,
+			Count:       c,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.FirstChild != b.FirstChild {
+			return a.FirstChild < b.FirstChild
+		}
+		return a.NextSibling < b.NextSibling
+	})
+	return out
+}
+
+// RestoreProfile rebuilds a Profile for t from persisted histograms. The
+// label serializations are re-derived from the tree (pointer copies, no
+// hashing); the two histograms are installed from their snapshots with
+// one map insert per distinct entry — O(distinct) hash work instead of
+// the O(n) of NewProfile. The caller vouches that the snapshots belong
+// to t; mismatched histograms yield wrong (but crash-free) bounds, the
+// same trust model as any other persisted artifact.
+func RestoreProfile(t *tree.Tree, labels []LabelCount, branches []BranchCount) *Profile {
+	n := t.Len()
+	p := &Profile{
+		t:        t,
+		labels:   make(map[string]int, len(labels)),
+		branches: make(map[branch]int, len(branches)),
+		pre:      make([]string, n),
+		post:     make([]string, n),
+	}
+	for _, lc := range labels {
+		p.labels[lc.Label] = lc.Count
+	}
+	for _, bc := range branches {
+		p.branches[branch{bc.Label, bc.FirstChild, bc.NextSibling}] = bc.Count
+	}
+	for i := 0; i < n; i++ {
+		p.post[i] = t.Label(i)
+		p.pre[i] = t.Label(t.ByPre(i))
+	}
+	return p
+}

@@ -1,6 +1,11 @@
 package cost
 
-import "repro/internal/tree"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tree"
+)
 
 // This file implements the per-tree half of cost compilation, used by the
 // batch engine: when many pairs over the same trees are computed, label
@@ -11,9 +16,12 @@ import "repro/internal/tree"
 // Compiled pair form without touching the labels again.
 
 // Interner assigns stable integer ids to labels across many trees. It is
-// not safe for concurrent use; callers serialize Intern (the batch engine
-// interns under its preparation lock and never on the distance hot path).
+// safe for concurrent use: interning only happens on preparation paths
+// (never on the distance hot path), and a corpus-attached interner is
+// shared by every engine the corpus creates, so the serialization lives
+// with the interner rather than with any one engine.
 type Interner struct {
+	mu     sync.Mutex
 	ids    map[string]int
 	labels []string
 }
@@ -23,9 +31,35 @@ func NewInterner() *Interner {
 	return &Interner{ids: make(map[string]int)}
 }
 
+// NewInternerFromTable returns an interner pre-seeded so that label
+// Table()[i] has id i — the inverse of Table, used when a persisted label
+// table is reloaded and stored per-node ids must stay valid. Duplicate
+// labels in the table are an error (two ids for one label would make
+// interning ambiguous).
+func NewInternerFromTable(table []string) (*Interner, error) {
+	in := &Interner{
+		ids:    make(map[string]int, len(table)),
+		labels: make([]string, len(table)),
+	}
+	copy(in.labels, table)
+	for i, l := range table {
+		if prev, ok := in.ids[l]; ok {
+			return nil, fmt.Errorf("cost: label table entries %d and %d are both %q", prev, i, l)
+		}
+		in.ids[l] = i
+	}
+	return in, nil
+}
+
 // Intern returns the id of label l, assigning the next free id on first
 // sight.
 func (in *Interner) Intern(l string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.intern(l)
+}
+
+func (in *Interner) intern(l string) int {
 	if id, ok := in.ids[l]; ok {
 		return id
 	}
@@ -35,8 +69,28 @@ func (in *Interner) Intern(l string) int {
 	return id
 }
 
+// Table returns the id->label table interned so far. The result is a
+// stable snapshot: ids only grow, so the table of a later snapshot
+// extends an earlier one element for element.
+func (in *Interner) Table() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.snapshot()
+}
+
+// snapshot returns the current id->label view with capacity clipped to
+// its length, so later appends never write into a handed-out slice.
+// Callers must hold in.mu.
+func (in *Interner) snapshot() []string {
+	return in.labels[:len(in.labels):len(in.labels)]
+}
+
 // Len returns the number of distinct labels interned so far.
-func (in *Interner) Len() int { return len(in.labels) }
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.labels)
+}
 
 // PerTree is the per-tree half of a compiled cost model: interned label
 // ids plus the delete and insert cost of every node. Two halves compiled
@@ -54,7 +108,8 @@ type PerTree struct {
 }
 
 // CompileTree interns the labels of t and precomputes its per-node
-// delete and insert costs under model m.
+// delete and insert costs under model m. The interner is locked once for
+// the whole tree.
 func CompileTree(m Model, t *tree.Tree, in *Interner) *PerTree {
 	n := t.Len()
 	p := &PerTree{
@@ -62,15 +117,61 @@ func CompileTree(m Model, t *tree.Tree, in *Interner) *PerTree {
 		Del: make([]float64, n),
 		Ins: make([]float64, n),
 	}
+	in.mu.Lock()
 	for v := 0; v < n; v++ {
 		l := t.Label(v)
-		p.IDs[v] = in.Intern(l)
+		p.IDs[v] = in.intern(l)
 		p.Del[v] = m.Delete(l)
 		p.Ins[v] = m.Insert(l)
 	}
-	p.labels = in.labels
+	p.labels = in.snapshot()
+	in.mu.Unlock()
 	_, p.unit = m.(Unit)
 	return p
+}
+
+// CompileTreeFromIDs builds the per-tree compiled form from label ids
+// that were already interned against in — the hydration path of a
+// persisted corpus, which stores per-tree id arrays precisely so that
+// reloading skips the per-node map lookups of CompileTree. Every id must
+// be a valid id of in; the unit model never touches the label table, and
+// other models read it once per node to price the operations.
+func CompileTreeFromIDs(m Model, t *tree.Tree, ids []int32, in *Interner) (*PerTree, error) {
+	n := t.Len()
+	if len(ids) != n {
+		return nil, fmt.Errorf("cost: %d label ids for a %d-node tree", len(ids), n)
+	}
+	p := &PerTree{
+		IDs: make([]int, n),
+		Del: make([]float64, n),
+		Ins: make([]float64, n),
+	}
+	labels := in.Table()
+	if _, unit := m.(Unit); unit {
+		p.unit = true
+		for v := 0; v < n; v++ {
+			id := ids[v]
+			if id < 0 || int(id) >= len(labels) {
+				return nil, fmt.Errorf("cost: node %d has label id %d, interner holds %d labels", v, id, len(labels))
+			}
+			p.IDs[v] = int(id)
+			p.Del[v] = 1
+			p.Ins[v] = 1
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			id := ids[v]
+			if id < 0 || int(id) >= len(labels) {
+				return nil, fmt.Errorf("cost: node %d has label id %d, interner holds %d labels", v, id, len(labels))
+			}
+			l := labels[id]
+			p.IDs[v] = int(id)
+			p.Del[v] = m.Delete(l)
+			p.Ins[v] = m.Insert(l)
+		}
+	}
+	p.labels = labels
+	return p, nil
 }
 
 // RenameMemo is a reusable rename-cost cache for non-unit models. Entries

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_on.go.
+const raceEnabled = false

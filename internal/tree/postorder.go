@@ -1,0 +1,131 @@
+package tree
+
+import "fmt"
+
+// PostorderForm is the minimal serializable description of a tree: the
+// label and child count of every node, both in postorder. It is the form
+// the corpus codec stores — two flat arrays instead of a pointer
+// structure — and FromPostorder rebuilds the full indexed Tree from it.
+type PostorderForm struct {
+	Labels      []string
+	ChildCounts []int
+}
+
+// Postorder returns the postorder form of t. The labels slice aliases the
+// tree's internal labels and must not be modified.
+func (t *Tree) Postorder() PostorderForm {
+	counts := make([]int, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		counts[i] = len(t.children[i])
+	}
+	return PostorderForm{Labels: t.labels, ChildCounts: counts}
+}
+
+// FromPostorder rebuilds the indexed Tree from its postorder form without
+// going through the mutable builder representation: one stack pass wires
+// parents, children and all bottom-up quantities, and two linear passes
+// fill the top-down and traversal-order arrays. It returns an error —
+// never panics — on malformed input (mismatched lengths, child counts
+// that do not stack up to a single root), so decoders can feed it
+// untrusted data directly.
+func FromPostorder(f PostorderForm) (*Tree, error) {
+	n := len(f.Labels)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty postorder form")
+	}
+	if len(f.ChildCounts) != n {
+		return nil, fmt.Errorf("tree: %d labels but %d child counts", n, len(f.ChildCounts))
+	}
+	t := &Tree{
+		labels:   make([]string, n),
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		size:     make([]int, n),
+		depth:    make([]int, n),
+		lml:      make([]int, n),
+		rml:      make([]int, n),
+		pre:      make([]int, n),
+		byPre:    make([]int, n),
+		mpost:    make([]int, n),
+		byMPost:  make([]int, n),
+		heavy:    make([]int, n),
+		sumSize:  make([]int64, n),
+	}
+	copy(t.labels, f.Labels)
+
+	// Bottom-up pass: each node adopts the last k completed subtrees on
+	// the stack as its children (stack order is sibling order).
+	stack := make([]int, 0, 16)
+	for i := 0; i < n; i++ {
+		k := f.ChildCounts[i]
+		if k < 0 || k > len(stack) {
+			return nil, fmt.Errorf("tree: node %d claims %d children, %d subtrees available", i, k, len(stack))
+		}
+		kids := stack[len(stack)-k:]
+		sz := 1
+		var ss int64
+		if k > 0 {
+			t.children[i] = make([]int, k)
+			copy(t.children[i], kids)
+		}
+		for _, c := range kids {
+			t.parent[c] = i
+			sz += t.size[c]
+			ss += t.sumSize[c]
+		}
+		t.size[i] = sz
+		t.sumSize[i] = ss + int64(sz)
+		if k == 0 {
+			t.lml[i] = i
+			t.rml[i] = i
+			t.heavy[i] = -1
+		} else {
+			t.lml[i] = t.lml[kids[0]]
+			t.rml[i] = t.rml[kids[k-1]]
+			// Heavy child: maximal subtree size, ties to the rightmost
+			// child (the convention of Index).
+			h := kids[0]
+			for _, c := range kids[1:] {
+				if t.size[c] >= t.size[h] {
+					h = c
+				}
+			}
+			t.heavy[i] = h
+		}
+		stack = append(stack[:len(stack)-k], i)
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("tree: child counts describe a forest of %d trees, want 1", len(stack))
+	}
+	t.parent[n-1] = -1
+
+	// Top-down pass: in reverse postorder every parent precedes its
+	// children, so depths propagate in one sweep.
+	for i := n - 1; i >= 0; i-- {
+		d := t.depth[i]
+		if d > t.height {
+			t.height = d
+		}
+		for _, c := range t.children[i] {
+			t.depth[c] = d + 1
+		}
+	}
+
+	// Preorder numbering via an explicit DFS (children pushed in reverse
+	// so the leftmost is visited first).
+	preStack := append(stack[:0], n-1)
+	preCounter := 0
+	for len(preStack) > 0 {
+		v := preStack[len(preStack)-1]
+		preStack = preStack[:len(preStack)-1]
+		t.pre[v] = preCounter
+		t.byPre[preCounter] = v
+		preCounter++
+		kids := t.children[v]
+		for j := len(kids) - 1; j >= 0; j-- {
+			preStack = append(preStack, kids[j])
+		}
+	}
+	t.fillMirrorPostorder()
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFromPostorderRoundTrip rebuilds trees from their postorder form and
+// checks that every derived array matches the builder-constructed tree.
+func TestFromPostorderRoundTrip(t *testing.T) {
+	cases := []string{
+		"{a}",
+		"{a{b}}",
+		"{a{b}{c}}",
+		"{a{b{d}{e}}{c}}",
+		"{f{d{a}{c{b}}}{e}}",
+		"{r{a{b{c{d{e}}}}}}",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		cases = append(cases, randomBracket(rng, 1+rng.Intn(40)))
+	}
+	for _, s := range cases {
+		want := MustParseBracket(s)
+		got, err := FromPostorder(want.Postorder())
+		if err != nil {
+			t.Fatalf("%s: FromPostorder: %v", s, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: rebuilt tree invalid: %v", s, err)
+		}
+		if !Equal(want, got) {
+			t.Fatalf("%s: rebuilt tree differs", s)
+		}
+		for v := 0; v < want.Len(); v++ {
+			if want.Pre(v) != got.Pre(v) || want.MPost(v) != got.MPost(v) ||
+				want.Depth(v) != got.Depth(v) || want.HeavyChild(v) != got.HeavyChild(v) ||
+				want.SumSizes(v) != got.SumSizes(v) ||
+				want.LeftmostLeaf(v) != got.LeftmostLeaf(v) || want.RightmostLeaf(v) != got.RightmostLeaf(v) {
+				t.Fatalf("%s: derived arrays differ at node %d", s, v)
+			}
+		}
+		if want.Height() != got.Height() {
+			t.Fatalf("%s: height %d != %d", s, got.Height(), want.Height())
+		}
+	}
+}
+
+func randomBracket(rng *rand.Rand, budget int) string {
+	var build func(budget int) string
+	labels := []string{"a", "b", "c", "d"}
+	build = func(budget int) string {
+		s := "{" + labels[rng.Intn(len(labels))]
+		budget--
+		for budget > 0 && rng.Intn(3) > 0 {
+			k := 1 + rng.Intn(budget)
+			s += build(k)
+			budget -= k
+		}
+		return s + "}"
+	}
+	return build(budget)
+}
+
+// TestFromPostorderRejectsMalformed pins the error (not panic) contract
+// for decoder-fed input.
+func TestFromPostorderRejectsMalformed(t *testing.T) {
+	cases := []PostorderForm{
+		{}, // empty
+		{Labels: []string{"a"}, ChildCounts: []int{}},          // length mismatch
+		{Labels: []string{"a"}, ChildCounts: []int{1}},         // child from empty stack
+		{Labels: []string{"a", "b"}, ChildCounts: []int{0, 0}}, // forest, not a tree
+		{Labels: []string{"a", "b"}, ChildCounts: []int{0, 2}}, // too many children
+		{Labels: []string{"a"}, ChildCounts: []int{-1}},        // negative count
+	}
+	for i, f := range cases {
+		if _, err := FromPostorder(f); err == nil {
+			t.Errorf("case %d: malformed form accepted", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/batch"
+	"repro/corpus"
 	"repro/internal/strategy"
 	"repro/internal/tree"
 )
@@ -85,10 +86,11 @@ func WithIndex(m IndexMode) Option {
 	}
 }
 
-// batchEngine assembles the batch engine a config describes: worker
-// count, cost model, and — for the fixed-strategy competitor algorithms —
-// the per-pair strategy override (RTED is the engine default).
-func (c config) batchEngine(workers int) *batch.Engine {
+// batchOpts assembles the batch engine options a config describes:
+// worker count, cost model, and — for the fixed-strategy competitor
+// algorithms — the per-pair strategy override (RTED is the engine
+// default).
+func (c config) batchOpts(workers int) []batch.Option {
 	opts := []batch.Option{batch.WithWorkers(workers), batch.WithCost(c.model)}
 	if c.alg != RTED {
 		a := c.alg
@@ -96,7 +98,34 @@ func (c config) batchEngine(workers int) *batch.Engine {
 			return StrategyFor(a, f, g)
 		}))
 	}
-	return batch.New(opts...)
+	return opts
+}
+
+// batchEngine builds a free-standing engine from the config.
+func (c config) batchEngine(workers int) *batch.Engine {
+	return batch.New(c.batchOpts(workers)...)
+}
+
+// joinCorpus wraps a collection in a transient corpus for an indexed
+// join, maintaining the index the mode will probe (auto resolves inside
+// the corpus and prefers the histogram). Add order makes the assigned
+// IDs 0..n−1, which the returned map folds back to collection indices.
+func joinCorpus(trees []*Tree, mode IndexMode) (*corpus.Corpus, map[corpus.ID]int) {
+	var opts []corpus.Option
+	switch mode {
+	case IndexPQGram:
+		opts = append(opts, corpus.WithPQGramIndex(2))
+	case IndexEnumerate:
+		// Enumeration probes nothing; skip index maintenance entirely.
+	default: // IndexAuto, IndexHistogram
+		opts = append(opts, corpus.WithHistogramIndex())
+	}
+	cp := corpus.New(opts...)
+	ids := make(map[corpus.ID]int, len(trees))
+	for i, t := range trees {
+		ids[cp.Add(t)] = i
+	}
+	return cp, ids
 }
 
 // Join computes the similarity self-join of the paper's Table 1: all
@@ -118,12 +147,23 @@ func Join(trees []*Tree, tau float64, opts ...Option) JoinResult {
 	if workers < 1 {
 		workers = 1
 	}
-	e := c.batchEngine(workers)
 	var ms []batch.Match
 	var st batch.JoinStats
 	if c.indexed {
-		ms, st = e.JoinIndexed(e.PrepareAll(trees), tau, batch.JoinOptions{Mode: c.imode})
+		// Indexed joins run on the corpus layer: the collection becomes a
+		// transient corpus whose maintained index generates the
+		// candidates, and the engine hydrates the corpus's artifacts —
+		// the same path a persisted corpus takes after Load, so the two
+		// are one code path and provably agree.
+		cp, ids := joinCorpus(trees, c.imode)
+		e := cp.Engine(c.batchOpts(workers)...)
+		cms, cst := cp.Join(e, tau, batch.JoinOptions{Mode: c.imode})
+		st = cst
+		for _, m := range cms {
+			ms = append(ms, batch.Match{I: ids[m.I], J: ids[m.J], Dist: m.Dist})
+		}
 	} else {
+		e := c.batchEngine(workers)
 		ms, st = e.Join(e.PrepareAll(trees), tau, c.filters)
 	}
 	out := JoinResult{

@@ -1,6 +1,8 @@
 package ted
 
 import (
+	"repro/batch"
+	"repro/corpus"
 	"repro/internal/gted"
 )
 
@@ -64,8 +66,10 @@ type CrossSubtreeMatch struct {
 // are skipped once their size alone rules them out, under UnitCost).
 // Ties break toward smaller (Tree, Root); results are sorted by distance.
 //
-// To amortize preparation across repeated queries, use
-// batch.Engine.TopKAcross directly and keep the PreparedTrees.
+// The collection runs through the corpus layer (package corpus), so
+// repeated queries against a persistent collection amortize all per-tree
+// work: keep a corpus.Corpus (or Load one) and call Corpus.TopKAcross
+// with a corpus-attached engine.
 func TopKSubtreesAcross(query *Tree, data []*Tree, k int, opts ...Option) []CrossSubtreeMatch {
 	if k <= 0 || len(data) == 0 {
 		return nil
@@ -74,8 +78,17 @@ func TopKSubtreesAcross(query *Tree, data []*Tree, k int, opts ...Option) []Cros
 	if c.alg == ZhangShashaClassic {
 		c.alg = RTED // no strategy form; RTED dominates it anyway
 	}
-	e := c.batchEngine(1)
-	ms, st := e.TopKAcross(e.Prepare(query), e.PrepareAll(data), k)
+	cp := corpus.New()
+	pos := make(map[corpus.ID]int, len(data))
+	for i, t := range data {
+		pos[cp.Add(t)] = i
+	}
+	e := cp.Engine(c.batchOpts(1)...)
+	cms, st := cp.TopKAcross(e, e.Prepare(query), k)
+	ms := make([]batch.CrossMatch, len(cms))
+	for i, m := range cms {
+		ms[i] = batch.CrossMatch{Tree: pos[m.Tree], Root: m.Root, Dist: m.Dist}
+	}
 	if c.stats != nil {
 		c.stats.Subproblems = st.Subproblems
 		c.stats.PrunedSubproblems = st.PrunedSubproblems
