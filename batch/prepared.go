@@ -138,6 +138,30 @@ func (p *PreparedTree) profile() *bounds.Profile {
 	return p.prof
 }
 
+// PrepareQuery prepares an ad-hoc tree for the request path of a
+// serving workload: a query that arrives over the wire, pairs against
+// corpus-hydrated trees for one request, and is then garbage. The
+// artifacts are those of Prepare — the engine's interner assigns the
+// label ids, so the result pairs with any PreparedTree of the same
+// engine (or of the corpus that created it) — but the lower-bound
+// profile is built eagerly rather than lazily: request handlers consult
+// it on their very next call (DistanceBounded, TopKAcross, filtered
+// joins), and building it here keeps that work out of the
+// admission-controlled critical section where it would count against
+// another request's queue time.
+//
+// Nothing is cached anywhere: the corpus-side PreparedTree cache is for
+// stored trees, and a server that prepared its queries through it would
+// grow without bound. Labels never seen before are still interned into
+// the shared table (ids must be comparable against stored trees'); that
+// table grows by the union of distinct labels served, which is why
+// servers cap request tree sizes at admission.
+func (e *Engine) PrepareQuery(t *tree.Tree) *PreparedTree {
+	p := e.Prepare(t)
+	p.profile()
+	return p
+}
+
 // PrepareAll prepares every tree of a collection.
 func (e *Engine) PrepareAll(ts []*tree.Tree) []*PreparedTree {
 	out := make([]*PreparedTree, len(ts))

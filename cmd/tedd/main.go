@@ -1,0 +1,202 @@
+// Command tedd serves a corpus over HTTP: the tree-edit-distance
+// daemon. It loads (or creates) a persistent corpus, attaches a warmed
+// batch engine, and exposes the package server JSON API — distances,
+// bounded distances, similarity joins, top-k subtree search, and
+// durable corpus mutations.
+//
+// Usage:
+//
+//	tedd -corpus trees.tedc                     # serve on :8420
+//	tedd -corpus trees.tedc -addr 127.0.0.1:9000 -workers 8
+//	tedd -corpus trees.tedc -index pqgram -max-inflight 64
+//
+// The corpus is opened with corpus.Open: mutations served over HTTP are
+// appended to the write-ahead log at <corpus>.wal before they are
+// acknowledged, so a crash — kill -9 included — loses nothing that was
+// acknowledged; the next start replays the log. On SIGINT/SIGTERM the
+// server drains (new requests get 503, in-flight requests finish), the
+// log is folded into a fresh snapshot (Checkpoint), and the process
+// exits cleanly.
+//
+// Endpoints and wire formats are documented in package server; a smoke
+// check from the shell:
+//
+//	curl -s localhost:8420/healthz
+//	curl -s -X POST localhost:8420/v1/distance \
+//	    -d '{"f":{"tree":"{a{b}{c}}"},"g":{"tree":"{a{b{d}}}"}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/corpus"
+	"repro/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "tedd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment made explicit: ctx cancellation is
+// the shutdown signal, logw receives progress lines, and ready (if
+// non-nil) is sent the bound address once the listener is accepting —
+// the hook the tests and the smoke script's readiness poll rely on.
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("tedd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		corpusPath   = fs.String("corpus", "", "corpus file to serve (created via corpus.Open if missing; required)")
+		addr         = fs.String("addr", ":8420", "listen address")
+		workers      = fs.Int("workers", 0, "engine worker goroutines (0 = all CPU cores)")
+		indexKind    = fs.String("index", "histogram", "maintained index for a fresh corpus: histogram | pqgram | both | none")
+		q            = fs.Int("q", 2, "pq-gram base length when -index includes pqgram")
+		maxInFlight  = fs.Int("max-inflight", 0, "admission: max concurrent requests (0 = 2x workers)")
+		queueWait    = fs.Duration("queue-timeout", 2*time.Second, "admission: how long an arrival may wait for a slot")
+		maxNodes     = fs.Int("max-nodes", 4096, "largest accepted request tree, in nodes (DP memory is O(n^2): ~9*n^2 bytes per pair)")
+		maxLabels    = fs.Int("max-labels", 1<<20, "distinct-label cap; at capacity, ad-hoc trees are refused with 503")
+		maxBody      = fs.Int64("max-body", 1<<20, "largest accepted request body, in bytes")
+		readTimeout  = fs.Duration("read-timeout", time.Minute, "HTTP read deadline per request (headers + body)")
+		noWarm       = fs.Bool("no-warm", false, "skip hydrating stored trees at startup")
+		noCheckpoint = fs.Bool("no-checkpoint", false, "skip folding the WAL into a snapshot on shutdown")
+		ckptEvery    = fs.Duration("checkpoint-interval", 5*time.Minute, "fold the WAL into the snapshot whenever it has grown after this interval (0 = shutdown only)")
+		drainWait    = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpusPath == "" {
+		return errors.New("-corpus is required")
+	}
+
+	var copts []corpus.Option
+	switch *indexKind {
+	case "histogram":
+		copts = append(copts, corpus.WithHistogramIndex())
+	case "pqgram", "both":
+		if *q < 1 {
+			return fmt.Errorf("-q must be ≥ 1 (got %d)", *q)
+		}
+		if *indexKind == "both" {
+			copts = append(copts, corpus.WithHistogramIndex())
+		}
+		copts = append(copts, corpus.WithPQGramIndex(*q))
+	case "none":
+	default:
+		return fmt.Errorf("unknown -index %q (histogram | pqgram | both | none)", *indexKind)
+	}
+
+	start := time.Now()
+	c, err := corpus.Open(*corpusPath, copts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(logw, "tedd: corpus %s: %d trees (opened in %v)\n", *corpusPath, c.Len(), time.Since(start).Round(time.Millisecond))
+
+	sopts := []server.Option{
+		server.WithQueueTimeout(*queueWait),
+		server.WithMaxNodes(*maxNodes),
+		server.WithMaxBodyBytes(*maxBody),
+		server.WithMaxLabels(*maxLabels),
+	}
+	if *workers > 0 {
+		sopts = append(sopts, server.WithWorkers(*workers))
+	}
+	if *maxInFlight > 0 {
+		sopts = append(sopts, server.WithMaxInFlight(*maxInFlight))
+	}
+	srv := server.New(c, sopts...)
+	if !*noWarm {
+		start = time.Now()
+		srv.Warm()
+		fmt.Fprintf(logw, "tedd: warmed %d trees in %v\n", c.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Read deadlines matter to admission: the gate slot is held while the
+	// body is decoded, so without them N slow-body clients could pin all
+	// MaxInFlight slots forever and 503 the service until restart.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(logw, "tedd: serving on %s (%d workers, %d in-flight)\n", ln.Addr(), srv.Engine().Workers(), srv.MaxInFlight())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	// Periodic compaction: without it a mutation-heavy daemon grows the
+	// log (and the crash-recovery replay time) without bound between
+	// restarts. Only runs when the log actually grew; failures are
+	// logged, not fatal — the log itself is still the durable record.
+	if *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if !c.LogPending() {
+						continue // nothing logged since the last fold
+					}
+					start := time.Now()
+					if err := c.Checkpoint(); err != nil {
+						fmt.Fprintf(logw, "tedd: periodic checkpoint: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(logw, "tedd: periodic checkpoint in %v\n", time.Since(start).Round(time.Millisecond))
+				}
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip the admission gate first so queued arrivals
+	// stop reaching the engine, then let http.Server wait out the
+	// requests already in flight.
+	fmt.Fprintf(logw, "tedd: draining\n")
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(logw, "tedd: shutdown: %v\n", err)
+	}
+	if !*noCheckpoint {
+		start = time.Now()
+		if err := c.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintf(logw, "tedd: checkpointed %d trees in %v\n", c.Len(), time.Since(start).Round(time.Millisecond))
+	}
+	return c.Close()
+}

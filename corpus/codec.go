@@ -2,9 +2,11 @@ package corpus
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -18,13 +20,14 @@ import (
 	"repro/internal/tree"
 )
 
-// The corpus binary format, version 1. Everything multi-byte is an
+// The corpus binary format, version 2. Everything multi-byte is an
 // unsigned varint; strings are length-prefixed; label-valued fields
 // reference the shared label table by id (branch triples use 0 for a
 // missing position and id+1 otherwise).
 //
-//	"TEDC" | version u8 | flags u8 (bit0: histogram index, bit1: pq-gram index)
-//	label table:  count, then per label: len, bytes
+//	"TEDC" | version u8 | flags u8 (bit0: histogram index, bit1: pq-gram
+//	                                index, bit2: section checksums)
+//	label table:  count, then per label: len, bytes          | [crc32]
 //	next ID, tree count
 //	per tree (ascending id):
 //	  id, n
@@ -32,11 +35,21 @@ import (
 //	  n × child count
 //	  n × mirror-leafmost    (artifacts)
 //	  3 × n × decomposition cardinality (A, FL, FR)
-//	  profile flag u8; if 1: label histogram pairs, branch histogram entries
+//	  profile flag u8; if 1: label histogram pairs, branch histogram
+//	  entries                                                | [crc32]
 //	per maintained index (histogram, then pq-gram; pq-gram leads with p, q):
 //	  key table: count, then per key: len, bytes
 //	  next id, entry count
 //	  per entry: id, size, profile length, pairs of (key id, count)
+//	                                                         | [crc32]
+//
+// Version 2 adds the bit2 flag: when set, every section (label table,
+// tree store, each index) is followed by the IEEE CRC32 of its encoded
+// bytes as four little-endian raw bytes, so bit rot anywhere in a
+// section is detected at Load instead of surfacing as a subtly wrong
+// corpus. Save always writes version 2 with checksums; the decoder still
+// accepts checksum-less version 1 streams byte for byte (pinned by
+// TestCodecV1BackwardCompat).
 //
 // The decoder returns an error — never panics — on malformed input, and
 // allocates proportionally to bytes actually read (counts are sanity-
@@ -45,11 +58,13 @@ import (
 // FuzzCorpusDecode.
 
 const (
-	codecMagic   = "TEDC"
-	codecVersion = 1
+	codecMagic     = "TEDC"
+	codecVersion   = 2
+	codecVersionV1 = 1
 
 	flagHistogram = 1 << 0
 	flagPQGram    = 1 << 1
+	flagChecksums = 1 << 2
 
 	// Sanity caps: far above anything real, low enough that a hostile
 	// count cannot drive super-linear work before the stream runs dry.
@@ -64,14 +79,23 @@ const (
 var errCorrupt = errors.New("corpus: corrupt stream")
 
 // Save writes the corpus — trees, label table, prepared artifacts and
-// any maintained indexes — to w in the versioned binary format. A Load
-// of the written bytes reproduces the corpus exactly: same IDs, same
-// artifacts, same candidate generation. Lower-bound profiles are forced
-// before writing so the persisted corpus never recomputes them.
+// any maintained indexes — to w in the versioned binary format (version
+// 2, with per-section checksums). A Load of the written bytes reproduces
+// the corpus exactly: same IDs, same artifacts, same candidate
+// generation. Lower-bound profiles are forced before writing so the
+// persisted corpus never recomputes them.
 func (c *Corpus) Save(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.saveLocked(w, codecVersion)
+}
 
+// saveLocked is Save without the locking, at an explicit format version
+// (the v1 path exists only so the backward-compat test can produce real
+// v1 streams). Callers hold c.mu; Checkpoint calls this mid-critical-
+// section so no mutation can slip between the snapshot and the log
+// truncation.
+func (c *Corpus) saveLocked(w io.Writer, version byte) error {
 	ids := make([]ID, 0, len(c.entries))
 	for id := range c.entries {
 		ids = append(ids, id)
@@ -95,7 +119,7 @@ func (c *Corpus) Save(w io.Writer) error {
 		labelID[l] = uint64(i)
 	}
 
-	e := &encoder{w: bufio.NewWriter(w)}
+	e := &encoder{w: bufio.NewWriter(w), sums: version >= codecVersion}
 	e.raw([]byte(codecMagic))
 	flags := byte(0)
 	if c.hist != nil {
@@ -104,12 +128,17 @@ func (c *Corpus) Save(w io.Writer) error {
 	if c.pq != nil {
 		flags |= flagPQGram
 	}
-	e.raw([]byte{codecVersion, flags})
+	if e.sums {
+		flags |= flagChecksums
+	}
+	e.raw([]byte{version, flags})
+	e.crc = 0 // the header authenticates itself; sections start here
 
 	e.uv(uint64(len(table)))
 	for _, l := range table {
 		e.str(l)
 	}
+	e.sectionEnd()
 	e.uv(uint64(c.next))
 	e.uv(uint64(len(ids)))
 	for _, id := range ids {
@@ -151,13 +180,16 @@ func (c *Corpus) Save(w io.Writer) error {
 			e.uv(uint64(bc.Count))
 		}
 	}
+	e.sectionEnd()
 	if c.hist != nil {
 		e.snapshot(c.hist.Snapshot())
+		e.sectionEnd()
 	}
 	if c.pq != nil {
 		e.uv(uint64(1)) // stem length p; always 1 for maintained indexes
 		e.uv(uint64(c.pq.Q()))
 		e.snapshot(c.pq.Snapshot())
+		e.sectionEnd()
 	}
 	if e.err != nil {
 		return e.err
@@ -165,8 +197,46 @@ func (c *Corpus) Save(w io.Writer) error {
 	return e.w.Flush()
 }
 
-// SaveFile writes the corpus to path (created or truncated).
+// SaveFile writes the corpus to path (created or truncated). On a corpus
+// opened with Open, saving to the attached snapshot path is a
+// Checkpoint: the snapshot is replaced atomically and the write-ahead
+// log truncated with it. (Paths are compared after cleaning and
+// absolutizing, so "./data/c.tedc" routes to the checkpoint of
+// "data/c.tedc"; a symlink alias of the attached path is not detected
+// and would overwrite the snapshot non-atomically — name the snapshot
+// the way Open did.)
 func (c *Corpus) SaveFile(path string) error {
+	c.mu.Lock()
+	toAttached := c.wal != nil && samePath(path, c.snapPath)
+	closed := toAttached && c.wal.isClosed()
+	c.mu.Unlock()
+	if toAttached && !closed {
+		return c.Checkpoint()
+	}
+	if closed {
+		// After Close the checkpoint machinery is gone, but this path is
+		// still the one the sidecar log will replay over, so the write
+		// must stay atomic (temp + fsync + rename): a crash mid-write
+		// must never leave a half-snapshot that makes the acknowledged
+		// log records unreachable. The surviving log is a subset of the
+		// state being written, and replay is idempotent. (This mirrors
+		// the replace protocol of swapSnapshotLocked in wal.go — change
+		// one, change both.)
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			return err
+		}
+		tmp := path + ".tmp"
+		if err := writeFileSync(tmp, buf.Bytes()); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return syncDir(filepath.Dir(path))
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -176,6 +246,17 @@ func (c *Corpus) SaveFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// samePath reports whether two paths name the same file after cleaning
+// and absolutizing (symlinks are not chased; see SaveFile).
+func samePath(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return filepath.Clean(a) == filepath.Clean(b)
+	}
+	return aa == bb
 }
 
 // corpusFileName is the file SaveDir/LoadDir use inside their directory.
@@ -196,7 +277,7 @@ func (c *Corpus) SaveDir(dir string) error {
 // indexes rebuilt from their persisted profiles with plain appends —
 // no re-parsing, no re-hashing of grams, no re-sorting.
 func Load(r io.Reader) (*Corpus, error) {
-	d := &decoder{r: bufio.NewReader(r)}
+	d := &decoder{r: &crcReader{r: bufio.NewReader(r)}}
 
 	head := d.raw(6)
 	if d.err != nil {
@@ -205,13 +286,19 @@ func Load(r io.Reader) (*Corpus, error) {
 	if string(head[:4]) != codecMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", errCorrupt, head[:4])
 	}
-	if head[4] != codecVersion {
-		return nil, fmt.Errorf("corpus: format version %d not supported (want %d)", head[4], codecVersion)
+	if head[4] != codecVersion && head[4] != codecVersionV1 {
+		return nil, fmt.Errorf("corpus: format version %d not supported (want %d or %d)", head[4], codecVersionV1, codecVersion)
 	}
 	flags := head[5]
-	if flags&^(flagHistogram|flagPQGram) != 0 {
+	known := byte(flagHistogram | flagPQGram)
+	if head[4] >= codecVersion {
+		known |= flagChecksums
+	}
+	if flags&^known != 0 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", errCorrupt, flags)
 	}
+	d.r.sums = flags&flagChecksums != 0
+	d.r.state = crcInit
 
 	nLabels := d.count(maxLabels, "label table size")
 	table := make([]string, 0, capHint(nLabels))
@@ -220,6 +307,9 @@ func Load(r io.Reader) (*Corpus, error) {
 		if d.err != nil {
 			return nil, d.fail("label table")
 		}
+	}
+	if err := d.sectionCheck("label table"); err != nil {
+		return nil, err
 	}
 	in, err := cost.NewInternerFromTable(table)
 	if err != nil {
@@ -249,10 +339,16 @@ func Load(r io.Reader) (*Corpus, error) {
 		}
 		c.entries[ID(id)] = en
 	}
+	if err := d.sectionCheck("tree store"); err != nil {
+		return nil, err
+	}
 
 	if flags&flagHistogram != 0 {
 		snap, err := d.indexSnapshot()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.sectionCheck("histogram index"); err != nil {
 			return nil, err
 		}
 		c.hist, err = index.RestoreHistogram(snap)
@@ -270,6 +366,9 @@ func Load(r io.Reader) (*Corpus, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.sectionCheck("pq-gram index"); err != nil {
+			return nil, err
+		}
 		if p < 1 || q < 1 {
 			return nil, fmt.Errorf("%w: pq-gram parameters (%d, %d)", errCorrupt, p, q)
 		}
@@ -280,6 +379,13 @@ func Load(r io.Reader) (*Corpus, error) {
 		if err := c.crossCheckIndex(c.pq.Len(), snap, "pq-gram"); err != nil {
 			return nil, err
 		}
+	}
+	// A sticky decode error may have been swallowed structurally (a
+	// truncated final profile leaves entry() with empty loops, a torn
+	// "next id" leaves zero trees to decode): nothing that poisoned the
+	// decoder may load as a smaller-but-valid corpus.
+	if d.err != nil {
+		return nil, d.fail("corpus")
 	}
 	// The stream must end exactly here: trailing garbage means the
 	// payload and the container disagree about what was written.
@@ -326,13 +432,18 @@ func (c *Corpus) crossCheckIndex(liveCount int, snap *index.Snapshot, kind strin
 // ---- encoding ----
 
 type encoder struct {
-	w   *bufio.Writer
-	buf [binary.MaxVarintLen64]byte
-	err error
+	w    *bufio.Writer
+	buf  [binary.MaxVarintLen64]byte
+	err  error
+	sums bool
+	crc  uint32 // running IEEE CRC32 of the current section
 }
 
 func (e *encoder) raw(b []byte) {
 	if e.err == nil {
+		if e.sums {
+			e.crc = crc32.Update(e.crc, crc32.IEEETable, b)
+		}
 		_, e.err = e.w.Write(b)
 	}
 }
@@ -345,8 +456,24 @@ func (e *encoder) uv(v uint64) {
 func (e *encoder) str(s string) {
 	e.uv(uint64(len(s)))
 	if e.err == nil {
+		if e.sums {
+			e.crc = crc32.Update(e.crc, crc32.IEEETable, []byte(s))
+		}
 		_, e.err = e.w.WriteString(s)
 	}
+}
+
+// sectionEnd closes a checksummed section: the running CRC32 is written
+// as four raw little-endian bytes (authenticating the section, not part
+// of the next one) and the accumulator resets. A no-op for v1 streams.
+func (e *encoder) sectionEnd() {
+	if !e.sums || e.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], e.crc)
+	_, e.err = e.w.Write(b[:])
+	e.crc = 0
 }
 
 // branchLabel encodes a branch-triple position: 0 for missing, label
@@ -382,8 +509,61 @@ func (e *encoder) snapshot(s *index.Snapshot) {
 // ---- decoding ----
 
 type decoder struct {
-	r   *bufio.Reader
+	r   *crcReader
 	err error
+}
+
+// crcReader wraps the buffered input so every byte the decoder consumes
+// runs through the running section checksum. It implements io.Reader and
+// io.ByteReader, which is all binary.ReadUvarint and io.ReadFull need.
+//
+// state holds the raw (pre-inversion) CRC32 accumulator, so the
+// byte-at-a-time path of the varint-heavy decode is one table lookup —
+// calling crc32.Update per byte would pay the generic slice-update
+// setup thousands of times and measurably slow Load down.
+type crcReader struct {
+	r     *bufio.Reader
+	sums  bool
+	state uint32
+}
+
+// crcInit is the raw accumulator at a section start (^0: Go's Update
+// inverts on entry and exit; we keep the inverted state between bytes).
+const crcInit = ^uint32(0)
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if cr.sums && n > 0 {
+		cr.state = ^crc32.Update(^cr.state, crc32.IEEETable, p[:n])
+	}
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if cr.sums && err == nil {
+		cr.state = crc32.IEEETable[byte(cr.state)^b] ^ (cr.state >> 8)
+	}
+	return b, err
+}
+
+// sectionCheck closes a checksummed section on the decode side: the four
+// stored CRC bytes are read outside the checksum stream and compared to
+// the accumulator. A no-op on v1 streams.
+func (d *decoder) sectionCheck(what string) error {
+	if !d.r.sums || d.err != nil {
+		return nil
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(d.r.r, b[:]); err != nil {
+		return fmt.Errorf("%w: %s checksum: %v", errCorrupt, what, err)
+	}
+	want := binary.LittleEndian.Uint32(b[:])
+	if got := ^d.r.state; got != want {
+		return fmt.Errorf("%w: %s checksum mismatch (stored %08x, computed %08x)", errCorrupt, what, want, got)
+	}
+	d.r.state = crcInit
+	return nil
 }
 
 func (d *decoder) fail(what string) error {

@@ -117,6 +117,17 @@ func TestLoadErrorsNeverPanic(t *testing.T) {
 			t.Fatalf("truncation at %d bytes accepted", cut)
 		}
 	}
+	// The same contract for an index-less corpus: without index sections
+	// the tree store is the final section, so a truncated last profile or
+	// a torn "next id" must still surface the sticky decode error rather
+	// than load as a smaller-but-plausible corpus.
+	plain, _ := buildCorpus(t)
+	plainData := saveBytes(t, plain)
+	for cut := 0; cut < len(plainData); cut++ {
+		if _, err := corpus.Load(bytes.NewReader(plainData[:cut])); err == nil {
+			t.Fatalf("index-less truncation at %d bytes accepted", cut)
+		}
+	}
 	// Trailing garbage.
 	if _, err := corpus.Load(bytes.NewReader(append(append([]byte{}, data...), 0x00))); err == nil {
 		t.Fatal("trailing byte accepted")

@@ -13,6 +13,19 @@
 // corpus-attached engines hydrate PreparedTrees from them
 // (batch.PrepareHydrated) instead of recomputing.
 //
+// # Durability
+//
+// Save/Load persist point-in-time snapshots. Open adds durability
+// between them: it attaches a write-ahead log (a sidecar file next to
+// the snapshot) that records every Add, Delete and Replace before the
+// mutation returns, and replays log-over-snapshot at startup — so a
+// crash, kill -9 included, loses nothing that was acknowledged.
+// Checkpoint (or SaveFile to the attached path) folds the log into a
+// fresh snapshot atomically and truncates it; Sync forces the log to
+// stable storage and surfaces logging failures; Close releases it. See
+// wal.go for the log format and the replay semantics that make
+// recovery idempotent.
+//
 // # Stable IDs
 //
 // Add assigns monotonically increasing IDs that survive Delete and
@@ -90,6 +103,16 @@ type Corpus struct {
 
 	hist *index.Histogram
 	pq   *index.PQGram
+
+	// Set by Open: the attached write-ahead log and the snapshot path it
+	// recovers from / Checkpoint compacts into. Nil for purely in-memory
+	// corpora (New, Load). mutSeq counts mutations (under mu) so
+	// Checkpoint can tell whether its lock-free snapshot flush raced one;
+	// ckptMu serializes whole checkpoints.
+	wal      *wal
+	snapPath string
+	mutSeq   uint64
+	ckptMu   sync.Mutex
 }
 
 // Option configures New.
@@ -171,6 +194,7 @@ func (c *Corpus) Add(t *tree.Tree) ID {
 	}
 	c.entries[id] = en
 	c.indexPut(id, t)
+	c.logMutation(walOpAdd, id, t)
 	return id
 }
 
@@ -190,6 +214,7 @@ func (c *Corpus) Delete(id ID) bool {
 	if c.pq != nil {
 		c.pq.Delete(int(id))
 	}
+	c.logMutation(walOpDelete, id, nil)
 	return true
 }
 
@@ -205,6 +230,7 @@ func (c *Corpus) Replace(id ID, t *tree.Tree) bool {
 	}
 	c.entries[id] = en
 	c.indexPut(id, t)
+	c.logMutation(walOpReplace, id, t)
 	return true
 }
 
@@ -287,20 +313,58 @@ func (c *Corpus) prepared(e *batch.Engine, en *entry) *batch.PreparedTree {
 }
 
 // snapshotPrepared hydrates every stored tree for e and returns the IDs
-// (ascending) with their PreparedTrees, positions aligned.
-func (c *Corpus) snapshotPrepared(e *batch.Engine) ([]ID, []*batch.PreparedTree) {
+// (ascending) with their PreparedTrees, positions aligned. On a warm
+// corpus (after Warm, the serving steady state) the whole snapshot is
+// taken under the read lock, so concurrent joins, top-k calls and point
+// reads proceed in parallel; the exclusive lock is only taken when some
+// entry still needs hydration.
+//
+// If under is non-nil it runs on the captured snapshot while the lock
+// (read or write) is still held — the hook Join uses to probe the
+// maintained indexes against the same corpus state the trees came from;
+// probing after release would race a Replace that re-indexes a tree the
+// snapshot still holds in its old form, yielding candidates from no
+// consistent state at all.
+func (c *Corpus) snapshotPrepared(e *batch.Engine, under func(ids []ID, ps []*batch.PreparedTree)) ([]ID, []*batch.PreparedTree) {
 	ids := c.IDs()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	ps := make([]*batch.PreparedTree, 0, len(ids))
-	kept := ids[:0]
+	kept := make([]ID, 0, len(ids))
+	warm := true
 	for _, id := range ids {
 		en, ok := c.entries[id]
 		if !ok {
 			continue // deleted between the two locks
 		}
+		if en.prep == nil || en.prepEng != e {
+			warm = false
+			break
+		}
+		ps = append(ps, en.prep)
+		kept = append(kept, id)
+	}
+	if warm && under != nil {
+		under(kept, ps)
+	}
+	c.mu.RUnlock()
+	if warm {
+		return kept, ps
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps = ps[:0]
+	kept = kept[:0]
+	for _, id := range ids {
+		en, ok := c.entries[id]
+		if !ok {
+			continue
+		}
 		ps = append(ps, c.prepared(e, en))
 		kept = append(kept, id)
+	}
+	if under != nil {
+		under(kept, ps)
 	}
 	return kept, ps
 }
@@ -324,14 +388,38 @@ func (c *Corpus) Warm(e *batch.Engine) {
 	}
 }
 
+// PrepareQuery prepares an ad-hoc tree — one that is not stored in the
+// corpus — for use against this corpus's trees on engine e
+// (corpus-attached): the request path of a server answering distance,
+// bounded-distance and top-k queries about trees that arrive over the
+// wire. Unlike Prepared, nothing is cached: the result lives exactly as
+// long as the caller keeps it. See batch.Engine.PrepareQuery for the
+// artifact and interning details.
+func (c *Corpus) PrepareQuery(e *batch.Engine, t *tree.Tree) *batch.PreparedTree {
+	c.checkEngine(e)
+	return e.PrepareQuery(t)
+}
+
 // Prepared returns the PreparedTree of id hydrated for engine e (from
 // the stored artifacts, caching the result), for callers that drive
 // batch.Engine directly — streaming pair queues, top-k, bounded calls.
+// The warm case — the entry already hydrated for e, i.e. every request
+// after Warm — is a read-locked map lookup, so concurrent request
+// handlers do not serialize here.
 func (c *Corpus) Prepared(e *batch.Engine, id ID) (*batch.PreparedTree, bool) {
 	c.checkEngine(e)
+	c.mu.RLock()
+	en, ok := c.entries[id]
+	if ok && en.prep != nil && en.prepEng == e {
+		p := en.prep
+		c.mu.RUnlock()
+		return p, true
+	}
+	c.mu.RUnlock()
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	en, ok := c.entries[id]
+	en, ok = c.entries[id]
 	if !ok {
 		return nil, false
 	}

@@ -3,6 +3,8 @@ package corpus_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	ted "repro"
 	"repro/batch"
@@ -37,6 +39,38 @@ func ExampleCorpus_Save() {
 	}
 	// Output:
 	// trees 0 and 1 at distance 1
+}
+
+// Open is Load plus durability: mutations append to a write-ahead log
+// before they return, so a crash between Saves loses nothing — the next
+// Open replays the log over the snapshot. Checkpoint folds the log into
+// a fresh snapshot when replay time matters more than write latency.
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "tedwal")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "trees.tedc")
+
+	c, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		panic(err)
+	}
+	id := c.Add(ted.MustParse("{a{b}{c}}"))
+	c.Add(ted.MustParse("{a{b}}"))
+	c.Replace(id, ted.MustParse("{a{b}{d}}"))
+	// The crash: no Save, no Checkpoint — the log already has every
+	// record. (Close stands in for the kernel closing a killed process's
+	// descriptors; it flushes nothing the mutations hadn't written.)
+	c.Close()
+
+	recovered, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		panic(err)
+	}
+	defer recovered.Close()
+	tr, _ := recovered.Tree(id)
+	fmt.Println(recovered.Len(), tr)
+	// Output:
+	// 2 {a{b}{d}}
 }
 
 // Stable IDs survive deletes and replaces: ID 1 keeps naming the same

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package corpus
+
+import "os"
+
+// lockWAL is a no-op where flock is unavailable; the single-writer
+// contract of Open is then by convention only.
+func lockWAL(*os.File) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockWAL takes a non-blocking exclusive flock on the log file, so a
+// second Open of a live corpus fails fast instead of silently
+// interleaving (or, before O_APPEND, overwriting) another process's
+// acknowledged records. The kernel releases the lock when the file
+// closes — including when a crashed process's descriptors are torn
+// down, so recovery after kill -9 is never blocked by a stale lock.
+func lockWAL(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("corpus: write-ahead log %s is held by another process (single-writer): %w", f.Name(), err)
+	}
+	return nil
+}

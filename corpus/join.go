@@ -31,42 +31,78 @@ type Match struct {
 // only unfiltered enumeration is available and opts.Mode is ignored.
 //
 // Results are deterministic and ordered by (I, J) — assuming no
-// concurrent Add/Delete/Replace; mutations during a join are safe but
-// the join reflects some consistent snapshot-in-between.
+// concurrent Add/Delete/Replace; mutations during a join are safe and
+// the join reflects one consistent snapshot: the prepared trees and the
+// maintained-index probes are captured under a single lock acquisition,
+// so a Replace landing mid-join cannot suppress candidates for trees
+// the snapshot still holds in their old form.
 func (c *Corpus) Join(e *batch.Engine, tau float64, opts batch.JoinOptions) ([]Match, batch.JoinStats) {
 	c.checkEngine(e)
-	ids, ps := c.snapshotPrepared(e)
 
 	if !e.UnitCost() {
+		ids, ps := c.snapshotPrepared(e, nil)
 		ms, st := e.Join(ps, tau, false)
 		return c.toMatches(ids, ms), st
 	}
 
-	mode := opts.Mode
-	auto := mode == batch.IndexAuto
-	if auto {
-		mode = c.resolveAuto(ps, tau)
-	}
 	wantQ := opts.Q
 	if wantQ <= 0 {
 		wantQ = 2
 	}
+	auto := opts.Mode == batch.IndexAuto
 
-	var probe func(q int, buf []index.Candidate) []index.Candidate
-	switch {
-	case mode == batch.IndexHistogram && c.hist != nil:
-		probe = func(q int, buf []index.Candidate) []index.Candidate {
-			return c.hist.CandidatesBelow(q, tau, buf)
+	// Mode resolution and index probing run inside the snapshot hook —
+	// same lock acquisition as the prepared trees — so the candidates
+	// describe exactly the trees being joined.
+	var (
+		mode      batch.IndexMode
+		probed    bool
+		cands     []batch.CandidatePair
+		probeTime time.Duration
+	)
+	ids, ps := c.snapshotPrepared(e, func(ids []ID, ps []*batch.PreparedTree) {
+		mode = opts.Mode
+		if auto {
+			mode = c.resolveAuto(ps, tau)
 		}
-	// An auto-resolved pq-gram mode takes the maintained index at
-	// whatever base length it was built with (any (1, q) generator is
-	// complete); an explicit IndexPQGram request honors opts.Q.
-	case mode == batch.IndexPQGram && c.pq != nil && (auto || c.pq.Q() == wantQ):
-		probe = func(q int, buf []index.Candidate) []index.Candidate {
-			return c.pq.CandidatesBelow(q, tau, buf)
+		var probe func(q int, buf []index.Candidate) []index.Candidate
+		switch {
+		case mode == batch.IndexHistogram && c.hist != nil:
+			probe = func(q int, buf []index.Candidate) []index.Candidate {
+				return c.hist.CandidatesBelow(q, tau, buf)
+			}
+		// An auto-resolved pq-gram mode takes the maintained index at
+		// whatever base length it was built with (any (1, q) generator is
+		// complete); an explicit IndexPQGram request honors opts.Q.
+		case mode == batch.IndexPQGram && c.pq != nil && (auto || c.pq.Q() == wantQ):
+			probe = func(q int, buf []index.Candidate) []index.Candidate {
+				return c.pq.CandidatesBelow(q, tau, buf)
+			}
 		}
-	}
-	if probe == nil {
+		if probe == nil {
+			return // no maintained index serves this mode
+		}
+		probed = true
+		start := time.Now()
+		pos := make(map[int]int, len(ids))
+		for i, id := range ids {
+			pos[int(id)] = i
+		}
+		var buf []index.Candidate
+		for j, id := range ids {
+			buf = probe(int(id), buf)
+			for _, cd := range buf {
+				i, ok := pos[cd.ID]
+				if !ok {
+					continue // tombstoned posting of a deleted tree
+				}
+				cands = append(cands, batch.CandidatePair{I: i, J: j, LB: cd.LB})
+			}
+		}
+		probeTime = time.Since(start)
+	})
+
+	if !probed {
 		// No maintained index serves this mode: let the engine enumerate
 		// or build its own transient index over the positions.
 		ms, st := e.JoinIndexed(ps, tau, batch.JoinOptions{Mode: mode, Q: opts.Q})
@@ -74,28 +110,10 @@ func (c *Corpus) Join(e *batch.Engine, tau float64, opts batch.JoinOptions) ([]M
 	}
 
 	start := time.Now()
-	pos := make(map[int]int, len(ids))
-	for i, id := range ids {
-		pos[int(id)] = i
-	}
-	var cands []batch.CandidatePair
-	var buf []index.Candidate
-	for j, id := range ids {
-		buf = probe(int(id), buf)
-		for _, cd := range buf {
-			i, ok := pos[cd.ID]
-			if !ok {
-				continue // deleted after the snapshot; nothing to verify
-			}
-			cands = append(cands, batch.CandidatePair{I: i, J: j, LB: cd.LB})
-		}
-	}
-	probeTime := time.Since(start)
-
 	ms, st := e.JoinCandidates(ps, cands, tau)
 	st.Mode = mode
 	st.IndexTime = probeTime
-	st.Elapsed = time.Since(start)
+	st.Elapsed = probeTime + time.Since(start)
 	return c.toMatches(ids, ms), st
 }
 
@@ -147,7 +165,7 @@ type CrossMatch struct {
 // best distance.
 func (c *Corpus) TopKAcross(e *batch.Engine, query *batch.PreparedTree, k int) ([]CrossMatch, batch.Stats) {
 	c.checkEngine(e)
-	ids, ps := c.snapshotPrepared(e)
+	ids, ps := c.snapshotPrepared(e, nil)
 	ms, st := e.TopKAcross(query, ps, k)
 	out := make([]CrossMatch, len(ms))
 	for i, m := range ms {

@@ -1,0 +1,513 @@
+package corpus_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	ted "repro"
+	"repro/batch"
+	"repro/corpus"
+)
+
+// corpusState flattens a corpus to its observable store: id → bracket
+// string.
+func corpusState(c *corpus.Corpus) map[corpus.ID]string {
+	out := make(map[corpus.ID]string)
+	for _, id := range c.IDs() {
+		t, _ := c.Tree(id)
+		out[id] = t.String()
+	}
+	return out
+}
+
+// walMutation is one scripted mutation, so tests can replay the same
+// history onto several corpora.
+type walMutation struct {
+	op   byte // 'a' add, 'd' delete, 'r' replace
+	id   corpus.ID
+	tree string
+}
+
+var walScript = []walMutation{
+	{op: 'a', tree: "{a{b}{c}}"},
+	{op: 'a', tree: "{a{b}}"},
+	{op: 'a', tree: "{x{y{z}}}"},
+	{op: 'a', tree: "{a{b}{c{d}}}"},
+	{op: 'r', id: 1, tree: "{q{r}}"},
+	{op: 'd', id: 2},
+	{op: 'a', tree: "{a{b}{c}{d}}"},
+	{op: 'd', id: 0},
+	{op: 'r', id: 3, tree: "{a{b}{c}}"},
+}
+
+func applyScript(t *testing.T, c *corpus.Corpus, script []walMutation) {
+	t.Helper()
+	for _, m := range script {
+		switch m.op {
+		case 'a':
+			c.Add(ted.MustParse(m.tree))
+		case 'd':
+			if !c.Delete(m.id) {
+				t.Fatalf("delete %d failed", m.id)
+			}
+		case 'r':
+			if !c.Replace(m.id, ted.MustParse(m.tree)) {
+				t.Fatalf("replace %d failed", m.id)
+			}
+		}
+	}
+}
+
+func joinAll(t *testing.T, c *corpus.Corpus) []corpus.Match {
+	t.Helper()
+	ms, _ := c.Join(c.Engine(batch.WithWorkers(2)), math.Inf(1), batch.JoinOptions{})
+	return ms
+}
+
+// TestOpenCrashDurability is the acceptance criterion: mutate an opened
+// corpus, never Save, "crash" (drop the handle without Close), and Open
+// again — the replayed corpus must join bit-identically to a corpus that
+// never crashed.
+func TestOpenCrashDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	c, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	applyScript(t, c, walScript)
+	// No Save, no Checkpoint: the crash. Crash closes the fd with no
+	// sync, as the kernel does for a killed process (releasing the
+	// single-writer lock the way a real death would).
+	c.Crash()
+
+	// No snapshot was ever written, so the reopen supplies the index
+	// option again (a snapshot would carry the configuration itself).
+	reopened, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+
+	pristine := corpus.New(corpus.WithHistogramIndex())
+	applyScript(t, pristine, walScript)
+
+	if got, want := corpusState(reopened), corpusState(pristine); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed corpus %v, want %v", got, want)
+	}
+	if !reopened.HasHistogramIndex() {
+		t.Fatalf("replayed corpus lost the histogram index")
+	}
+	got, want := joinAll(t, reopened), joinAll(t, pristine)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join over replayed corpus diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestOpenReplaysOverSnapshot: mutations after a Checkpoint land in the
+// log and replay over the compacted snapshot.
+func TestOpenReplaysOverSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	c, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	applyScript(t, c, walScript[:5])
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	walSize := func() int64 {
+		st, err := os.Stat(path + ".wal")
+		if err != nil {
+			t.Fatalf("stat wal: %v", err)
+		}
+		return st.Size()
+	}
+	if s := walSize(); s != 5 { // truncated back to the bare header
+		t.Fatalf("wal holds %d bytes after checkpoint, want 5", s)
+	}
+	applyScript(t, c, walScript[5:])
+	if s := walSize(); s <= 5 {
+		t.Fatalf("post-checkpoint mutations did not reach the log (size %d)", s)
+	}
+	c.Crash()
+
+	reopened, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	pristine := corpus.New(corpus.WithHistogramIndex())
+	applyScript(t, pristine, walScript)
+	if got, want := corpusState(reopened), corpusState(pristine); !reflect.DeepEqual(got, want) {
+		t.Fatalf("log-over-snapshot replay %v, want %v", got, want)
+	}
+}
+
+// TestCheckpointCrashBetweenRenameAndTruncate: if the process dies after
+// the snapshot rename but before the log truncation, the stale log
+// replays over the new snapshot — set semantics make that idempotent.
+func TestCheckpointCrashBetweenRenameAndTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	c, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	applyScript(t, c, walScript)
+	staleLog, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Undo the truncation: the snapshot now already contains every logged
+	// mutation, and the log claims them all again.
+	if err := os.WriteFile(path+".wal", staleLog, 0o644); err != nil {
+		t.Fatalf("restore stale log: %v", err)
+	}
+
+	reopened, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	pristine := corpus.New(corpus.WithHistogramIndex())
+	applyScript(t, pristine, walScript)
+	if got, want := corpusState(reopened), corpusState(pristine); !reflect.DeepEqual(got, want) {
+		t.Fatalf("idempotent replay %v, want %v", got, want)
+	}
+	if got, want := joinAll(t, reopened), joinAll(t, pristine); !reflect.DeepEqual(got, want) {
+		t.Fatalf("join after idempotent replay diverges")
+	}
+}
+
+// TestWALEveryPrefixTruncation mirrors the snapshot codec's truncation
+// test: for every byte-prefix of a real log, Open must succeed and
+// recover exactly the state of the longest intact record prefix.
+func TestWALEveryPrefixTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Record the log size after every mutation: those are the record
+	// boundaries a truncated replay may stop at.
+	boundaries := []int64{5} // bare header
+	states := []map[corpus.ID]string{corpusState(c)}
+	for i := range walScript {
+		applyScript(t, c, walScript[i:i+1])
+		st, err := os.Stat(path + ".wal")
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		boundaries = append(boundaries, st.Size())
+		states = append(states, corpusState(c))
+	}
+	full, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	for p := 0; p <= len(full); p++ {
+		tpath := filepath.Join(dir, "trunc.tedc")
+		if err := os.WriteFile(tpath+".wal", full[:p], 0o644); err != nil {
+			t.Fatalf("write prefix: %v", err)
+		}
+		// Every prefix must open: a strict prefix of the header is debris
+		// from a power failure during the very first header write (nothing
+		// acknowledged can predate a complete header), and anything past
+		// the header replays its intact record prefix.
+		tc, err := corpus.Open(tpath)
+		if err != nil {
+			t.Fatalf("prefix %d: open: %v", p, err)
+		}
+		// The recovered state must be the one at the largest record
+		// boundary ≤ p.
+		want := states[0]
+		for k, b := range boundaries {
+			if b <= int64(p) {
+				want = states[k]
+			}
+		}
+		if got := corpusState(tc); !reflect.DeepEqual(got, want) {
+			t.Fatalf("prefix %d: recovered %v, want %v", p, got, want)
+		}
+		// The truncated log must stay usable: append one more mutation
+		// and reopen.
+		id := tc.Add(ted.MustParse("{tail}"))
+		if err := tc.Close(); err != nil {
+			t.Fatalf("prefix %d: close: %v", p, err)
+		}
+		rc, err := corpus.Open(tpath)
+		if err != nil {
+			t.Fatalf("prefix %d: reopen after append: %v", p, err)
+		}
+		if tr, ok := rc.Tree(id); !ok || tr.String() != "{tail}" {
+			t.Fatalf("prefix %d: appended tree lost after truncation recovery", p)
+		}
+		rc.Close()
+		os.Remove(tpath + ".wal")
+	}
+}
+
+// TestWALCorruption flips every byte of a real log in turn: Open must
+// never panic, and each flip must either fail Open (the usual case —
+// in-place corruption of fully-present bytes is bit rot, and silently
+// truncating acknowledged records behind it would lose durable data) or
+// recover a state equal to some intact record prefix (possible only
+// when the flip lands in a length varint and makes the remainder look
+// like a torn tail).
+func TestWALCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	states := []map[corpus.ID]string{corpusState(c)}
+	for i := range walScript {
+		applyScript(t, c, walScript[i:i+1])
+		states = append(states, corpusState(c))
+	}
+	full, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	c.Close()
+
+	for i := range full {
+		bad := append([]byte(nil), full...)
+		bad[i] ^= 0xFF
+		tpath := filepath.Join(dir, "corrupt.tedc")
+		if err := os.WriteFile(tpath+".wal", bad, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		tc, err := corpus.Open(tpath)
+		if err != nil {
+			os.Remove(tpath + ".wal")
+			continue // corruption detected: the durable records are intact on disk
+		}
+		got := corpusState(tc)
+		ok := false
+		for _, want := range states {
+			if reflect.DeepEqual(got, want) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("flip at %d recovered a state matching no record prefix: %v", i, got)
+		}
+		tc.Close()
+		os.Remove(tpath + ".wal")
+	}
+
+	// The loss-protection half of the contract, pinned directly: a flip
+	// inside an early record's body (its bytes are all present — bit rot,
+	// not a torn tail) must fail Open instead of silently truncating the
+	// acknowledged records behind it.
+	bad := append([]byte(nil), full...)
+	bad[7] ^= 0xFF // inside record 0's body, several records follow
+	tpath := filepath.Join(dir, "midrot.tedc")
+	if err := os.WriteFile(tpath+".wal", bad, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := corpus.Open(tpath); err == nil {
+		t.Fatalf("mid-log body corruption silently truncated acknowledged records")
+	}
+}
+
+// TestOpenAdoptsIndexOptions: Opening a snapshot that lacks a requested
+// maintained index grafts and builds it, so the option means the same
+// thing whether or not the snapshot existed.
+func TestOpenAdoptsIndexOptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	plain := corpus.New()
+	for _, s := range []string{"{a{b}{c}}", "{a{b}}", "{a{b}{c{d}}}"} {
+		plain.Add(ted.MustParse(s))
+	}
+	if err := plain.SaveFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	c, err := corpus.Open(path, corpus.WithHistogramIndex())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer c.Close()
+	if !c.HasHistogramIndex() {
+		t.Fatalf("histogram option not adopted on a loaded snapshot")
+	}
+	// The grafted index must generate correct candidates: compare an
+	// indexed join to an enumerated one.
+	e := c.Engine()
+	indexed, _ := c.Join(e, 3, batch.JoinOptions{Mode: batch.IndexHistogram})
+	enum, _ := c.Join(e, 3, batch.JoinOptions{Mode: batch.IndexEnumerate})
+	if !reflect.DeepEqual(indexed, enum) {
+		t.Fatalf("grafted index joins %v, enumeration %v", indexed, enum)
+	}
+}
+
+// TestWALOverflowLengthVarint: a record length claim near 2^64 must not
+// wrap the torn-tail bound check into a negative slice length — Open
+// treats it as debris (or errors), never panics.
+func TestWALOverflowLengthVarint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	// Header + the uvarint encoding of 2^64-4.
+	data := append([]byte("TEDW\x01"),
+		0xFC, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)
+	if err := os.WriteFile(path+".wal", data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c, err := corpus.Open(path)
+	if err != nil {
+		return // rejecting is fine; panicking is the bug
+	}
+	defer c.Close()
+	if c.Len() != 0 {
+		t.Fatalf("overflow record produced %d trees", c.Len())
+	}
+}
+
+// TestOpenSingleWriter: the log carries an exclusive lock, so a second
+// Open of a live corpus fails fast instead of interleaving records; the
+// path opens again once the first holder closes (or crashes).
+func TestOpenSingleWriter(t *testing.T) {
+	if runtime.GOOS == "windows" || runtime.GOOS == "plan9" {
+		t.Skip("flock enforcement is unix-only")
+	}
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := corpus.Open(path); err == nil {
+		t.Fatalf("second Open of a live corpus succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	c2, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	c2.Close()
+}
+
+// TestOpenRejectsForeignWAL: a .wal file that is not a TEDW log must not
+// be truncated or appended to.
+func TestOpenRejectsForeignWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	content := []byte("definitely not a log")
+	if err := os.WriteFile(path+".wal", content, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := corpus.Open(path); err == nil {
+		t.Fatalf("foreign .wal accepted")
+	}
+	after, err := os.ReadFile(path + ".wal")
+	if err != nil || string(after) != string(content) {
+		t.Fatalf("foreign .wal was modified")
+	}
+}
+
+// TestCheckpointThenSaveFileRouting: SaveFile to the attached path is a
+// Checkpoint (log truncated); SaveFile elsewhere leaves the log alone.
+func TestCheckpointThenSaveFileRouting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trees.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer c.Close()
+	applyScript(t, c, walScript[:4])
+	if err := c.SaveFile(filepath.Join(dir, "elsewhere.tedc")); err != nil {
+		t.Fatalf("save elsewhere: %v", err)
+	}
+	st, _ := os.Stat(path + ".wal")
+	if st.Size() <= 5 {
+		t.Fatalf("save to a different path truncated the log")
+	}
+	// An alias of the attached path (un-cleaned) must route to Checkpoint
+	// too — a raw string comparison would instead truncate the live
+	// snapshot in place.
+	if err := c.SaveFile(dir + "/./trees.tedc"); err != nil {
+		t.Fatalf("save to aliased attached path: %v", err)
+	}
+	st, _ = os.Stat(path + ".wal")
+	if st.Size() != 5 {
+		t.Fatalf("save to the attached path did not checkpoint (log %d bytes)", st.Size())
+	}
+	applyScript(t, c, walScript[4:6])
+	if err := c.SaveFile(path); err != nil {
+		t.Fatalf("save to attached path: %v", err)
+	}
+	st, _ = os.Stat(path + ".wal")
+	if st.Size() != 5 {
+		t.Fatalf("second checkpoint did not truncate the log (%d bytes)", st.Size())
+	}
+}
+
+// TestSaveFileAfterClose: Close's "usable in memory" promise includes
+// persisting that memory — a SaveFile to the old attached path falls
+// back to a plain save (the checkpoint machinery is gone) and the saved
+// snapshot loads.
+func TestSaveFileAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	applyScript(t, c, walScript[:4])
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close not a no-op: %v", err)
+	}
+	if err := c.SaveFile(path); err != nil {
+		t.Fatalf("save to attached path after close: %v", err)
+	}
+	// The stale log (never truncated — that would need the checkpoint
+	// machinery) replays idempotently over the just-saved snapshot.
+	rc, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rc.Close()
+	if got, want := corpusState(rc), corpusState(c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-close save round trip %v, want %v", got, want)
+	}
+}
+
+// TestCloseMakesSyncFail: mutations after Close are not silently
+// unlogged — the sticky error surfaces on Sync.
+func TestCloseMakesSyncFail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trees.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c.Add(ted.MustParse("{a}"))
+	if err := c.Sync(); err != nil {
+		t.Fatalf("sync before close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	c.Add(ted.MustParse("{b}"))
+	if err := c.Sync(); err == nil {
+		t.Fatalf("mutation after Close left Sync green")
+	}
+}

@@ -56,6 +56,8 @@
 //
 //	ted (this package)   options, cost-model and algorithm selection
 //	ted/batch            concurrent batch engine: PreparedTree + arenas
+//	ted/corpus           persistent store: stable IDs, codec, write-ahead log
+//	ted/server           HTTP serving layer: JSON API + admission control
 //	ted/index            inverted indexes for join candidate generation
 //	internal/tree        immutable postorder-indexed tree substrate
 //	internal/strategy    LRH strategies, Algorithm 2 (OptStrategy), cost formula
@@ -118,7 +120,8 @@
 // WithWorkers goroutines.
 //
 // The last axis is the collection's lifetime — whether to rebuild the
-// prepared state per run or persist it (package corpus):
+// prepared state per run, persist it, or serve it (packages corpus and
+// server):
 //
 //	How long does the collection live?
 //	├── one process, one join        → the Join options above; the
@@ -128,16 +131,28 @@
 //	│     (adds/deletes/replaces       Add/Delete/Replace keep the
 //	│      between joins)              sharded posting lists in sync, and
 //	│                                   every join reuses the artifacts
-//	└── many processes (a server    → the same corpus, plus Save at
-//	      that restarts, a fleet       build time and Load at start:
-//	      that shares one build)       trees, artifacts and posting
-//	                                    lists come back in O(bytes),
-//	                                    Corpus.Engine + Warm make the
-//	                                    first join pay only GTED
+//	├── many processes, read-mostly  → the same corpus, plus Save at
+//	│     (batch jobs, a fleet          build time and Load at start:
+//	│      that shares one build)       trees, artifacts and posting
+//	│                                    lists come back in O(bytes),
+//	│                                    Corpus.Engine + Warm make the
+//	│                                    first join pay only GTED
+//	├── many processes, mutating     → corpus.Open instead of Load: a
+//	│     (crashes must lose            write-ahead log records every
+//	│      nothing acknowledged)        mutation before it returns and
+//	│                                    replays over the snapshot at
+//	│                                    startup; Checkpoint compacts
+//	└── other services are the      → cmd/tedd (package server): the
+//	      callers (HTTP clients,       corpus behind a JSON API with
+//	      load balancers, probes)      admission control, WAL-durable
+//	                                    mutations and graceful drain
 //
 // Persist when the per-tree work is paid more than once per build:
 // restarts, repeated batch jobs over one collection, or any fan-out
 // where workers can Load a shared artifact set instead of each
 // re-preparing it. Rebuild when trees are joined once and discarded —
 // the codec's bytes buy nothing a dropped process would not also drop.
+// Open (rather than Load) whenever mutations happen between Saves and a
+// crash must not lose them; serve with tedd when the callers are not Go
+// code.
 package ted

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/batch"
+	"repro/corpus"
+	"repro/server"
+)
+
+// Ablation: the serving layer end to end. A corpus goes behind the HTTP
+// front-end (package server) exactly as cmd/tedd would run it — warmed
+// corpus-attached engine, admission gate in front of the worker pool —
+// and a handful of client goroutines fire the request mix of a serving
+// workload: point distances between ad-hoc trees and stored ones,
+// bounded distances, top-k probes, and corpus joins. The experiment
+// reports request p50/p99 latency per endpoint and fails on any
+// correctness divergence: every sampled HTTP answer is cross-checked
+// against the in-process engine, and the HTTP join must match
+// corpus.Join bit for bit. That makes it the CI smoke hook for the
+// transport: marshalling, admission and handler plumbing cannot
+// silently change an answer.
+func init() {
+	register("serve", "Ablation: HTTP serving layer request latency (p50/p99) + correctness", serveExp)
+}
+
+func serveExp(cfg Config) error {
+	header(cfg, "serve", "HTTP serving layer request latency",
+		"endpoint", "requests", "p50_ms", "p99_ms")
+
+	trees := storeCorpusTrees(cfg)
+	c := corpus.New(corpus.WithHistogramIndex())
+	var ids []corpus.ID
+	for _, t := range trees {
+		ids = append(ids, c.Add(t))
+	}
+	srv := server.New(c, server.WithMaxInFlight(32))
+	srv.Warm()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	e := srv.Engine()
+
+	tau := 2.5 + float64(cfg.size(120))/10
+	client := ts.Client()
+
+	post := func(path string, req, out any) error {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	// The distance mix: random stored-vs-stored and stored-vs-ad-hoc
+	// pairs, every answer cross-checked in process.
+	type sample struct {
+		endpoint string
+		d        time.Duration
+		err      error
+	}
+	const clients = 4
+	perClient := 12 + cfg.size(120)/4
+	var mu sync.Mutex
+	var samples []sample
+
+	// The latency is captured immediately after the HTTP exchange; the
+	// in-process cross-check that follows each request is correctness
+	// work, not served time, and must not leak into the percentiles.
+	record := func(endpoint string, d time.Duration, err error) {
+		mu.Lock()
+		samples = append(samples, sample{endpoint, d, err})
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)))
+			for i := 0; i < perClient; i++ {
+				fi, gi := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+				fid, gid := int64(fi), int64(gi)
+				switch i % 3 {
+				case 0:
+					var resp server.DistanceResponse
+					start := time.Now()
+					err := post("/v1/distance", server.DistanceRequest{
+						F: server.TreeRef{ID: &fid}, G: server.TreeRef{ID: &gid},
+					}, &resp)
+					elapsed := time.Since(start)
+					if err == nil {
+						pf, _ := c.Prepared(e, fi)
+						pg, _ := c.Prepared(e, gi)
+						if want := e.Distance(pf, pg); resp.Dist != want {
+							err = fmt.Errorf("distance(%d, %d) = %g over HTTP, %g in process", fi, gi, resp.Dist, want)
+						}
+					}
+					record("distance", elapsed, err)
+				case 1:
+					adhoc := trees[rng.Intn(len(trees))]
+					var resp server.DistanceBoundedResponse
+					start := time.Now()
+					err := post("/v1/distance-bounded", server.DistanceBoundedRequest{
+						F: server.TreeRef{ID: &fid}, G: server.TreeRef{Tree: adhoc.String()},
+						Tau: tau,
+					}, &resp)
+					elapsed := time.Since(start)
+					if err == nil {
+						pf, _ := c.Prepared(e, fi)
+						d, within := e.DistanceBounded(pf, c.PrepareQuery(e, adhoc), tau)
+						if resp.Within != within || resp.Dist != d {
+							err = fmt.Errorf("bounded(%d, ad-hoc, %g) = (%g, %v) over HTTP, (%g, %v) in process",
+								fi, tau, resp.Dist, resp.Within, d, within)
+						}
+					}
+					record("bounded", elapsed, err)
+				default:
+					adhoc := trees[rng.Intn(len(trees))]
+					var resp server.TopKResponse
+					start := time.Now()
+					err := post("/v1/topk", server.TopKRequest{
+						Query: server.TreeRef{Tree: adhoc.String()}, K: 3,
+					}, &resp)
+					elapsed := time.Since(start)
+					if err == nil {
+						want, _ := c.TopKAcross(e, c.PrepareQuery(e, adhoc), 3)
+						if len(resp.Matches) != len(want) {
+							err = fmt.Errorf("topk returned %d matches, want %d", len(resp.Matches), len(want))
+						} else {
+							for k, m := range want {
+								got := resp.Matches[k]
+								if got.Tree != int64(m.Tree) || got.Root != m.Root || got.Dist != m.Dist {
+									err = fmt.Errorf("topk match %d = %+v over HTTP, %+v in process", k, got, m)
+									break
+								}
+							}
+						}
+					}
+					record("topk", elapsed, err)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	// One join over the whole corpus, checked against the in-process
+	// answer bit for bit.
+	var jr server.JoinResponse
+	start := time.Now()
+	err := post("/v1/join", server.JoinRequest{Tau: tau, Mode: "histogram"}, &jr)
+	record("join", time.Since(start), err)
+	if err == nil {
+		want, _ := c.Join(e, tau, batch.JoinOptions{Mode: batch.IndexHistogram})
+		if jr.Count != len(want) {
+			return fmt.Errorf("serve: HTTP join found %d matches, in-process %d", jr.Count, len(want))
+		}
+		if !jr.Truncated && len(jr.Matches) != len(want) {
+			return fmt.Errorf("serve: untruncated join carried %d of %d matches", len(jr.Matches), len(want))
+		}
+		// Compare the carried prefix (the response caps matches; Count
+		// above pins the totals).
+		for i, got := range jr.Matches {
+			m := want[i]
+			if got.I != int64(m.I) || got.J != int64(m.J) || got.Dist != m.Dist {
+				return fmt.Errorf("serve: join match %d is %+v over HTTP, %+v in process", i, got, m)
+			}
+		}
+	}
+
+	// Aggregate per endpoint. Any error is the experiment's verdict: a
+	// correctness divergence or transport failure fails the build, so a
+	// printed table always reports zero-error runs.
+	byEndpoint := map[string][]time.Duration{}
+	for _, s := range samples {
+		if s.err != nil {
+			return fmt.Errorf("serve: %s: %v", s.endpoint, s.err)
+		}
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.d)
+	}
+	for _, ep := range []string{"distance", "bounded", "topk", "join"} {
+		ds := byEndpoint[ep]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		p50 := ds[len(ds)/2]
+		p99 := ds[(len(ds)*99)/100]
+		fmt.Fprintf(cfg.Out, "%s\t%d\t%.2f\t%.2f\n",
+			ep, len(ds), float64(p50.Microseconds())/1000, float64(p99.Microseconds())/1000)
+	}
+	return nil
+}

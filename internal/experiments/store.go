@@ -140,6 +140,15 @@ func storeExp(cfg Config) error {
 			fmt.Fprintf(cfg.Out, "# timing check skipped under the race detector (load %v, cold %v)\n", load, cold)
 			return nil
 		}
+		if cold < 500*time.Microsecond {
+			// At microscale (the test harness runs every experiment at
+			// scale 0.05) both phases finish in a couple hundred
+			// microseconds and allocator/scheduler noise dwarfs the
+			// hydration-vs-recompute signal; the CI smoke run at scale
+			// 0.25 is where the speedup gate is meaningful.
+			fmt.Fprintf(cfg.Out, "# timing gate skipped at microscale (cold %v, load %v): noise dominates sub-500µs phases\n", cold, load)
+			return nil
+		}
 		// One generous re-measure before declaring a regression: the
 		// margin is real but smoke runs share noisy CI boxes.
 		cold = bestOf(9, func() {

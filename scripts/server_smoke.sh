@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Server smoke: build tedd, start it on a fixture corpus, query
+# /v1/distance and /v1/join over real HTTP, and assert the answers match
+# the offline cmd/ted output on the same trees. Exercises the whole
+# serving stack — corpus codec, WAL-attached Open, warm-up, admission,
+# JSON marshalling — and the graceful SIGTERM drain at the end.
+#
+# Run from the repository root: ./scripts/server_smoke.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+PORT="${TEDD_PORT:-8423}"
+BASE="http://127.0.0.1:${PORT}"
+TEDD_PID=""
+cleanup() {
+  [ -n "$TEDD_PID" ] && kill "$TEDD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== fixture"
+go run ./cmd/tedgen -shape random -size 60 -count 24 -labels 12 -seed 7 > "$WORK/trees.txt"
+go run ./cmd/tedgen -shape random -size 60 -count 24 -labels 12 -seed 8 >> "$WORK/trees.txt"
+
+echo "== offline join (cmd/ted) + corpus build"
+go run ./cmd/ted -join -tau 25 -index histogram -corpus-save "$WORK/trees.tedc" "$WORK/trees.txt" \
+  | grep -v '^#' | sort -n > "$WORK/offline.join"
+
+T1="$(sed -n 1p "$WORK/trees.txt")"
+T2="$(sed -n 2p "$WORK/trees.txt")"
+OFFLINE_DIST="$(go run ./cmd/ted -e "$T1" -e "$T2")"
+
+echo "== start tedd"
+go build -o "$WORK/tedd" ./cmd/tedd
+"$WORK/tedd" -corpus "$WORK/trees.tedc" -addr "127.0.0.1:${PORT}" &
+TEDD_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" > /dev/null 2>&1; then break; fi
+  if ! kill -0 "$TEDD_PID" 2>/dev/null; then echo "tedd died during startup"; exit 1; fi
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" > /dev/null || { echo "tedd never became healthy"; exit 1; }
+
+echo "== /v1/distance vs offline"
+SERVED_DIST="$(curl -sf -X POST "$BASE/v1/distance" \
+  -H 'Content-Type: application/json' \
+  -d "$(jq -cn --arg f "$T1" --arg g "$T2" '{f: {tree: $f}, g: {tree: $g}}')" \
+  | jq -r .dist)"
+if [ "$SERVED_DIST" != "$OFFLINE_DIST" ]; then
+  echo "distance mismatch: served $SERVED_DIST, offline $OFFLINE_DIST"
+  exit 1
+fi
+echo "   distance $SERVED_DIST == offline"
+
+echo "== /v1/join vs offline"
+curl -sf -X POST "$BASE/v1/join" -H 'Content-Type: application/json' \
+  -d '{"tau": 25, "mode": "histogram", "limit": 100000}' \
+  | jq -r '.matches[] | "\(.i)\t\(.j)\t\(.dist)"' | sort -n > "$WORK/served.join"
+if ! diff -u "$WORK/offline.join" "$WORK/served.join"; then
+  echo "join mismatch between tedd and cmd/ted"
+  exit 1
+fi
+echo "   $(wc -l < "$WORK/served.join") matches identical"
+
+echo "== durable mutation + graceful drain"
+NEW_ID="$(curl -sf -X POST "$BASE/v1/trees" -H 'Content-Type: application/json' \
+  -d "$(jq -cn --arg t "$T1" '{tree: $t}')" | jq -r .id)"
+STATS="$(curl -sf "$BASE/v1/stats")"
+echo "   stats: $STATS"
+kill -TERM "$TEDD_PID"
+wait "$TEDD_PID"
+TEDD_PID=""
+
+echo "== restart serves the mutated corpus"
+"$WORK/tedd" -corpus "$WORK/trees.tedc" -addr "127.0.0.1:${PORT}" &
+TEDD_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" > /dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+GOT="$(curl -sf "$BASE/v1/trees/$NEW_ID" | jq -r .tree)"
+if [ "$GOT" != "$T1" ]; then
+  echo "mutated tree $NEW_ID did not survive the restart"
+  exit 1
+fi
+kill -TERM "$TEDD_PID"; wait "$TEDD_PID"; TEDD_PID=""
+
+echo "server smoke: OK"

@@ -1,0 +1,67 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	ted "repro"
+	"repro/corpus"
+	"repro/server"
+)
+
+// Querying a tedd-style server with nothing but net/http and
+// encoding/json: the wire types in this package marshal the requests,
+// and the same bytes work against any server.New handler — here an
+// httptest server, in production the cmd/tedd binary.
+func Example() {
+	// Server side: a corpus (in production: corpus.Open + Warm, inside
+	// cmd/tedd) behind the HTTP handler.
+	c := corpus.New(corpus.WithHistogramIndex())
+	for _, s := range []string{"{a{b}{c}}", "{a{b}{c{d}}}", "{a{b}}", "{x{y}}"} {
+		c.Add(ted.MustParse(s))
+	}
+	srv := server.New(c)
+	srv.Warm()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path string, req, resp any) {
+		body, _ := json.Marshal(req)
+		r, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		defer r.Body.Close()
+		json.NewDecoder(r.Body).Decode(resp)
+	}
+
+	// Distance between a stored tree and an ad-hoc one.
+	id := int64(0)
+	var d server.DistanceResponse
+	post("/v1/distance", server.DistanceRequest{
+		F: server.TreeRef{ID: &id},
+		G: server.TreeRef{Tree: "{a{b}{c{d}}}"},
+	}, &d)
+	fmt.Println("distance:", d.Dist)
+
+	// The similarity self-join of the stored corpus.
+	var j server.JoinResponse
+	post("/v1/join", server.JoinRequest{Tau: 2}, &j)
+	for _, m := range j.Matches {
+		fmt.Printf("join: %d ~ %d at %g\n", m.I, m.J, m.Dist)
+	}
+
+	// Top-k closest stored subtrees to an ad-hoc query.
+	var k server.TopKResponse
+	post("/v1/topk", server.TopKRequest{Query: server.TreeRef{Tree: "{a{b}}"}, K: 1}, &k)
+	fmt.Printf("top-1: subtree %d of tree %d at %g\n", k.Matches[0].Root, k.Matches[0].Tree, k.Matches[0].Dist)
+
+	// Output:
+	// distance: 1
+	// join: 0 ~ 1 at 1
+	// join: 0 ~ 2 at 1
+	// top-1: subtree 1 of tree 2 at 0
+}

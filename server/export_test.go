@@ -1,0 +1,15 @@
+package server
+
+// OccupySlots fills n admission slots and returns a release function, so
+// tests can drive the gate into its full state deterministically instead
+// of racing slow requests against fast ones.
+func (s *Server) OccupySlots(n int) (release func()) {
+	for i := 0; i < n; i++ {
+		s.sem <- struct{}{}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-s.sem
+		}
+	}
+}

@@ -1,0 +1,522 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	ted "repro"
+	"repro/batch"
+	"repro/corpus"
+)
+
+// Server serves a corpus over HTTP. Construct with New; the zero value
+// is not usable. A Server is an http.Handler: mount it on any
+// http.Server (cmd/tedd does exactly that).
+type Server struct {
+	c *corpus.Corpus
+	e *batch.Engine
+
+	mux *http.ServeMux
+
+	// Admission gate: sem holds one token per admissible in-flight
+	// request; arrivals beyond cap wait up to queueTimeout for a token.
+	sem          chan struct{}
+	queueTimeout time.Duration
+	draining     atomic.Bool
+	admitted     atomic.Int64
+	rejected     atomic.Int64
+
+	maxBody    int64
+	maxNodes   int
+	maxK       int
+	maxMatches int
+	maxLabels  int
+	workers    int
+}
+
+// Option configures New.
+type Option func(*Server)
+
+// WithWorkers sets the engine worker-pool size (default: all cores, as
+// batch.New).
+func WithWorkers(n int) Option {
+	return func(s *Server) { s.workers = n }
+}
+
+// WithMaxInFlight caps concurrently served requests (default 2× the
+// worker count). Arrivals beyond the cap queue briefly, then get 503.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithQueueTimeout bounds how long an arrival may wait for an admission
+// slot before being refused with 503 (default 2s; 0 refuses
+// immediately when full).
+func WithQueueTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queueTimeout = d }
+}
+
+// WithMaxBodyBytes caps request body sizes (default 1 MiB). Oversized
+// bodies get 413.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// WithMaxNodes caps the node count of ad-hoc request trees (default
+// 4096). The binding constraint is DP memory, not CPU: one distance
+// pair allocates O(n·m) table cells (~9 bytes each), so two trees at a
+// cap of c cost up to 9c² bytes on one worker — ~150 MB at the default,
+// ~38 GB at 1<<16. Raise it only with the arithmetic in hand.
+func WithMaxNodes(n int) Option {
+	return func(s *Server) { s.maxNodes = n }
+}
+
+// WithMaxLabels bounds the shared label table (default 1<<20 distinct
+// labels). Ad-hoc query labels are interned permanently (see
+// batch.Engine.PrepareQuery), so without a bound a client sending fresh
+// random labels grows the process forever; at the cap, requests
+// carrying ad-hoc trees are refused with 503 (stored-id requests keep
+// working) instead of the daemon eventually dying of memory.
+func WithMaxLabels(n int) Option {
+	return func(s *Server) { s.maxLabels = n }
+}
+
+// WithMaxK caps top-k request sizes (default 100).
+func WithMaxK(k int) Option {
+	return func(s *Server) { s.maxK = k }
+}
+
+// WithMaxMatches caps how many join matches one response may carry
+// (default 10000); requests may ask for less via Limit.
+func WithMaxMatches(n int) Option {
+	return func(s *Server) { s.maxMatches = n }
+}
+
+// New builds a server over c. The engine is corpus-attached
+// (corpus.Corpus.Engine), so every stored tree hydrates from its
+// persisted artifacts; call Warm before accepting traffic to hydrate
+// them all up front.
+func New(c *corpus.Corpus, opts ...Option) *Server {
+	s := &Server{
+		c:            c,
+		queueTimeout: 2 * time.Second,
+		maxBody:      1 << 20,
+		maxNodes:     4096,
+		maxK:         100,
+		maxMatches:   10000,
+		maxLabels:    1 << 20,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	var eopts []batch.Option
+	if s.workers > 0 {
+		eopts = append(eopts, batch.WithWorkers(s.workers))
+	}
+	s.e = c.Engine(eopts...)
+	if s.sem == nil {
+		s.sem = make(chan struct{}, 2*s.e.Workers())
+	}
+	s.routes()
+	return s
+}
+
+// Engine returns the server's corpus-attached engine (for warm-up,
+// tests, and in-process cross-checks).
+func (s *Server) Engine() *batch.Engine { return s.e }
+
+// Warm hydrates every stored tree for the server's engine, so the first
+// request pays only for distance computations. Call once at startup,
+// before accepting traffic.
+func (s *Server) Warm() { s.c.Warm(s.e) }
+
+// Drain puts the server into drain mode: every subsequent /v1 request
+// and /healthz probe gets 503, while requests already admitted run to
+// completion (pair with http.Server.Shutdown, which waits for them).
+// Draining is one-way; restart the process to serve again.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// MaxInFlight reports the admission gate's capacity.
+func (s *Server) MaxInFlight() int { return cap(s.sem) }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("POST /v1/distance", s.admit(s.handleDistance))
+	s.mux.Handle("POST /v1/distance-bounded", s.admit(s.handleDistanceBounded))
+	s.mux.Handle("POST /v1/join", s.admit(s.handleJoin))
+	s.mux.Handle("POST /v1/topk", s.admit(s.handleTopK))
+	s.mux.Handle("POST /v1/trees", s.admit(s.handleAddTree))
+	s.mux.Handle("GET /v1/trees/{id}", s.admit(s.handleGetTree))
+	s.mux.Handle("PUT /v1/trees/{id}", s.admit(s.handlePutTree))
+	s.mux.Handle("DELETE /v1/trees/{id}", s.admit(s.handleDeleteTree))
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// admit is the admission gate: a slot now, a slot within queueTimeout,
+// or a 503 with Retry-After. Client disconnects while queued just
+// abandon the wait. Body parsing happens while the slot is held, so the
+// hosting http.Server should set read deadlines (cmd/tedd does) —
+// otherwise slow-body clients could pin slots indefinitely.
+func (s *Server) admit(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.reject(w, "draining")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Full: queue with a bounded wait.
+			t := time.NewTimer(s.queueTimeout)
+			defer t.Stop()
+			select {
+			case s.sem <- struct{}{}:
+			case <-t.C:
+				s.reject(w, "over capacity")
+				return
+			case <-r.Context().Done():
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		if s.draining.Load() {
+			// Drained while queued: the point of draining is that no new
+			// engine work starts.
+			s.reject(w, "draining")
+			return
+		}
+		s.admitted.Add(1)
+		h(w, r)
+	})
+}
+
+func (s *Server) reject(w http.ResponseWriter, why string) {
+	s.rejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, why)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Trees:       s.c.Len(),
+		Labels:      s.e.Interner().Len(),
+		Workers:     s.e.Workers(),
+		InFlight:    len(s.sem),
+		MaxInFlight: cap(s.sem),
+		Admitted:    s.admitted.Load(),
+		Rejected:    s.rejected.Load(),
+		Draining:    s.draining.Load(),
+	})
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	var req DistanceRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	f, ok := s.resolve(w, req.F, "f")
+	if !ok {
+		return
+	}
+	g, ok := s.resolve(w, req.G, "g")
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, DistanceResponse{Dist: s.e.Distance(f, g)})
+}
+
+func (s *Server) handleDistanceBounded(w http.ResponseWriter, r *http.Request) {
+	var req DistanceBoundedRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !validTau(req.Tau) {
+		writeError(w, http.StatusBadRequest, "tau must be a non-negative number")
+		return
+	}
+	f, ok := s.resolve(w, req.F, "f")
+	if !ok {
+		return
+	}
+	g, ok := s.resolve(w, req.G, "g")
+	if !ok {
+		return
+	}
+	d, within := s.e.DistanceBounded(f, g, req.Tau)
+	writeJSON(w, http.StatusOK, DistanceBoundedResponse{Dist: d, Within: within})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !validTau(req.Tau) {
+		writeError(w, http.StatusBadRequest, "tau must be a non-negative number")
+		return
+	}
+	mode, ok := parseMode(req.Mode)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (auto | enumerate | histogram | pqgram)", req.Mode))
+		return
+	}
+	if req.Q < 0 || req.Q > 16 {
+		writeError(w, http.StatusBadRequest, "q must be in [0, 16]")
+		return
+	}
+	limit := s.maxMatches
+	if req.Limit > 0 && req.Limit < limit {
+		limit = req.Limit
+	}
+	ms, st := s.c.Join(s.e, req.Tau, batch.JoinOptions{Mode: mode, Q: req.Q})
+	resp := JoinResponse{Count: len(ms), Stats: joinStats(st)}
+	if len(ms) > limit {
+		ms = ms[:limit]
+		resp.Truncated = true
+	}
+	resp.Matches = make([]JoinMatch, len(ms))
+	for i, m := range ms {
+		resp.Matches[i] = JoinMatch{I: int64(m.I), J: int64(m.J), Dist: m.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > s.maxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", s.maxK))
+		return
+	}
+	q, ok := s.resolve(w, req.Query, "query")
+	if !ok {
+		return
+	}
+	ms, _ := s.c.TopKAcross(s.e, q, req.K)
+	resp := TopKResponse{Matches: make([]TopKMatch, len(ms))}
+	for i, m := range ms {
+		resp.Matches[i] = TopKMatch{Tree: int64(m.Tree), Root: m.Root, Dist: m.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAddTree(w http.ResponseWriter, r *http.Request) {
+	var req TreeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	t, ok := s.parseTree(w, req.Tree, "tree")
+	if !ok {
+		return
+	}
+	id := s.c.Add(t)
+	if !s.durable(w) {
+		return
+	}
+	writeJSON(w, http.StatusCreated, TreeResponse{ID: int64(id)})
+}
+
+func (s *Server) handleGetTree(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.c.Tree(corpus.ID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no tree %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, TreeResponse{ID: id, Tree: t.String()})
+}
+
+func (s *Server) handlePutTree(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var req TreeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	t, ok := s.parseTree(w, req.Tree, "tree")
+	if !ok {
+		return
+	}
+	if !s.c.Replace(corpus.ID(id), t) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no tree %d", id))
+		return
+	}
+	if !s.durable(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, TreeResponse{ID: id})
+}
+
+func (s *Server) handleDeleteTree(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if !s.c.Delete(corpus.ID(id)) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no tree %d", id))
+		return
+	}
+	if !s.durable(w) {
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// durable syncs the write-ahead log before a mutation is acknowledged;
+// a logging failure is a 500 (the mutation is applied in memory but its
+// durability cannot be promised — the operator should treat the store
+// as read-only and investigate).
+func (s *Server) durable(w http.ResponseWriter) bool {
+	if err := s.c.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return false
+	}
+	return true
+}
+
+// resolve turns a TreeRef into a PreparedTree: stored trees hydrate
+// through the corpus cache, ad-hoc trees prepare request-scoped.
+func (s *Server) resolve(w http.ResponseWriter, ref TreeRef, field string) (*batch.PreparedTree, bool) {
+	switch {
+	case ref.ID != nil && ref.Tree != "":
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s: give id or tree, not both", field))
+		return nil, false
+	case ref.ID != nil:
+		p, ok := s.c.Prepared(s.e, corpus.ID(*ref.ID))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("%s: no tree %d", field, *ref.ID))
+			return nil, false
+		}
+		return p, true
+	case ref.Tree != "":
+		t, ok := s.parseTree(w, ref.Tree, field)
+		if !ok {
+			return nil, false
+		}
+		return s.c.PrepareQuery(s.e, t), true
+	}
+	writeError(w, http.StatusBadRequest, fmt.Sprintf("%s: missing tree reference", field))
+	return nil, false
+}
+
+func (s *Server) parseTree(w http.ResponseWriter, src, field string) (*ted.Tree, bool) {
+	// The label-table circuit breaker: ad-hoc labels intern permanently,
+	// so once the shared table reaches the cap, requests that could grow
+	// it are refused — a bounded, observable failure (watch "labels" in
+	// /v1/stats) instead of unbounded memory growth.
+	if s.e.Interner().Len() >= s.maxLabels {
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf(
+			"label table at capacity (%d distinct labels); ad-hoc trees refused — query by stored id, or restart with a higher label cap", s.maxLabels))
+		return nil, false
+	}
+	t, err := ted.Parse(strings.TrimSpace(src))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s: %v", field, err))
+		return nil, false
+	}
+	if t.Len() > s.maxNodes {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s: %d nodes exceeds the %d-node limit", field, t.Len(), s.maxNodes))
+		return nil, false
+	}
+	return t, true
+}
+
+// decode reads one JSON body, honoring the body size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil || id < 0 {
+		writeError(w, http.StatusBadRequest, "tree id must be a non-negative integer")
+		return 0, false
+	}
+	return id, true
+}
+
+// validTau admits finite non-negative cutoffs and +Inf (JSON cannot
+// carry Inf, but in-process callers can).
+func validTau(tau float64) bool {
+	return !math.IsNaN(tau) && tau >= 0
+}
+
+func parseMode(s string) (batch.IndexMode, bool) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return batch.IndexAuto, true
+	case "enumerate", "enum":
+		return batch.IndexEnumerate, true
+	case "histogram", "hist":
+		return batch.IndexHistogram, true
+	case "pqgram", "pq":
+		return batch.IndexPQGram, true
+	}
+	return 0, false
+}
+
+func joinStats(st batch.JoinStats) JoinStats {
+	return JoinStats{
+		Candidates:    st.Comparisons,
+		LowerPruned:   st.LowerPruned,
+		UpperAccepted: st.UpperAccepted,
+		ExactComputed: st.ExactComputed,
+		Subproblems:   st.Subproblems,
+		Mode:          st.Mode.String(),
+		ElapsedMS:     st.Elapsed.Milliseconds(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,135 @@
+package server
+
+// The wire types of the JSON API. They are exported so Go clients (and
+// the tedbench serve experiment, and the CI smoke script's expectations)
+// can marshal requests and unmarshal responses without restating the
+// schema.
+
+// TreeRef names a tree in a request: exactly one of ID (a stored tree)
+// or Tree (an ad-hoc tree in bracket notation) must be set.
+type TreeRef struct {
+	ID   *int64 `json:"id,omitempty"`
+	Tree string `json:"tree,omitempty"`
+}
+
+// DistanceRequest asks for the exact edit distance between two trees.
+type DistanceRequest struct {
+	F TreeRef `json:"f"`
+	G TreeRef `json:"g"`
+}
+
+// DistanceResponse carries the exact distance.
+type DistanceResponse struct {
+	Dist float64 `json:"dist"`
+}
+
+// DistanceBoundedRequest asks the threshold question "is the distance
+// at most tau?".
+type DistanceBoundedRequest struct {
+	F   TreeRef `json:"f"`
+	G   TreeRef `json:"g"`
+	Tau float64 `json:"tau"`
+}
+
+// DistanceBoundedResponse: Within reports whether the distance is ≤ tau;
+// when true, Dist is the exact distance, otherwise Dist is a lower
+// bound no smaller than tau.
+type DistanceBoundedResponse struct {
+	Dist   float64 `json:"dist"`
+	Within bool    `json:"within"`
+}
+
+// JoinRequest asks for the similarity self-join of the stored corpus:
+// all unordered pairs of stored trees at distance below Tau. Mode picks
+// the candidate generator ("auto", "enumerate", "histogram", "pqgram";
+// default auto), Q the pq-gram base length, Limit caps the returned
+// matches (the server's own cap applies on top; 0 means server
+// default).
+type JoinRequest struct {
+	Tau   float64 `json:"tau"`
+	Mode  string  `json:"mode,omitempty"`
+	Q     int     `json:"q,omitempty"`
+	Limit int     `json:"limit,omitempty"`
+}
+
+// JoinMatch is one join result pair, by stored tree IDs (I < J).
+type JoinMatch struct {
+	I    int64   `json:"i"`
+	J    int64   `json:"j"`
+	Dist float64 `json:"dist"`
+}
+
+// JoinStats is the server-side accounting of one join call.
+type JoinStats struct {
+	Candidates    int    `json:"candidates"`
+	LowerPruned   int    `json:"lower_pruned"`
+	UpperAccepted int    `json:"upper_accepted"`
+	ExactComputed int    `json:"exact_computed"`
+	Subproblems   int64  `json:"subproblems"`
+	Mode          string `json:"mode"`
+	ElapsedMS     int64  `json:"elapsed_ms"`
+}
+
+// JoinResponse: Count is the full match count; Matches holds at most
+// the requested/allowed limit and Truncated reports whether matches
+// were dropped to honor it.
+type JoinResponse struct {
+	Matches   []JoinMatch `json:"matches"`
+	Count     int         `json:"count"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Stats     JoinStats   `json:"stats"`
+}
+
+// TopKRequest asks for the K subtrees of the stored corpus closest to
+// Query.
+type TopKRequest struct {
+	Query TreeRef `json:"query"`
+	K     int     `json:"k"`
+}
+
+// TopKMatch is one top-k result: the subtree rooted at postorder id
+// Root of stored tree Tree, at edit distance Dist from the query.
+type TopKMatch struct {
+	Tree int64   `json:"tree"`
+	Root int     `json:"root"`
+	Dist float64 `json:"dist"`
+}
+
+// TopKResponse carries the matches sorted by distance (ties toward
+// smaller (tree, root)).
+type TopKResponse struct {
+	Matches []TopKMatch `json:"matches"`
+}
+
+// TreeRequest carries a tree for POST/PUT /v1/trees.
+type TreeRequest struct {
+	Tree string `json:"tree"`
+}
+
+// TreeResponse names a stored tree; GET additionally returns its
+// bracket serialization.
+type TreeResponse struct {
+	ID   int64  `json:"id"`
+	Tree string `json:"tree,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats payload. Labels is the size of the
+// shared label table: it grows with the union of distinct labels ever
+// served (stored and ad-hoc alike — see batch.Engine.PrepareQuery), so
+// a steadily climbing value under high-cardinality query labels is the
+// signal to cap or normalize request labels upstream.
+type StatsResponse struct {
+	Trees       int   `json:"trees"`
+	Labels      int   `json:"labels"`
+	Workers     int   `json:"workers"`
+	InFlight    int   `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Admitted    int64 `json:"admitted"`
+	Rejected    int64 `json:"rejected"`
+	Draining    bool  `json:"draining"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
