@@ -1,0 +1,149 @@
+// Command tedload drives a live tedd with a declarative workload and
+// emits the machine-readable perf artifact BENCH_serve.json (schema:
+// package load's doc.go) plus a human-readable table.
+//
+// Usage:
+//
+//	tedload -url http://127.0.0.1:8420                      # default mix
+//	tedload -url ... -mix distance=4,bounded=3,mutate=1 \
+//	        -tau 8 -conc 8 -warmup 50 -n 400                # closed loop
+//	tedload -url ... -rate 200 -conc 64                     # open loop, 200 rps Poisson
+//	tedload -url ... -out BENCH_serve.json -fail-on-error   # the CI invocation
+//
+// The request stream is generated deterministically from -seed and a
+// snapshot of the served corpus (taken over the API before the run), so
+// a run is reproducible against an identically loaded server; distinct
+// seeds generate disjoint mutation content, so several tedload
+// processes can drive one server together. Responses shed by admission
+// control (503) are counted as shed, not as errors: shedding under
+// offered load is a measurement, not a failure. Any other non-2xx
+// status, transport failure, or cross-check failure counts as an error,
+// and -fail-on-error (on by default) turns a nonzero error count into a
+// nonzero exit — the smoke-script and CI gate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/load"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tedload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tedload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url       = fs.String("url", "", "target server base URL, e.g. http://127.0.0.1:8420 (required)")
+		mixStr    = fs.String("mix", "distance=4,bounded=3,topk=2,join=0.2,mutate=1", "endpoint mix in ratio weights")
+		tau       = fs.Float64("tau", 8, "bounded-distance and join threshold")
+		k         = fs.Int("k", 3, "top-k request size")
+		joinMode  = fs.String("join-mode", "auto", "join candidate generator: auto | enumerate | histogram | pqgram")
+		joinLimit = fs.Int("join-limit", 64, "matches a join response may carry")
+		seed      = fs.Int64("seed", 1, "request-stream seed (distinct seeds → disjoint mutation content)")
+		rate      = fs.Float64("rate", 0, "open-loop Poisson arrival rate in rps (0 = closed loop)")
+		conc      = fs.Int("conc", 8, "closed-loop workers / open-loop max outstanding requests")
+		warmup    = fs.Int("warmup", 50, "unmeasured warmup requests")
+		n         = fs.Int("n", 400, "measured requests")
+		out       = fs.String("out", "BENCH_serve.json", "artifact path (empty = don't write)")
+		rev       = fs.String("rev", "", "git revision to stamp (default: git rev-parse --short HEAD)")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
+		failOnErr = fs.Bool("fail-on-error", true, "exit nonzero when the run counted any error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("-url is required")
+	}
+	mix, err := load.ParseMix(*mixStr)
+	if err != nil {
+		return err
+	}
+	spec := load.Spec{
+		Mix: mix, Tau: *tau, K: *k,
+		JoinMode: *joinMode, JoinLimit: *joinLimit,
+		Seed: *seed, Rate: *rate, Conc: *conc,
+		Warmup: *warmup, Requests: *n,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*url, "/")
+	snap, err := load.FetchSnapshot(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "tedload: snapshot: %d live trees; %d+%d requests (%s)\n",
+		len(snap.IDs), spec.Warmup, spec.Requests, arrivalMode(spec))
+
+	r := &load.Runner{
+		Base:   base,
+		Client: client,
+		Spec:   spec,
+		Snap:   snap,
+		GitRev: gitRev(*rev),
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("internal: emitted report fails its own schema: %w", err)
+	}
+	rep.WriteTable(stdout)
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "tedload: wrote %s\n", *out)
+	}
+	if nerr := rep.Totals.Errors + rep.WarmupErrors; *failOnErr && nerr > 0 {
+		return fmt.Errorf("%d errors (first: %s)", nerr, firstError(rep))
+	}
+	return nil
+}
+
+func arrivalMode(s load.Spec) string {
+	if s.Rate > 0 {
+		return fmt.Sprintf("open loop, %g rps", s.Rate)
+	}
+	return fmt.Sprintf("closed loop, %d workers", s.Conc)
+}
+
+func firstError(rep *load.Report) string {
+	if rep.Totals.FirstError != "" {
+		return rep.Totals.FirstError
+	}
+	return "during warmup"
+}
+
+// gitRev resolves the revision stamp: the -rev flag verbatim, else the
+// working tree's HEAD, else "unknown" (tedload may run far from a
+// checkout).
+func gitRev(flagRev string) string {
+	if flagRev != "" {
+		return flagRev
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

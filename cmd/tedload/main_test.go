@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/corpus"
+	"repro/gen"
+	"repro/load"
+	"repro/server"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	c := corpus.New(corpus.WithHistogramIndex())
+	for i := 0; i < 6; i++ {
+		base := gen.Random(int64(40+i), gen.RandomSpec{Size: 16 + i, MaxDepth: 8, MaxFanout: 4, Labels: 8})
+		c.Add(base)
+		c.Add(gen.RenameSome(base, 1+i%2, int64(i)))
+	}
+	srv := server.New(c)
+	srv.Warm()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunEmitsValidArtifact: the CLI end to end — snapshot over HTTP,
+// a short mixed run, table on stdout, schema-valid artifact on disk.
+func TestRunEmitsValidArtifact(t *testing.T) {
+	ts := testServer(t)
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL,
+		"-mix", "distance=3,bounded=2,topk=1,mutate=1",
+		"-tau", "4", "-k", "2",
+		"-seed", "5", "-conc", "4", "-warmup", "5", "-n", "60",
+		"-out", out, "-rev", "testrev",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	rep, err := load.ReadReport(out)
+	if err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	if rep.GitRev != "testrev" {
+		t.Errorf("git_rev = %q, want testrev", rep.GitRev)
+	}
+	if rep.Totals.Requests != 60 || rep.Totals.Errors != 0 {
+		t.Errorf("totals = %+v, want 60 requests, 0 errors", rep.Totals)
+	}
+	if !strings.Contains(stdout.String(), "TOTAL") {
+		t.Errorf("stdout table missing TOTAL row:\n%s", stdout.String())
+	}
+}
+
+// TestRunFlagErrors: the CLI refuses malformed invocations.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                // missing -url
+		{"-url", "x", "-mix", "bogus=1"},  // unknown endpoint
+		{"-url", "x", "-mix", "distance"}, // malformed mix
+		{"-url", "x", "-n", "0"},          // nothing to measure
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

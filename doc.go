@@ -155,4 +155,11 @@
 // Open (rather than Load) whenever mutations happen between Saves and a
 // crash must not lose them; serve with tedd when the callers are not Go
 // code.
+//
+// Whatever is served should also be measured: package load (and its CLI
+// cmd/tedload) drives a running tedd with declarative workload mixes —
+// open-loop Poisson or closed-loop arrivals — and emits the
+// BENCH_serve.json artifact whose schema load's package documentation
+// defines; the checked-in copy at the repository root is the tracked
+// p50/p99/throughput trajectory, refreshed per PR by CI's smoke run.
 package ted

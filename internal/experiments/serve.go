@@ -7,12 +7,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/batch"
 	"repro/corpus"
+	"repro/load"
 	"repro/server"
 )
 
@@ -184,26 +184,31 @@ func serveExp(cfg Config) error {
 		}
 	}
 
-	// Aggregate per endpoint. Any error is the experiment's verdict: a
-	// correctness divergence or transport failure fails the build, so a
-	// printed table always reports zero-error runs.
-	byEndpoint := map[string][]time.Duration{}
+	// Aggregate per endpoint on the load harness's histogram (one
+	// percentile implementation repo-wide — see package load). Any error
+	// is the experiment's verdict: a correctness divergence or transport
+	// failure fails the build, so a printed table always reports
+	// zero-error runs.
+	byEndpoint := map[string]*load.Hist{}
 	for _, s := range samples {
 		if s.err != nil {
 			return fmt.Errorf("serve: %s: %v", s.endpoint, s.err)
 		}
-		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.d)
+		h := byEndpoint[s.endpoint]
+		if h == nil {
+			h = &load.Hist{}
+			byEndpoint[s.endpoint] = h
+		}
+		h.Observe(s.d)
 	}
 	for _, ep := range []string{"distance", "bounded", "topk", "join"} {
-		ds := byEndpoint[ep]
-		if len(ds) == 0 {
+		h := byEndpoint[ep]
+		if h == nil {
 			continue
 		}
-		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-		p50 := ds[len(ds)/2]
-		p99 := ds[(len(ds)*99)/100]
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 		fmt.Fprintf(cfg.Out, "%s\t%d\t%.2f\t%.2f\n",
-			ep, len(ds), float64(p50.Microseconds())/1000, float64(p99.Microseconds())/1000)
+			ep, h.Count(), ms(h.Quantile(0.5)), ms(h.Quantile(0.99)))
 	}
 	return nil
 }

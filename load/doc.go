@@ -1,0 +1,75 @@
+// Package load is the serving stack's load harness: declarative
+// workloads over the package server JSON API, driven open- or
+// closed-loop, measured into mergeable log-bucketed latency histograms,
+// and reported as the machine-readable BENCH_serve.json artifact that
+// carries the repository's perf trajectory from PR to PR.
+//
+// A workload is a Spec (endpoint mix in ratio weights, tau/k
+// parameters, arrival mode, warmup/measure sizes) plus a Snapshot of
+// the served corpus (live IDs + serialized trees). Request generation
+// is a pure function of (Spec, Snapshot, Seed): the same inputs yield
+// byte-identical request streams, so any run can be reproduced, and
+// distinct seeds yield disjoint mutation tags (MutationTag), so
+// concurrent harness processes never collide on generated content.
+//
+// Two arrival modes, one measurement path:
+//
+//   - Closed loop (Rate = 0): Conc workers each keep exactly one
+//     request in flight. Measures the server's best-case pipeline
+//     latency and saturation throughput.
+//   - Open loop (Rate > 0): arrivals follow a Poisson process at Rate
+//     requests/second regardless of completions (bounded by Conc
+//     outstanding as a safety valve). Measures behavior under offered
+//     load — queueing delay and admission-control shedding are visible
+//     instead of hidden by coordinated omission.
+//
+// Latencies are recorded per worker into Hist — log-linear buckets,
+// ≤ 3.125% relative error, lossless merge — and merged after the run,
+// the same path a distributed harness would use across processes.
+// Responses shed by admission control (HTTP 503) are counted, never
+// dropped: under overload the shed rate is the result. cmd/tedload is
+// the CLI; internal/experiments reuses Hist for its serve ablation.
+//
+// # The BENCH_serve.json schema (version 1)
+//
+// Report is the schema; Report.Validate is the contract checker CI
+// runs. The fields:
+//
+//	{
+//	  "bench": "serve",              // always "serve"
+//	  "schema_version": 1,           // load.SchemaVersion
+//	  "git_rev": "abc1234",          // the measured revision
+//	  "started_at": "RFC3339",       // run start (UTC)
+//	  "target": "http://host:port",  // the driven server
+//	  "spec": { ... },               // the full workload Spec (see Spec)
+//	  "wall_seconds": 1.23,          // measured-phase wall clock
+//	  "warmup_errors": 0,            // failures before measurement began
+//	  "endpoints": {                 // one entry per endpoint in the mix
+//	    "distance": {
+//	      "requests": 100,           // = ok + errors + shed
+//	      "ok": 98, "errors": 0, "shed": 2,
+//	      "p50_ms": 1.2, "p90_ms": 2.0, "p99_ms": 3.1,
+//	      "max_ms": 4.0, "mean_ms": 1.4,   // over ok only
+//	      "throughput_rps": 81.3,          // ok / wall_seconds
+//	      "first_error": "..."             // present iff errors > 0
+//	    }, ...
+//	  },
+//	  "totals": { ... }              // same shape, all endpoints merged
+//	}
+//
+// Invariants Validate enforces: requests = ok + errors + shed per
+// entry; 0 < p50 ≤ p90 ≤ p99 ≤ max and throughput > 0 whenever ok > 0;
+// totals.requests equals the endpoint sum. Percentiles are conservative
+// (never below the true nearest-rank value, at most 3.2% above — see
+// Hist.Quantile); max is exact.
+//
+// # The trajectory convention
+//
+// Every CI run regenerates the artifact against the PR's revision and
+// uploads it; the repository additionally checks in one trajectory
+// point per landed PR as BENCH_serve.json at the repo root, refreshed
+// by each PR that changes serving performance. `git log -p
+// BENCH_serve.json` is the trajectory. Compare points only at equal
+// spec (mix, sizes, arrival mode) — the spec is embedded in the
+// artifact precisely so that an apples-to-oranges diff is detectable.
+package load

@@ -1,0 +1,271 @@
+package load_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	ted "repro"
+	"repro/batch"
+	"repro/corpus"
+	"repro/gen"
+	"repro/load"
+	"repro/server"
+)
+
+func e2eCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c := corpus.New(corpus.WithHistogramIndex())
+	for i := 0; i < 8; i++ {
+		base := gen.Random(int64(100+i), gen.RandomSpec{Size: 20 + i, MaxDepth: 8, MaxFanout: 4, Labels: 10})
+		c.Add(base)
+		c.Add(gen.RenameSome(base, 1+i%3, int64(i)))
+	}
+	return c
+}
+
+// crossCheck builds the Runner.Check hook that verifies every served
+// answer against the in-process engine: the same decoding the handlers
+// perform, the same engine calls, exact comparison.
+func crossCheck(c *corpus.Corpus, e *batch.Engine) func(req load.Request, status int, body []byte) error {
+	resolve := func(ref server.TreeRef) (*batch.PreparedTree, error) {
+		if ref.ID != nil {
+			p, ok := c.Prepared(e, corpus.ID(*ref.ID))
+			if !ok {
+				return nil, fmt.Errorf("no stored tree %d", *ref.ID)
+			}
+			return p, nil
+		}
+		tr, err := ted.Parse(ref.Tree)
+		if err != nil {
+			return nil, err
+		}
+		return c.PrepareQuery(e, tr), nil
+	}
+	return func(req load.Request, status int, body []byte) error {
+		switch req.Endpoint {
+		case load.EpDistance:
+			var q server.DistanceRequest
+			var r server.DistanceResponse
+			if err := decode2(req.Body, &q, body, &r); err != nil {
+				return err
+			}
+			f, err := resolve(q.F)
+			if err != nil {
+				return err
+			}
+			g, err := resolve(q.G)
+			if err != nil {
+				return err
+			}
+			if want := e.Distance(f, g); r.Dist != want {
+				return fmt.Errorf("distance = %g served, %g in process", r.Dist, want)
+			}
+		case load.EpBounded:
+			var q server.DistanceBoundedRequest
+			var r server.DistanceBoundedResponse
+			if err := decode2(req.Body, &q, body, &r); err != nil {
+				return err
+			}
+			f, err := resolve(q.F)
+			if err != nil {
+				return err
+			}
+			g, err := resolve(q.G)
+			if err != nil {
+				return err
+			}
+			d, within := e.DistanceBounded(f, g, q.Tau)
+			if r.Within != within || r.Dist != d {
+				return fmt.Errorf("bounded = (%g, %v) served, (%g, %v) in process", r.Dist, r.Within, d, within)
+			}
+		case load.EpTopK:
+			var q server.TopKRequest
+			var r server.TopKResponse
+			if err := decode2(req.Body, &q, body, &r); err != nil {
+				return err
+			}
+			p, err := resolve(q.Query)
+			if err != nil {
+				return err
+			}
+			want, _ := c.TopKAcross(e, p, q.K)
+			if len(r.Matches) != len(want) {
+				return fmt.Errorf("topk returned %d matches, want %d", len(r.Matches), len(want))
+			}
+			for i, m := range want {
+				got := r.Matches[i]
+				if got.Tree != int64(m.Tree) || got.Root != m.Root || got.Dist != m.Dist {
+					return fmt.Errorf("topk match %d = %+v served, %+v in process", i, got, m)
+				}
+			}
+		case load.EpJoin:
+			var q server.JoinRequest
+			var r server.JoinResponse
+			if err := decode2(req.Body, &q, body, &r); err != nil {
+				return err
+			}
+			want, _ := c.Join(e, q.Tau, batch.JoinOptions{Mode: batch.IndexHistogram})
+			if r.Count != len(want) {
+				return fmt.Errorf("join count = %d served, %d in process", r.Count, len(want))
+			}
+			if r.Truncated != (len(want) > q.Limit) {
+				return fmt.Errorf("join truncated = %v with %d matches at limit %d", r.Truncated, len(want), q.Limit)
+			}
+			for i, got := range r.Matches {
+				m := want[i]
+				if got.I != int64(m.I) || got.J != int64(m.J) || got.Dist != m.Dist {
+					return fmt.Errorf("join match %d = %+v served, %+v in process", i, got, m)
+				}
+			}
+		case load.EpMutate:
+			var q server.TreeRequest
+			var r server.TreeResponse
+			if err := decode2(req.Body, &q, body, &r); err != nil {
+				return err
+			}
+			stored, ok := c.Tree(corpus.ID(r.ID))
+			if !ok {
+				return fmt.Errorf("mutate acknowledged id %d but the corpus has no such tree", r.ID)
+			}
+			if stored.String() != q.Tree {
+				return fmt.Errorf("mutate stored %q, posted %q", stored.String(), q.Tree)
+			}
+		default:
+			return fmt.Errorf("unknown endpoint %q", req.Endpoint)
+		}
+		return nil
+	}
+}
+
+func decode2(reqBody []byte, reqInto any, respBody []byte, respInto any) error {
+	if err := json.Unmarshal(reqBody, reqInto); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	if err := json.Unmarshal(respBody, respInto); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// TestE2EClosedLoopCrossChecked: the full tedload lifecycle against an
+// httptest-served server.Handler over a static corpus — a mixed
+// read-only workload, every single response cross-checked against the
+// in-process engine, and the emitted BENCH_serve.json surviving a
+// schema-validated round trip.
+func TestE2EClosedLoopCrossChecked(t *testing.T) {
+	c := e2eCorpus(t)
+	srv := server.New(c, server.WithMaxInFlight(16))
+	srv.Warm()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The HTTP snapshot path agrees with the in-process one.
+	snap := load.SnapshotOf(c)
+	fetched, err := load.FetchSnapshot(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, fetched) {
+		t.Fatalf("FetchSnapshot = %+v, SnapshotOf = %+v", fetched, snap)
+	}
+
+	spec := load.Spec{
+		Mix: map[string]float64{load.EpDistance: 3, load.EpBounded: 3, load.EpTopK: 2, load.EpJoin: 0.3},
+		Tau: 4, K: 3, JoinMode: "histogram", JoinLimit: 16,
+		Seed: 11, Conc: 4, Warmup: 8, Requests: 120,
+	}
+	r := &load.Runner{
+		Base: ts.URL, Client: ts.Client(), Spec: spec, Snap: snap,
+		GitRev: "e2e-test",
+		Check:  crossCheck(c, srv.Engine()),
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema: %v", err)
+	}
+	if rep.WarmupErrors != 0 || rep.Totals.Errors != 0 {
+		t.Fatalf("run counted errors: warmup %d, measured %d (first: %s)",
+			rep.WarmupErrors, rep.Totals.Errors, rep.Totals.FirstError)
+	}
+	if rep.Totals.Requests != int64(spec.Requests) {
+		t.Fatalf("measured %d requests, want %d", rep.Totals.Requests, spec.Requests)
+	}
+	if rep.Totals.OK != int64(spec.Requests) || rep.Totals.Shed != 0 {
+		t.Fatalf("uncontended run: ok %d, shed %d, want %d, 0", rep.Totals.OK, rep.Totals.Shed, spec.Requests)
+	}
+	for _, ep := range []string{load.EpDistance, load.EpBounded, load.EpTopK} {
+		if st, ok := rep.Endpoints[ep]; !ok || st.OK == 0 {
+			t.Fatalf("endpoint %s missing from the report: %+v", ep, rep.Endpoints)
+		}
+	}
+
+	// The artifact round-trips: write, re-read (ReadReport validates),
+	// compare field for field.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("report did not round-trip:\nwrote %+v\nread  %+v", rep, back)
+	}
+}
+
+// TestE2EOpenLoopShedding: open-loop arrivals against a server whose
+// admission gate is deliberately tiny and slow (one slot, an admit-hook
+// delay, no queueing): 503s must be counted as shed — not dropped, not
+// errors — and must reconcile exactly with the server's own shed
+// counter, while mutations that do land remain fully cross-checked.
+func TestE2EOpenLoopShedding(t *testing.T) {
+	c := e2eCorpus(t)
+	srv := server.New(c,
+		server.WithMaxInFlight(1),
+		server.WithQueueTimeout(0),
+		server.WithAdmitHook(func() { time.Sleep(3 * time.Millisecond) }),
+	)
+	srv.Warm()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := load.Spec{
+		Mix: map[string]float64{load.EpDistance: 2, load.EpMutate: 1},
+		Tau: 4, K: 1,
+		Seed: 23, Rate: 4000, Conc: 16, Warmup: 0, Requests: 150,
+	}
+	r := &load.Runner{
+		Base: ts.URL, Client: ts.Client(), Spec: spec, Snap: load.SnapshotOf(c),
+		GitRev: "e2e-test",
+		Check:  crossCheck(c, srv.Engine()),
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema: %v", err)
+	}
+	if rep.Totals.Errors != 0 || rep.WarmupErrors != 0 {
+		t.Fatalf("sheds must not count as errors (errors %d, first: %s)", rep.Totals.Errors, rep.Totals.FirstError)
+	}
+	if rep.Totals.Requests != int64(spec.Requests) {
+		t.Fatalf("accounted %d requests, want %d — shed requests were dropped", rep.Totals.Requests, spec.Requests)
+	}
+	if rep.Totals.Shed == 0 {
+		t.Fatal("overloaded run shed nothing; the open-loop path is not applying offered load")
+	}
+	if got := srv.Stats().Shed; got != rep.Totals.Shed {
+		t.Fatalf("client observed %d sheds, server counted %d", rep.Totals.Shed, got)
+	}
+}

@@ -1,0 +1,138 @@
+package load
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// The histogram's bucketing: each power of two of the nanosecond range
+// is split into 2^subBits linear sub-buckets (HDR-style log-linear
+// spacing). Values below 2^(subBits+1) ns land in exact unit buckets.
+// The mapping is a fixed function of the value alone, so two histograms
+// always share one bucket universe and Merge is element-wise addition —
+// no interpolation, no rebinning, associative and commutative by
+// construction.
+const (
+	subBits = 5 // 32 sub-buckets per octave → relative error ≤ 2^-5 = 3.125%
+
+	// nBuckets covers the full int64 nanosecond range: the exact region
+	// (indices [0, 2^(subBits+1))) plus one 2^subBits-wide run per
+	// remaining octave. The top octave (k = 64, shift = 63-subBits)
+	// starts at index shift<<subBits and runs one full sub-bucket range
+	// past it.
+	nBuckets = (63-subBits)<<subBits + (1 << (subBits + 1))
+)
+
+// Hist is a latency histogram with logarithmic buckets: recorded
+// durations are exact below 64ns and within a 3.125% relative error
+// above, quantiles are conservative (never below the true nearest-rank
+// value, at most 3.2% above it), and histograms recorded independently
+// — per worker, per process — merge losslessly. The zero value is ready
+// to use. Hist is not safe for concurrent use; record into one Hist per
+// goroutine and Merge.
+type Hist struct {
+	counts [nBuckets]int64
+	n      int64
+	sum    int64 // exact, for Mean
+	max    int64 // exact, clamps high quantiles
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	k := bits.Len64(u)
+	if k <= subBits+1 {
+		return int(u) // exact region
+	}
+	shift := uint(k - subBits - 1)
+	return int(uint64(shift)<<subBits) + int(u>>shift)
+}
+
+// bucketMax returns the largest value mapping to bucket idx — the
+// conservative representative Quantile reports.
+func bucketMax(idx int) int64 {
+	if idx < 1<<(subBits+1) {
+		return int64(idx)
+	}
+	shift := uint(idx>>subBits) - 1
+	lo := int64(idx-int(shift)<<subBits) << shift
+	return lo + int64(1)<<shift - 1
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h. Merging is associative and commutative, and
+// merging the histograms of any partition of a sample set yields the
+// histogram of the whole set.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded durations.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max returns the largest recorded duration, exactly.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the exact arithmetic mean of the recorded durations.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) by nearest rank: the
+// upper bound of the bucket holding the ceil(q·n)-th smallest sample,
+// clamped to the exact observed maximum. The result is never below the
+// true nearest-rank value and overshoots it by at most one bucket width
+// (≤ 3.125% relative for values ≥ 64ns).
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketMax(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max) // unreachable: cum == n after the loop
+}

@@ -1,0 +1,182 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistGoldenExactRegion: durations under 64ns land in unit buckets,
+// so quantiles are exact nearest-rank values.
+func TestHistGoldenExactRegion(t *testing.T) {
+	h := &Hist{}
+	for i := 1; i <= 50; i++ {
+		h.Observe(time.Duration(i))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 25},  // rank ceil(0.5·50) = 25
+		{0.9, 45},  // rank 45
+		{0.99, 50}, // rank ceil(49.5) = 50
+		{0, 1},     // rank clamps to 1
+		{1, 50},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if h.Max() != 50 || h.Count() != 50 {
+		t.Errorf("Max/Count = %d/%d, want 50/50", h.Max(), h.Count())
+	}
+}
+
+// TestHistGoldenLogRegion pins exact expected outputs for a known
+// sequence under log bucketing: 1ms..1000ms, one sample each. The
+// goldens are the hand-computed bucket upper bounds (see hist.go's
+// mapping; subBits = 5): the quantile is conservative — at or above the
+// true nearest-rank value, within one sub-bucket width — and the
+// maximum clamps it exactly.
+func TestHistGoldenLogRegion(t *testing.T) {
+	h := &Hist{}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		// rank 500 → true 500ms; bucket [494927872, 503316479]ns.
+		{0.50, 503316479 * time.Nanosecond},
+		// rank 900 → true 900ms; bucket [889192448, 905969663]ns.
+		{0.90, 905969663 * time.Nanosecond},
+		// rank 990 → true 990ms; bucket upper 1006632959ns clamps to the
+		// exact observed max, 1000ms.
+		{0.99, 1000 * time.Millisecond},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Max(); got != 1000*time.Millisecond {
+		t.Errorf("Max = %v, want 1s (exact)", got)
+	}
+	if got := h.Mean(); got != 500500*time.Microsecond {
+		t.Errorf("Mean = %v, want 500.5ms (exact)", got)
+	}
+}
+
+// TestHistQuantileErrorBound: against random samples, every quantile is
+// ≥ the true nearest-rank value and within the documented 2^-5 relative
+// bucketing error above it.
+func TestHistQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Hist{}
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		// Mix magnitudes: ns to minutes.
+		v := int64(1) << uint(rng.Intn(36))
+		v += rng.Int63n(v)
+		vals = append(vals, v)
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i := 1; i <= 100; i++ {
+		q := float64(i) / 100
+		rank := int(math.Ceil(q * float64(len(vals)))) // the nearest-rank definition Quantile documents
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(vals) {
+			rank = len(vals)
+		}
+		truth := vals[rank-1]
+		got := int64(h.Quantile(q))
+		if got < truth {
+			t.Fatalf("Quantile(%g) = %d underestimates true nearest-rank %d", q, got, truth)
+		}
+		if limit := truth + truth/32 + 1; got > limit {
+			t.Fatalf("Quantile(%g) = %d exceeds error bound %d (true %d)", q, got, limit, truth)
+		}
+	}
+}
+
+// TestHistBucketInvariants: the mapping round-trips — every value lands
+// in a bucket whose range contains it, and buckets tile the axis
+// monotonically.
+func TestHistBucketInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(v int64) {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= nBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0, %d)", v, idx, nBuckets)
+		}
+		if up := bucketMax(idx); up < v {
+			t.Fatalf("bucketMax(bucketOf(%d)) = %d < value", v, up)
+		}
+		if idx > 0 && bucketMax(idx-1) >= v {
+			t.Fatalf("value %d also fits bucket %d (max %d)", v, idx-1, bucketMax(idx-1))
+		}
+	}
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1<<62 - 1, 1 << 62, int64(^uint64(0) >> 1)} {
+		check(v)
+	}
+	for i := 0; i < 100000; i++ {
+		check(rng.Int63())
+	}
+}
+
+// TestHistMergeProperties: merge is commutative, and merging the
+// histograms of any partition of a sample set is indistinguishable —
+// bucket for bucket — from recording the whole set into one histogram.
+func TestHistMergeProperties(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(800)
+		parts := make([]*Hist, 3)
+		for i := range parts {
+			parts[i] = &Hist{}
+		}
+		whole := &Hist{}
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Int63n(int64(10 * time.Second)))
+			whole.Observe(d)
+			parts[rng.Intn(len(parts))].Observe(d)
+		}
+
+		var ab Hist
+		ab.Merge(parts[0])
+		ab.Merge(parts[1])
+		var ba Hist
+		ba.Merge(parts[1])
+		ba.Merge(parts[0])
+		if ab != ba {
+			t.Fatalf("seed %d: merge(a,b) != merge(b,a)", seed)
+		}
+
+		// merge of the splits ≡ the whole, in any association order.
+		var left Hist
+		left.Merge(&ab)
+		left.Merge(parts[2])
+		var bc Hist
+		bc.Merge(parts[1])
+		bc.Merge(parts[2])
+		var right Hist
+		right.Merge(parts[0])
+		right.Merge(&bc)
+		if left != *whole || right != *whole {
+			t.Fatalf("seed %d: merged splits differ from the whole histogram", seed)
+		}
+	}
+}
+
+// TestHistZero: the zero histogram is usable and reports zeros.
+func TestHistZero(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("zero Hist not inert: %d %v %v %v", h.Count(), h.Max(), h.Mean(), h.Quantile(0.5))
+	}
+}

@@ -1,0 +1,198 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// SchemaVersion is the BENCH_serve.json schema version this package
+// emits and validates. Bump it on any incompatible change and extend
+// Validate to accept the versions still in the trajectory.
+const SchemaVersion = 1
+
+// EndpointStats is one endpoint's (or the run total's) measured-phase
+// accounting. Requests = OK + Errors + Shed: a shed (503) request is
+// counted, not dropped — under open-loop overload the shed rate IS the
+// result. Latency percentiles cover OK exchanges only (a rejection's
+// latency says nothing about serving cost) and are conservative within
+// the histogram's 3.125% bucketing error.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+
+	P50ms  float64 `json:"p50_ms"`
+	P90ms  float64 `json:"p90_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	// ThroughputRPS is completed OK requests per wall-clock second of
+	// the measured phase.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// FirstError carries one representative error for diagnosis; the
+	// count is what gates CI.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// Report is the machine-readable result of one run — the
+// BENCH_serve.json artifact. See doc.go for the schema contract.
+type Report struct {
+	Bench         string  `json:"bench"` // always "serve"
+	SchemaVersion int     `json:"schema_version"`
+	GitRev        string  `json:"git_rev"`
+	StartedAt     string  `json:"started_at,omitempty"` // RFC3339
+	Target        string  `json:"target"`
+	Spec          Spec    `json:"spec"`
+	WallSeconds   float64 `json:"wall_seconds"`
+
+	// WarmupErrors counts failures during the unmeasured warmup phase:
+	// excluded from the per-endpoint arithmetic, but a gated run (CI,
+	// the smoke script) must treat them as failures all the same.
+	WarmupErrors int64 `json:"warmup_errors,omitempty"`
+
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Totals    EndpointStats            `json:"totals"`
+}
+
+// Validate checks the report against the schema contract: a report that
+// validates can join the perf trajectory. It does not judge the
+// numbers — only that they are present, consistent, and ordered.
+func (r *Report) Validate() error {
+	if r.Bench != "serve" {
+		return fmt.Errorf("bench must be %q (got %q)", "serve", r.Bench)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("schema_version must be %d (got %d)", SchemaVersion, r.SchemaVersion)
+	}
+	if r.GitRev == "" {
+		return fmt.Errorf("git_rev is required")
+	}
+	if r.Target == "" {
+		return fmt.Errorf("target is required")
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if r.WallSeconds <= 0 {
+		return fmt.Errorf("wall_seconds must be > 0 (got %g)", r.WallSeconds)
+	}
+	if len(r.Endpoints) == 0 {
+		return fmt.Errorf("endpoints is empty")
+	}
+	var total int64
+	for ep, st := range r.Endpoints {
+		if err := st.validate(); err != nil {
+			return fmt.Errorf("endpoint %s: %w", ep, err)
+		}
+		total += st.Requests
+	}
+	if err := r.Totals.validate(); err != nil {
+		return fmt.Errorf("totals: %w", err)
+	}
+	if r.Totals.Requests != total {
+		return fmt.Errorf("totals.requests = %d, endpoints sum to %d", r.Totals.Requests, total)
+	}
+	return nil
+}
+
+func (st EndpointStats) validate() error {
+	if st.Requests != st.OK+st.Errors+st.Shed {
+		return fmt.Errorf("requests (%d) != ok (%d) + errors (%d) + shed (%d)", st.Requests, st.OK, st.Errors, st.Shed)
+	}
+	if st.OK > 0 {
+		if st.P50ms <= 0 || st.P50ms > st.P90ms || st.P90ms > st.P99ms || st.P99ms > st.MaxMS {
+			return fmt.Errorf("percentiles must satisfy 0 < p50 ≤ p90 ≤ p99 ≤ max (got %g, %g, %g, %g)",
+				st.P50ms, st.P90ms, st.P99ms, st.MaxMS)
+		}
+		if st.ThroughputRPS <= 0 {
+			return fmt.Errorf("throughput must be > 0 when ok > 0 (got %g)", st.ThroughputRPS)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path atomically enough for a CI
+// artifact (truncate + write + close).
+func (r *Report) WriteJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport loads and validates a BENCH_serve.json file.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteTable prints the human-readable run summary.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# tedload — %s @ %s (%s)\n", r.Target, r.GitRev, r.mode())
+	fmt.Fprintf(w, "# wall %.2fs, warmup %d, measured %d\n", r.WallSeconds, r.Spec.Warmup, r.Spec.Requests)
+	fmt.Fprintln(w, "endpoint\trequests\tok\terrors\tshed\tp50_ms\tp90_ms\tp99_ms\tmax_ms\trps")
+	row := func(name string, st EndpointStats) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\n",
+			name, st.Requests, st.OK, st.Errors, st.Shed,
+			st.P50ms, st.P90ms, st.P99ms, st.MaxMS, st.ThroughputRPS)
+	}
+	for _, ep := range Endpoints {
+		if st, ok := r.Endpoints[ep]; ok {
+			row(ep, st)
+		}
+	}
+	row("TOTAL", r.Totals)
+}
+
+func (r *Report) mode() string {
+	if r.Spec.Rate > 0 {
+		return fmt.Sprintf("open loop, %.0f rps Poisson, ≤ %d outstanding", r.Spec.Rate, r.Spec.Conc)
+	}
+	return fmt.Sprintf("closed loop, %d workers", r.Spec.Conc)
+}
+
+// statsToEndpoint folds a histogram + counters into wire form.
+func statsToEndpoint(h *Hist, errors, shed int64, firstErr string, wall time.Duration) EndpointStats {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	st := EndpointStats{
+		OK:         h.Count(),
+		Errors:     errors,
+		Shed:       shed,
+		FirstError: firstErr,
+	}
+	st.Requests = st.OK + st.Errors + st.Shed
+	if st.OK > 0 {
+		st.P50ms = ms(h.Quantile(0.50))
+		st.P90ms = ms(h.Quantile(0.90))
+		st.P99ms = ms(h.Quantile(0.99))
+		st.MaxMS = ms(h.Max())
+		st.MeanMS = ms(h.Mean())
+		if wall > 0 {
+			st.ThroughputRPS = float64(st.OK) / wall.Seconds()
+		}
+	}
+	return st
+}

@@ -1,0 +1,298 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Runner executes one workload against one target. The target is any
+// server speaking the package server JSON API: a live tedd over TCP or
+// an httptest.Server wrapping server.New in-process — the harness is
+// identical either way, which is what lets the e2e tests hold it to the
+// engine's correctness bar.
+type Runner struct {
+	// Base is the target URL prefix, e.g. "http://127.0.0.1:8420".
+	Base string
+	// Client issues the requests (http.DefaultClient if nil).
+	Client *http.Client
+	Spec   Spec
+	Snap   Snapshot
+	// GitRev stamps the report ("unknown" if empty).
+	GitRev string
+
+	// Check, if set, cross-checks every 2xx response (it receives the
+	// generated request and the raw response body). A non-nil return is
+	// counted as that endpoint's error — the e2e harness uses this to
+	// compare every served answer against the in-process engine.
+	Check func(req Request, status int, body []byte) error
+}
+
+// shard is one worker's private accounting; shards merge after the run
+// (the merge path is the same one a multi-process harness would use).
+type shard struct {
+	hists    map[string]*Hist
+	errors   map[string]int64
+	shed     map[string]int64
+	firstErr map[string]string
+}
+
+func newShard() *shard {
+	return &shard{
+		hists:    map[string]*Hist{},
+		errors:   map[string]int64{},
+		shed:     map[string]int64{},
+		firstErr: map[string]string{},
+	}
+}
+
+func (sh *shard) fail(ep, msg string) {
+	sh.errors[ep]++
+	if sh.firstErr[ep] == "" {
+		sh.firstErr[ep] = msg
+	}
+}
+
+type job struct {
+	req  Request
+	warm bool
+}
+
+// Run drives the workload to completion and reports. The request
+// stream is generated up front from (Spec, Snap, Seed) — deterministic
+// and independent of concurrency — then dispatched either closed-loop
+// (Conc workers, one request in flight each) or open-loop (Poisson
+// arrivals at Rate rps, at most Conc outstanding). On ctx cancellation
+// the remaining stream is abandoned and the partial report is returned
+// alongside ctx's error.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	gen, err := NewGen(r.Spec, r.Snap)
+	if err != nil {
+		return nil, err
+	}
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	total := r.Spec.Warmup + r.Spec.Requests
+	jobs := make(chan job, r.Spec.Conc)
+	shards := make([]*shard, r.Spec.Conc)
+	for i := range shards {
+		shards[i] = newShard()
+	}
+
+	var (
+		measureStart time.Time
+		startOnce    sync.Once
+		warmupErrs   int64
+		warmupMu     sync.Mutex
+	)
+	started := time.Now()
+
+	do := func(j job, sh *shard) {
+		if !j.warm {
+			startOnce.Do(func() { measureStart = time.Now() })
+		}
+		ep := j.req.Endpoint
+		var body io.Reader
+		if j.req.Body != nil {
+			body = bytes.NewReader(j.req.Body)
+		}
+		hr, err := http.NewRequestWithContext(ctx, j.req.Method, r.Base+j.req.Path, body)
+		if err != nil {
+			sh.fail(ep, fmt.Sprintf("build request: %v", err))
+			return
+		}
+		if body != nil {
+			hr.Header.Set("Content-Type", "application/json")
+		}
+		start := time.Now()
+		resp, err := client.Do(hr)
+		if err != nil {
+			if ctx.Err() == nil {
+				r.recordFailure(sh, j, ep, fmt.Sprintf("transport: %v", err), &warmupErrs, &warmupMu)
+			}
+			return
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(start)
+		if rerr != nil {
+			r.recordFailure(sh, j, ep, fmt.Sprintf("read body: %v", rerr), &warmupErrs, &warmupMu)
+			return
+		}
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			// Shed by admission control: counted, never dropped — under
+			// open-loop overload the shed rate is the measurement.
+			if !j.warm {
+				sh.shed[ep]++
+			}
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			if r.Check != nil {
+				if cerr := r.Check(j.req, resp.StatusCode, raw); cerr != nil {
+					r.recordFailure(sh, j, ep, fmt.Sprintf("cross-check: %v", cerr), &warmupErrs, &warmupMu)
+					return
+				}
+			}
+			if !j.warm {
+				h := sh.hists[ep]
+				if h == nil {
+					h = &Hist{}
+					sh.hists[ep] = h
+				}
+				h.Observe(elapsed)
+			}
+		default:
+			r.recordFailure(sh, j, ep, fmt.Sprintf("status %d: %s", resp.StatusCode, truncate(raw, 200)), &warmupErrs, &warmupMu)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if r.Spec.Rate > 0 {
+		// Open loop: a pacer draws Poisson gaps and hands each arrival a
+		// free worker slot; slots bound the outstanding requests, and
+		// because a slot is held exclusively, its shard needs no lock.
+		slots := make(chan int, r.Spec.Conc)
+		for i := 0; i < r.Spec.Conc; i++ {
+			slots <- i
+		}
+		gaps := rand.New(rand.NewSource(r.Spec.Seed ^ 0x5e3779b97f4a7c15))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			defer inner.Wait()
+			for i := 0; i < total; i++ {
+				j := job{req: gen.Next(), warm: i < r.Spec.Warmup}
+				gap := time.Duration(gaps.ExpFloat64() / r.Spec.Rate * float64(time.Second))
+				select {
+				case <-time.After(gap):
+				case <-ctx.Done():
+					return
+				}
+				var slot int
+				select {
+				case slot = <-slots:
+				case <-ctx.Done():
+					return
+				}
+				inner.Add(1)
+				go func(j job, slot int) {
+					defer inner.Done()
+					defer func() { slots <- slot }()
+					do(j, shards[slot])
+				}(j, slot)
+			}
+		}()
+	} else {
+		// Closed loop: Conc workers, each keeping exactly one request in
+		// flight, pulling from one shared stream.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(jobs)
+			for i := 0; i < total; i++ {
+				select {
+				case jobs <- job{req: gen.Next(), warm: i < r.Spec.Warmup}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		for w := 0; w < r.Spec.Conc; w++ {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				for j := range jobs {
+					do(j, sh)
+				}
+			}(shards[w])
+		}
+	}
+	wg.Wait()
+	wall := time.Duration(0)
+	if !measureStart.IsZero() {
+		wall = time.Since(measureStart)
+	}
+
+	rep := r.report(shards, wall, started)
+	rep.WarmupErrors = warmupErrs
+	return rep, ctx.Err()
+}
+
+// recordFailure books an error against the measured counters, or the
+// run-level warmup counter for warmup-phase requests (warmup failures
+// must still fail a gated run, but they are not part of the measured
+// arithmetic).
+func (r *Runner) recordFailure(sh *shard, j job, ep, msg string, warmupErrs *int64, mu *sync.Mutex) {
+	if j.warm {
+		mu.Lock()
+		*warmupErrs++
+		mu.Unlock()
+		return
+	}
+	sh.fail(ep, msg)
+}
+
+// report merges the per-worker shards into the wire-form Report.
+func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time) *Report {
+	rev := r.GitRev
+	if rev == "" {
+		rev = "unknown"
+	}
+	rep := &Report{
+		Bench:         "serve",
+		SchemaVersion: SchemaVersion,
+		GitRev:        rev,
+		StartedAt:     started.UTC().Format(time.RFC3339),
+		Target:        r.Base,
+		Spec:          r.Spec,
+		WallSeconds:   wall.Seconds(),
+		Endpoints:     map[string]EndpointStats{},
+	}
+	totalHist := &Hist{}
+	var totalErrs, totalShed int64
+	totalFirst := ""
+	for _, ep := range Endpoints {
+		merged := &Hist{}
+		var errs, shed int64
+		first := ""
+		for _, sh := range shards {
+			if h := sh.hists[ep]; h != nil {
+				merged.Merge(h)
+			}
+			errs += sh.errors[ep]
+			shed += sh.shed[ep]
+			if first == "" {
+				first = sh.firstErr[ep]
+			}
+		}
+		if merged.Count() == 0 && errs == 0 && shed == 0 {
+			continue // endpoint not in the mix
+		}
+		rep.Endpoints[ep] = statsToEndpoint(merged, errs, shed, first, wall)
+		totalHist.Merge(merged)
+		totalErrs += errs
+		totalShed += shed
+		if totalFirst == "" {
+			totalFirst = first
+		}
+	}
+	rep.Totals = statsToEndpoint(totalHist, totalErrs, totalShed, totalFirst, wall)
+	return rep
+}
+
+func truncate(b []byte, n int) string {
+	s := string(bytes.TrimSpace(b))
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}

@@ -3,14 +3,19 @@
 # /v1/distance and /v1/join over real HTTP, and assert the answers match
 # the offline cmd/ted output on the same trees. Exercises the whole
 # serving stack — corpus codec, WAL-attached Open, warm-up, admission,
-# JSON marshalling — and the graceful SIGTERM drain at the end.
+# JSON marshalling — then drives a short tedload workload (the emitted
+# BENCH_serve.json must validate and count zero errors), and finishes
+# with the graceful SIGTERM drain.
 #
 # Run from the repository root: ./scripts/server_smoke.sh
+# BENCH_OUT (optional) names where the tedload artifact lands; CI points
+# it at the workspace so the perf trajectory can be uploaded.
 set -euo pipefail
 
 WORK="$(mktemp -d)"
 PORT="${TEDD_PORT:-8423}"
 BASE="http://127.0.0.1:${PORT}"
+BENCH_OUT="${BENCH_OUT:-$WORK/BENCH_serve.json}"
 TEDD_PID=""
 cleanup() {
   [ -n "$TEDD_PID" ] && kill "$TEDD_PID" 2>/dev/null || true
@@ -61,6 +66,19 @@ if ! diff -u "$WORK/offline.join" "$WORK/served.join"; then
   exit 1
 fi
 echo "   $(wc -l < "$WORK/served.join") matches identical"
+
+echo "== tedload (short mixed workload, open-loop)"
+go build -o "$WORK/tedload" ./cmd/tedload
+"$WORK/tedload" -url "$BASE" \
+  -mix "distance=4,bounded=3,topk=2,join=0.2,mutate=1" \
+  -tau 25 -k 3 -seed 1 -rate 400 -conc 8 -warmup 20 -n 150 \
+  -out "$BENCH_OUT" -fail-on-error
+ERRS="$(jq '.totals.errors + (.warmup_errors // 0)' "$BENCH_OUT")"
+if [ "$ERRS" != "0" ]; then
+  echo "tedload counted $ERRS errors"
+  exit 1
+fi
+echo "   $(jq -c '{requests: .totals.requests, shed: .totals.shed, p50_ms: .totals.p50_ms, p99_ms: .totals.p99_ms}' "$BENCH_OUT")"
 
 echo "== durable mutation + graceful drain"
 NEW_ID="$(curl -sf -X POST "$BASE/v1/trees" -H 'Content-Type: application/json' \

@@ -32,6 +32,8 @@ type Server struct {
 	draining     atomic.Bool
 	admitted     atomic.Int64
 	rejected     atomic.Int64
+	shed         atomic.Int64
+	admitHook    func()
 
 	maxBody    int64
 	maxNodes   int
@@ -90,6 +92,15 @@ func WithMaxNodes(n int) Option {
 // working) instead of the daemon eventually dying of memory.
 func WithMaxLabels(n int) Option {
 	return func(s *Server) { s.maxLabels = n }
+}
+
+// WithAdmitHook installs f to run on every admitted request, after the
+// admission slot is acquired and before the handler. A test hook: load
+// and admission tests inject a delay here to hold slots deterministically
+// long enough to force queueing and shedding. Nil (the default) costs
+// nothing.
+func WithAdmitHook(f func()) Option {
+	return func(s *Server) { s.admitHook = f }
 }
 
 // WithMaxK caps top-k request sizes (default 100).
@@ -191,6 +202,10 @@ func (s *Server) admit(h http.HandlerFunc) http.Handler {
 			select {
 			case s.sem <- struct{}{}:
 			case <-t.C:
+				// A capacity shed, distinct from drain rejections: the
+				// load harness reads this counter to cross-check that
+				// every 503 it observed was accounted for server-side.
+				s.shed.Add(1)
 				s.reject(w, "over capacity")
 				return
 			case <-r.Context().Done():
@@ -205,6 +220,9 @@ func (s *Server) admit(h http.HandlerFunc) http.Handler {
 			return
 		}
 		s.admitted.Add(1)
+		if s.admitHook != nil {
+			s.admitHook()
+		}
 		h(w, r)
 	})
 }
@@ -224,7 +242,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats returns the counters /v1/stats serves, without the HTTP round
+// trip — the hook in-process harnesses and tests use to reconcile
+// client-observed 503s against the server's own shed accounting.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
 		Trees:       s.c.Len(),
 		Labels:      s.e.Interner().Len(),
 		Workers:     s.e.Workers(),
@@ -232,8 +257,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight: cap(s.sem),
 		Admitted:    s.admitted.Load(),
 		Rejected:    s.rejected.Load(),
+		Shed:        s.shed.Load(),
 		Draining:    s.draining.Load(),
-	})
+	}
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {

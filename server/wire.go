@@ -126,7 +126,11 @@ type StatsResponse struct {
 	MaxInFlight int   `json:"max_in_flight"`
 	Admitted    int64 `json:"admitted"`
 	Rejected    int64 `json:"rejected"`
-	Draining    bool  `json:"draining"`
+	// Shed counts admission rejections due to capacity (queue-timeout
+	// 503s) alone — a subset of Rejected, which also counts drain-mode
+	// refusals. A load run cross-checks its observed 503s against this.
+	Shed     int64 `json:"shed"`
+	Draining bool  `json:"draining"`
 }
 
 // ErrorResponse is every non-2xx body.
