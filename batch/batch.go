@@ -60,10 +60,11 @@ type StrategyFunc func(f, g *tree.Tree) strategy.Strategy
 // Engine is a reusable batch-TED computer. The zero value is not usable;
 // construct with New.
 type Engine struct {
-	model   cost.Model
-	unit    bool
-	workers int
-	strat   StrategyFunc
+	model    cost.Model
+	unit     bool
+	workers  int
+	strat    StrategyFunc
+	unbanded bool
 
 	// in assigns the label ids shared by every PreparedTree. It is
 	// internally synchronized, and may be shared with other engines (a
@@ -89,6 +90,13 @@ func WithCost(m cost.Model) Option { return func(e *Engine) { e.model = m } }
 // decomposition). Used to run the paper's fixed-strategy competitors
 // through the same engine.
 func WithStrategy(fn StrategyFunc) Option { return func(e *Engine) { e.strat = fn } }
+
+// WithBanding toggles the structural band of bounded computations
+// (default on): banded runs skip whole DP loop ranges and hopeless
+// keyroot subproblems instead of testing every cell against the cutoff.
+// Answers are bit-identical either way; turning it off exists for the
+// `tedbench -exp band` ablation and the differential harness.
+func WithBanding(on bool) Option { return func(e *Engine) { e.unbanded = !on } }
 
 // WithInterner makes the engine assign label ids from a shared interner
 // instead of a private one. Engines sharing an interner agree on label
@@ -183,8 +191,16 @@ type Stats struct {
 	// they actually evaluated.
 	Subproblems int64
 	// PrunedSubproblems is the number of DP cells bounded computations
-	// skipped because a cutoff proved them irrelevant.
+	// skipped because a cutoff proved them irrelevant (including the
+	// size-product lower bound for keyroot subproblems skipped whole).
 	PrunedSubproblems int64
+	// BandSkippedCells counts cells skipped as whole loop ranges by the
+	// structural band; zero with WithBanding(false), so the difference
+	// attributes pruning to the band versus per-cell slack saturation.
+	BandSkippedCells int64
+	// PrunedKeyroots counts keyroot subproblem DPs skipped entirely by
+	// the keyroot-level band.
+	PrunedKeyroots int64
 	// SPFCalls counts single-path function invocations.
 	SPFCalls int64
 	// MaxLiveRows is the peak number of retained heavy-path DP rows in
@@ -195,6 +211,8 @@ type Stats struct {
 func (s *Stats) add(g gted.Stats) {
 	s.Subproblems += g.Subproblems
 	s.PrunedSubproblems += g.PrunedSubproblems
+	s.BandSkippedCells += g.BandSkippedCells
+	s.PrunedKeyroots += g.PrunedKeyroots
 	s.SPFCalls += g.SPFCalls
 	if g.MaxLiveRows > s.MaxLiveRows {
 		s.MaxLiveRows = g.MaxLiveRows
@@ -215,6 +233,7 @@ func (e *Engine) pairRunner(ws *workspace, f, g *PreparedTree) *gted.Runner {
 	}
 	r := gted.NewInArena(f.t, g.t, cm, st, ws.arena)
 	r.SetMirrorLeafmost(f.lfm, g.lfm)
+	r.SetBanding(!e.unbanded)
 	return r
 }
 

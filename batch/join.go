@@ -88,9 +88,18 @@ type JoinStats struct {
 	UpperAccepted int
 	ExactComputed int
 	// PrunedSubproblems counts the DP cells the cutoff-seeded exact stage
-	// skipped (filtered joins thread tau into GTED as a cutoff).
+	// skipped (filtered joins thread tau into GTED as a cutoff),
+	// including the size-product lower bound for keyroot subproblems the
+	// band refused wholesale.
 	PrunedSubproblems int64
-	Elapsed           time.Duration
+	// BandSkippedCells counts cells the structural band skipped as whole
+	// loop ranges; zero for engines built WithBanding(false), so a
+	// banded/unbanded pair of runs attributes the pruning.
+	BandSkippedCells int64
+	// PrunedKeyroots counts keyroot subproblem DPs the keyroot-level
+	// band skipped entirely during the exact stage.
+	PrunedKeyroots int64
+	Elapsed        time.Duration
 
 	// Indexed joins only: the candidate generator that actually ran
 	// (IndexAuto resolves before running) and the time spent building
@@ -105,6 +114,8 @@ type joinOutcome struct {
 	dist   float64
 	subs   int64
 	pruned int64
+	band   int64
+	kroots int64
 	kind   uint8 // 0 exact, 1 lower-pruned, 2 upper-accepted
 }
 
@@ -328,7 +339,9 @@ func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filte
 			if !ok {
 				d = tau // below-threshold match impossible; tau is a valid floor
 			}
-			outcomes[k] = joinOutcome{dist: d, subs: r.Stats().Subproblems, pruned: r.Stats().PrunedSubproblems}
+			gst := r.Stats()
+			outcomes[k] = joinOutcome{dist: d, subs: gst.Subproblems, pruned: gst.PrunedSubproblems,
+				band: gst.BandSkippedCells, kroots: gst.PrunedKeyroots}
 			return
 		}
 		r := e.pairRunner(ws, f, g)
@@ -351,6 +364,8 @@ func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filte
 			}
 			st.Subproblems += o.subs
 			st.PrunedSubproblems += o.pruned
+			st.BandSkippedCells += o.band
+			st.PrunedKeyroots += o.kroots
 			if o.dist < tau {
 				ms = append(ms, Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
 			}

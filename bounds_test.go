@@ -59,8 +59,12 @@ func TestDistanceBoundedSkipsDP(t *testing.T) {
 
 // TestDistanceBoundedPrunesDP pins the cutoff path: a same-size
 // shape pair defeats the cheap bounds (lb below tau), so the DP must
-// run — but with the cutoff threaded in, skipping part of the exact
-// run's subproblems.
+// engage — and with the cutoff threaded in it decides the verdict while
+// touching strictly fewer cells than the exact run. The chain-vs-binary
+// pair has a huge height offset, so the default banded run is expected
+// to refuse the root keyroot subproblem outright (PrunedKeyroots > 0,
+// zero cells computed); with banding off the per-cell slack predicate
+// must still prune, one cell at a time, with zero BandSkippedCells.
 func TestDistanceBoundedPrunesDP(t *testing.T) {
 	f := gen.LeftBranch(60)
 	g := gen.FullBinary(63)
@@ -76,12 +80,32 @@ func TestDistanceBoundedPrunesDP(t *testing.T) {
 	if ok || got < tau {
 		t.Fatalf("DistanceBounded(tau=%v) = (%v, %v) with d = %v", tau, got, ok, d)
 	}
-	if st.Subproblems == 0 {
-		t.Fatal("DP never ran — the prefilter should not fire here")
+	if st.Subproblems == 0 && st.PrunedSubproblems == 0 {
+		t.Fatal("DP never engaged — the prefilter should not fire here")
 	}
 	if st.PrunedSubproblems == 0 || st.Subproblems >= est.Subproblems {
 		t.Fatalf("cutoff pruned nothing: bounded %d cells (%d pruned), exact %d",
 			st.Subproblems, st.PrunedSubproblems, est.Subproblems)
+	}
+	if st.PrunedKeyroots == 0 {
+		t.Fatalf("height offset %d vs tau %v should trip the keyroot band: %+v",
+			59, tau, st)
+	}
+
+	var un ted.Stats
+	gotU, okU := ted.DistanceBounded(f, g, tau, ted.WithStats(&un), ted.WithBanding(false))
+	if okU != ok || gotU != got {
+		t.Fatalf("unbanded verdict differs: (%v, %v) vs (%v, %v)", gotU, okU, got, ok)
+	}
+	if un.BandSkippedCells != 0 || un.PrunedKeyroots != 0 {
+		t.Fatalf("banding off must not report band pruning: %+v", un)
+	}
+	if un.Subproblems == 0 || un.PrunedSubproblems == 0 {
+		t.Fatalf("unbanded run should compute and prune cells: %+v", un)
+	}
+	if st.Subproblems >= un.Subproblems {
+		t.Fatalf("band should compute strictly fewer cells: banded %d, unbanded %d",
+			st.Subproblems, un.Subproblems)
 	}
 }
 

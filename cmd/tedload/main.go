@@ -9,6 +9,7 @@
 //	        -tau 8 -conc 8 -warmup 50 -n 400                # closed loop
 //	tedload -url ... -rate 200 -conc 64                     # open loop, 200 rps Poisson
 //	tedload -url ... -out BENCH_serve.json -fail-on-error   # the CI invocation
+//	tedload -check BENCH_serve.json                         # validate a committed artifact
 //
 // The request stream is generated deterministically from -seed and a
 // snapshot of the served corpus (taken over the API before the run), so
@@ -63,9 +64,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rev       = fs.String("rev", "", "git revision to stamp (default: git rev-parse --short HEAD)")
 		timeout   = fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
 		failOnErr = fs.Bool("fail-on-error", true, "exit nonzero when the run counted any error")
+		check     = fs.String("check", "", "validate an existing artifact against the report schema and exit (no server needed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *check != "" {
+		rep, err := load.ReadReport(*check)
+		if err != nil {
+			return err
+		}
+		rep.WriteTable(stdout)
+		fmt.Fprintf(stderr, "tedload: %s is a valid schema v%d report (rev %s)\n",
+			*check, rep.SchemaVersion, rep.GitRev)
+		return nil
 	}
 	if *url == "" {
 		return errors.New("-url is required")

@@ -1,0 +1,139 @@
+package corpus_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	ted "repro"
+	"repro/batch"
+	"repro/corpus"
+	"repro/gen"
+)
+
+// TestJoinCountFilterEquivalence pins the count-filtered pq-gram join to
+// the enumerate-everything join across a threshold spread that includes
+// the degenerate ends: the (1, q)-gram generator with the gram-count
+// filter must never drop a true match (completeness) nor invent one
+// (verification), so match sets are identical at every tau — including
+// tau = 0 (empty join) and tau = +Inf (every pair; the count filter's
+// maxOps saturation path).
+func TestJoinCountFilterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := corpus.New(corpus.WithPQGramIndex(2))
+	for i := 0; i < 32; i++ {
+		c.Add(gen.Random(rng.Int63(), gen.RandomSpec{
+			Size: 2 + rng.Intn(24), MaxDepth: 6, MaxFanout: 4, Labels: 4,
+		}))
+	}
+	e := c.Engine(batch.WithWorkers(2))
+	for _, tau := range []float64{0, 0.5, 1, 2, 3.5, 6, 10, math.Inf(1)} {
+		pq, pst := c.Join(e, tau, batch.JoinOptions{Mode: batch.IndexPQGram})
+		enum, _ := c.Join(e, tau, batch.JoinOptions{Mode: batch.IndexEnumerate})
+		if !reflect.DeepEqual(pq, enum) {
+			t.Fatalf("tau=%v: pq-gram join %v, enumerated %v", tau, pq, enum)
+		}
+		if pst.Mode != batch.IndexPQGram {
+			t.Fatalf("tau=%v: join ran mode %v, want IndexPQGram", tau, pst.Mode)
+		}
+		// The filter may only shrink the candidate set, never beyond the
+		// verified matches.
+		if pst.Comparisons < len(enum) {
+			t.Fatalf("tau=%v: %d candidates below %d true matches", tau, pst.Comparisons, len(enum))
+		}
+	}
+}
+
+// TestJoinCountFilterContention interleaves pq-gram-filtered joins with
+// corpus mutation — the count filter reads posting lists and tree metas
+// that Add/Delete/Replace rewrite concurrently — and checks the
+// quiescent corpus joins identically to a fresh build of the surviving
+// trees, at every threshold, in both modes. The CI race job runs this
+// under -race.
+func TestJoinCountFilterContention(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 24
+	var trees, alts []*ted.Tree
+	for i := 0; i < n; i++ {
+		spec := gen.RandomSpec{Size: 3 + rng.Intn(18), MaxDepth: 6, MaxFanout: 4, Labels: 5}
+		trees = append(trees, gen.Random(rng.Int63(), spec))
+		alts = append(alts, gen.Random(rng.Int63(), spec))
+	}
+
+	c := corpus.New(corpus.WithPQGramIndex(2))
+	ids := make([]corpus.ID, n)
+	for i, tr := range trees {
+		ids[i] = c.Add(tr)
+	}
+	e := c.Engine(batch.WithWorkers(2))
+
+	const rounds, writers = 3, 3
+	var wg sync.WaitGroup
+	// Writers own disjoint id stripes, so the final state is
+	// deterministic even though the interleaving is not.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i := w; i < n; i += writers {
+					switch (i + round) % 4 {
+					case 0:
+						c.Delete(ids[i])
+					case 1:
+						c.Replace(ids[i], alts[i])
+					case 2:
+						c.Replace(ids[i], trees[i])
+					}
+				}
+			}
+		}(w)
+	}
+	// Joiners: filtered joins while the writers churn. Mid-flight
+	// results reflect some consistent snapshot; the contract under test
+	// is race- and panic-freedom of the probe/filter path.
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				c.Join(e, float64(2+2*p), batch.JoinOptions{Mode: batch.IndexPQGram})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Quiescent check: replay the stripe schedule sequentially into a
+	// fresh corpus and require identical joins in both modes.
+	want := corpus.New(corpus.WithPQGramIndex(2))
+	wantIDs := make([]corpus.ID, n)
+	for i, tr := range trees {
+		wantIDs[i] = want.Add(tr)
+	}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			switch (i + round) % 4 {
+			case 0:
+				want.Delete(wantIDs[i])
+			case 1:
+				want.Replace(wantIDs[i], alts[i])
+			case 2:
+				want.Replace(wantIDs[i], trees[i])
+			}
+		}
+	}
+	we := want.Engine(batch.WithWorkers(2))
+	for _, tau := range []float64{0, 2, 4.5, math.Inf(1)} {
+		got, _ := c.Join(e, tau, batch.JoinOptions{Mode: batch.IndexPQGram})
+		fresh, _ := want.Join(we, tau, batch.JoinOptions{Mode: batch.IndexPQGram})
+		enum, _ := want.Join(we, tau, batch.JoinOptions{Mode: batch.IndexEnumerate})
+		if !reflect.DeepEqual(got, fresh) {
+			t.Fatalf("tau=%v: post-contention join %v, fresh build %v", tau, got, fresh)
+		}
+		if !reflect.DeepEqual(fresh, enum) {
+			t.Fatalf("tau=%v: pq-gram join %v, enumerated %v", tau, fresh, enum)
+		}
+	}
+}

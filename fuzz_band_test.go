@@ -1,0 +1,57 @@
+package ted_test
+
+import (
+	"math"
+	"testing"
+
+	ted "repro"
+)
+
+// FuzzDistanceBandedVsUnbanded fuzzes the structural band of the bounded
+// DP against the unbanded per-cell cutoff over bracket tree pairs and
+// arbitrary thresholds. Banding only changes how out-of-cutoff cells are
+// skipped — whole loop ranges instead of per-cell tests — so the two
+// modes must return bit-identical results (unit costs), the banded run
+// must never evaluate more subproblems than the unbanded one, and an
+// unbanded run must report zero band counters.
+//
+// Run continuously with: go test -fuzz=FuzzDistanceBandedVsUnbanded
+func FuzzDistanceBandedVsUnbanded(f *testing.F) {
+	f.Add("{a{b}{c}}", "{a{b{d}}}", 1.5)
+	f.Add("{a{b{c{d{e}}}}}", "{a}", 2.0)
+	f.Add("{x{x}{x}{x}{x}}", "{x{x{x{x{x}}}}}", 3.0)
+	f.Add("{a}", "{b}", math.Inf(1))
+	f.Add("{r{a{b}{c}}{d}}", "{r{d}{a{c}{b}}}", 0.0)
+	f.Add("{l0{l1}{l2{l3}}}", "{l0{l2{l3}}{l1}}", -1.0)
+
+	f.Fuzz(func(t *testing.T, fs, gs string, tau float64) {
+		ft, err := ted.Parse(fs)
+		if err != nil || ft.Len() > 60 {
+			t.Skip()
+		}
+		gt, err := ted.Parse(gs)
+		if err != nil || gt.Len() > 60 {
+			t.Skip()
+		}
+		if math.IsNaN(tau) {
+			t.Skip()
+		}
+		var sb, su ted.Stats
+		db, okB := ted.DistanceBounded(ft, gt, tau, ted.WithStats(&sb))
+		du, okU := ted.DistanceBounded(ft, gt, tau, ted.WithStats(&su), ted.WithBanding(false))
+		if okB != okU || db != du {
+			t.Fatalf("banded (%v, %v) != unbanded (%v, %v) at tau=%v\nF=%s\nG=%s",
+				db, okB, du, okU, tau, fs, gs)
+		}
+		if su.BandSkippedCells != 0 || su.PrunedKeyroots != 0 {
+			t.Fatalf("unbanded run reports band counters: %+v", su)
+		}
+		if sb.Subproblems > su.Subproblems {
+			t.Fatalf("banded run evaluated %d subproblems, unbanded %d at tau=%v\nF=%s\nG=%s",
+				sb.Subproblems, su.Subproblems, tau, fs, gs)
+		}
+		if sb.Subproblems < 0 || sb.PrunedSubproblems < 0 || sb.BandSkippedCells < 0 || sb.PrunedKeyroots < 0 {
+			t.Fatalf("negative instrumentation: %+v", sb)
+		}
+	})
+}

@@ -19,7 +19,8 @@ type Candidate struct {
 	// LB is a valid lower bound on the unit-cost tree edit distance
 	// between the query and the candidate, always strictly below the
 	// generating threshold. The histogram index derives it from the label
-	// intersection; the pq-gram index only knows the size bound.
+	// intersection; the pq-gram index reports the sharper of the size
+	// bound and (p = 1) the gram-count bound of the PQGram type comment.
 	LB float64
 	// Score orders candidates from most to least promising (smaller is
 	// better): LB for histogram candidates, the pq-gram distance in

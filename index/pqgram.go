@@ -26,16 +26,26 @@ import (
 //
 // The pq-gram distance does not lower-bound the standard tree edit
 // distance (it bounds a fanout-weighted variant), so gram overlap alone
-// cannot prune exactly. What does hold, for p = 1, is a structural
-// completeness guarantee: a single unit-cost edit operation perturbs the
-// grams anchored at most at two nodes of a tree — the edited node and its
+// cannot prune exactly. What does hold, for p = 1, is a counting
+// guarantee: a single unit-cost edit operation perturbs the grams
+// anchored at most at two nodes of a tree — the edited node and its
 // parent (stems have no ancestors when p = 1, so no other node's grams
-// mention the edited one). A pair at distance k therefore still shares
-// every gram anchored at the ≥ |F| − 2k untouched nodes; if it shares NO
-// gram, both trees must have at most 2k nodes. CandidatesBelow exploits
-// this: it generates the gram-sharing trees plus, when the query itself
-// is small enough, the trees of at most 2·(⌈τ⌉−1) nodes, and the union
-// provably contains every true match.
+// mention the edited one). Across a script of k operations at most 2k
+// nodes of either tree are ever touched; every untouched node of F
+// survives into G with its label and child list intact, so its anchored
+// grams — at least one per node — appear identically in both profiles.
+// Hence, counting multiset instances,
+//
+//	|P(F) ∩ P(G)| ≥ max(|F|, |G|) − 2k,
+//
+// and contrapositively a pair sharing c gram instances needs at least
+// ⌈(max(|F|,|G|) − c)/2⌉ operations. CandidatesBelow applies this count
+// bound during the posting-list merge — trees whose overlap deficit
+// already prices them at ≥ τ are never materialized as candidates — and
+// its zero-overlap special case (c = 0 forces both trees under 2k
+// nodes) is the small-tree fringe sweep that keeps the generator
+// complete: the surviving gram-sharers plus the fringe provably contain
+// every true match.
 //
 // For p ≥ 2 the number of grams a single edit perturbs grows with the
 // fanout of the edited region (a renamed node sits in the stem of every
@@ -130,11 +140,13 @@ func (ix *PQGram) Compact() { ix.iv.compact() }
 // CandidatesBelow appends to dst every live tree with id < q that shares
 // at least one pq-gram with tree q — plus, for p = 1, the small-tree
 // fringe that keeps the generator complete — in ascending id order, and
-// returns the extended slice. Candidates whose size lower bound ||F|−|G||
-// already reaches tau are omitted (they cannot match); LB carries that
-// bound and Score the pq-gram distance, so callers can verify the most
-// similar candidates first. Safe for concurrent use with other probes
-// and with Add/Put/Delete.
+// returns the extended slice. Candidates ruled out by either lower
+// bound — the size bound ||F|−|G||, or (p = 1 only) the gram-count
+// bound ⌈(max(|F|,|G|) − |P(F) ∩ P(G)|)/2⌉ of the type comment — are
+// filtered during the posting-list probe and never materialized; LB
+// carries the sharper of the two bounds and Score the pq-gram distance,
+// so callers can verify the most similar candidates first. Safe for
+// concurrent use with other probes and with Add/Put/Delete.
 func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candidate {
 	dst = dst[:0]
 	if tau <= 0 || q <= 0 {
@@ -147,18 +159,34 @@ func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candida
 		return dst
 	}
 	nq := int(nq32)
+	// A candidate survives iff its integer ops lower bound admits some
+	// k ≤ maxOps, i.e. lb ≤ maxOps ⟺ lb < tau for integer lb ≥ 0.
+	maxOps := maxOpsBelow(tau)
+	counting := ix.p == 1 // the count bound is a theorem only for p = 1
 	for _, t := range sc.touched {
 		nt, tProfLen, alive := ix.iv.meta(t)
 		if !alive {
 			continue
 		}
-		diff := nq - int(nt)
-		if diff < 0 {
-			diff = -diff
+		lb := nq - int(nt)
+		if lb < 0 {
+			lb = -lb
 		}
-		if lb := float64(diff); lb < tau {
+		if counting {
+			// Count filter: within k unit edits the pair shares at least
+			// max(|F|,|G|) − 2k gram instances, so the overlap deficit
+			// prices a minimum number of operations.
+			mx := nq
+			if int(nt) > mx {
+				mx = int(nt)
+			}
+			if gap := mx - int(sc.common[t]); gap > 0 && (gap+1)/2 > lb {
+				lb = (gap + 1) / 2
+			}
+		}
+		if lb <= maxOps {
 			score := 1 - 2*float64(sc.common[t])/float64(qProfLen+tProfLen)
-			dst = append(dst, Candidate{ID: int(t), LB: lb, Score: score})
+			dst = append(dst, Candidate{ID: int(t), LB: float64(lb), Score: score})
 		}
 	}
 	// Zero-overlap fringe: with p = 1, k < tau edits can only erase every
@@ -182,12 +210,22 @@ func (ix *PQGram) CandidatesBelow(q int, tau float64, dst []Candidate) []Candida
 			if !alive {
 				continue
 			}
-			diff := nq - int(nt)
-			if diff < 0 {
-				diff = -diff
+			lb := nq - int(nt)
+			if lb < 0 {
+				lb = -lb
 			}
-			if lb := float64(diff); lb < tau {
-				dst = append(dst, Candidate{ID: int(t), LB: lb, Score: 1})
+			if counting {
+				// Zero shared instances: the count bound with c = 0.
+				mx := nq
+				if int(nt) > mx {
+					mx = int(nt)
+				}
+				if (mx+1)/2 > lb {
+					lb = (mx + 1) / 2
+				}
+			}
+			if lb <= maxOps {
+				dst = append(dst, Candidate{ID: int(t), LB: float64(lb), Score: 1})
 			}
 		}
 	}

@@ -43,10 +43,16 @@ func strategies(f, g *tree.Tree) []strategy.Named {
 //
 //   - zs and (within naiveLimit) naive agree with GTED under every
 //     strategy;
-//   - for every strategy, bounded GTED at τ ∈ {0, d−ε, d, d+ε, d/2, ∞}
-//     honors the contract: (d, true) iff d ≤ τ, (+Inf, false) otherwise,
-//     with d bit-identical to the strategy's exact run under unit costs;
-//   - bounded runs never evaluate more subproblems than exact runs.
+//   - for every strategy, bounded GTED at τ ∈ {0, d−ε, d, d+ε, d/2, ∞},
+//     both with and without the structural band, honors the contract:
+//     (d, true) iff d ≤ τ, (+Inf, false) otherwise, with d bit-identical
+//     to the strategy's exact run under unit costs;
+//   - bounded runs never evaluate more subproblems than exact runs, and
+//     banded runs never evaluate more than unbanded ones at the same
+//     grid point;
+//   - unbanded runs report zero band counters, and at least one grid
+//     point has the banded run pruning at least as much as the unbanded
+//     one.
 func Check(f, g *tree.Tree, m cost.Model) error {
 	want := zs.Dist(f, g, m)
 	if f.Len()*g.Len() <= naiveLimit {
@@ -55,6 +61,7 @@ func Check(f, g *tree.Tree, m cost.Model) error {
 		}
 	}
 	_, unit := m.(cost.Unit)
+	bandPruned := false
 	for _, s := range strategies(f, g) {
 		exact := gted.New(f, g, m, s)
 		d := exact.Run()
@@ -62,28 +69,48 @@ func Check(f, g *tree.Tree, m cost.Model) error {
 			return fmt.Errorf("%s=%v zs=%v\nF=%s\nG=%s", s.Name(), d, want, f, g)
 		}
 		for _, tau := range []float64{0, d - 0.5, d, d + 0.5, d / 2, math.Inf(1)} {
-			b := gted.New(f, g, m, s)
-			bd, ok := b.RunBounded(tau)
-			if ok != (d <= tau) {
-				return fmt.Errorf("%s bounded tau=%v: ok=%v but d=%v\nF=%s\nG=%s",
-					s.Name(), tau, ok, d, f, g)
+			var subs, pruned [2]int64 // indexed by band off (0) / on (1)
+			for bi, band := range [2]bool{false, true} {
+				b := gted.New(f, g, m, s)
+				b.SetBanding(band)
+				bd, ok := b.RunBounded(tau)
+				if ok != (d <= tau) {
+					return fmt.Errorf("%s bounded tau=%v band=%v: ok=%v but d=%v\nF=%s\nG=%s",
+						s.Name(), tau, band, ok, d, f, g)
+				}
+				switch {
+				case ok && unit && bd != d:
+					return fmt.Errorf("%s bounded tau=%v band=%v: got %v, exact %v\nF=%s\nG=%s",
+						s.Name(), tau, band, bd, d, f, g)
+				case ok && !approx(bd, d):
+					return fmt.Errorf("%s bounded tau=%v band=%v: got %v !~ exact %v\nF=%s\nG=%s",
+						s.Name(), tau, band, bd, d, f, g)
+				case !ok && !math.IsInf(bd, 1):
+					return fmt.Errorf("%s bounded tau=%v band=%v: exceeded run returned %v, want +Inf",
+						s.Name(), tau, band, bd)
+				}
+				st := b.Stats()
+				if st.Subproblems > exact.Stats().Subproblems {
+					return fmt.Errorf("%s bounded tau=%v band=%v: evaluated %d subproblems, exact %d",
+						s.Name(), tau, band, st.Subproblems, exact.Stats().Subproblems)
+				}
+				if !band && (st.BandSkippedCells != 0 || st.PrunedKeyroots != 0) {
+					return fmt.Errorf("%s bounded tau=%v: unbanded run reports band counters (%d cells, %d keyroots)",
+						s.Name(), tau, st.BandSkippedCells, st.PrunedKeyroots)
+				}
+				subs[bi], pruned[bi] = st.Subproblems, st.PrunedSubproblems
 			}
-			switch {
-			case ok && unit && bd != d:
-				return fmt.Errorf("%s bounded tau=%v: got %v, exact %v\nF=%s\nG=%s",
-					s.Name(), tau, bd, d, f, g)
-			case ok && !approx(bd, d):
-				return fmt.Errorf("%s bounded tau=%v: got %v !~ exact %v\nF=%s\nG=%s",
-					s.Name(), tau, bd, d, f, g)
-			case !ok && !math.IsInf(bd, 1):
-				return fmt.Errorf("%s bounded tau=%v: exceeded run returned %v, want +Inf",
-					s.Name(), tau, bd)
+			if subs[1] > subs[0] {
+				return fmt.Errorf("%s bounded tau=%v: banded evaluated %d subproblems, unbanded %d\nF=%s\nG=%s",
+					s.Name(), tau, subs[1], subs[0], f, g)
 			}
-			if b.Stats().Subproblems > exact.Stats().Subproblems {
-				return fmt.Errorf("%s bounded tau=%v: evaluated %d subproblems, exact %d",
-					s.Name(), tau, b.Stats().Subproblems, exact.Stats().Subproblems)
+			if pruned[1] >= pruned[0] {
+				bandPruned = true
 			}
 		}
+	}
+	if !bandPruned {
+		return fmt.Errorf("no grid point had banded pruning ≥ unbanded pruning\nF=%s\nG=%s", f, g)
 	}
 	return nil
 }

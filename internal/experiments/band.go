@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	ted "repro"
+	"repro/batch"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+// Ablation: the structural band (tau-banded DP loops plus the
+// keyroot-level band) against PR 3's slack-only per-cell pruning, in two
+// settings:
+//
+//   - pairwise, on crafted single-label pairs where the cheap prefilter
+//     bounds stay low (equal sizes, one shared label) but the height
+//     offset is extreme — a chain against a balanced binary tree. The
+//     per-cell slack test must walk every row to discover the cutoff;
+//     the band skips whole loop ranges and the keyroot band refuses
+//     whole subproblem DPs, so at small tau the banded run must evaluate
+//     strictly fewer subproblems while returning a bit-identical answer.
+//   - join, banded engine vs batch.New(batch.WithBanding(false)) on a
+//     mixed corpus: identical match sets at every threshold, strictly
+//     fewer banded subproblems at the small one — the regression guard
+//     the CI smoke step executes.
+
+func init() {
+	register("band", "Ablation: structural banding (tau-banded DP + keyroot band) vs slack-only pruning", bandExp)
+}
+
+func bandExp(cfg Config) error {
+	header(cfg, "band", "banded vs slack-only bounded DP",
+		"section", "pair", "tau", "unbanded_subs", "banded_subs", "band_cells", "keyroots", "verdict")
+
+	n := cfg.size(120)
+	pairs := []struct {
+		name string
+		f, g *tree.Tree
+	}{
+		{"chain/binary", treegen.LeftBranch(n), treegen.FullBinary(n)},
+		{"zigzag/binary", treegen.ZigZag(n), treegen.FullBinary(n)},
+		{"chain/mixed", treegen.LeftBranch(n), treegen.Mixed(n)},
+	}
+	for _, p := range pairs {
+		// Anchor tau just above the cheap prefilter bound so the DP (not
+		// the prefilter) answers, at two scales: tight and loose.
+		lb := ted.LowerBound(p.f, p.g)
+		for i, tau := range []float64{lb + 2, lb + float64(n)/4} {
+			var bb, ub ted.Stats
+			bd, bok := ted.DistanceBounded(p.f, p.g, tau, ted.WithStats(&bb))
+			ud, uok := ted.DistanceBounded(p.f, p.g, tau, ted.WithStats(&ub), ted.WithBanding(false))
+			verdict := "exceeds"
+			if bok {
+				verdict = "exact"
+			}
+			fmt.Fprintf(cfg.Out, "pairwise\t%s\t%g\t%d\t%d\t%d\t%d\t%s\n",
+				p.name, tau, ub.Subproblems, bb.Subproblems, bb.BandSkippedCells, bb.PrunedKeyroots, verdict)
+			if bok != uok || bd != ud {
+				return fmt.Errorf("%s tau=%g: banded (%g, %v), unbanded (%g, %v)", p.name, tau, bd, bok, ud, uok)
+			}
+			if ub.BandSkippedCells != 0 || ub.PrunedKeyroots != 0 {
+				return fmt.Errorf("%s tau=%g: unbanded run reports band counters (%d cells, %d keyroots)",
+					p.name, tau, ub.BandSkippedCells, ub.PrunedKeyroots)
+			}
+			if bb.Subproblems > ub.Subproblems {
+				return fmt.Errorf("%s tau=%g: banded evaluated %d subproblems, unbanded %d",
+					p.name, tau, bb.Subproblems, ub.Subproblems)
+			}
+			// The acceptance guard: at the tight cutoff the band must beat
+			// slack-only pruning strictly, not merely re-count it. Below
+			// ~24 nodes the height offsets shrink under the cutoff and
+			// there is nothing structural left to skip, so tiny smoke
+			// scales check agreement only.
+			if i == 0 && n >= 24 && bb.Subproblems >= ub.Subproblems {
+				return fmt.Errorf("%s tau=%g: band saved nothing (%d vs %d subproblems)",
+					p.name, tau, bb.Subproblems, ub.Subproblems)
+			}
+		}
+	}
+
+	// Join section: the banded engine against an explicitly unbanded one
+	// on a corpus mixing the crafted shapes with random trees; identical
+	// match sets required at every threshold.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var corpus []*tree.Tree
+	for _, p := range pairs {
+		corpus = append(corpus, p.f, p.g)
+	}
+	for i := 0; i < 8; i++ {
+		corpus = append(corpus, treegen.Random(rng, treegen.RandomSpec{
+			Size: n/2 + rng.Intn(n), MaxDepth: 10, MaxFanout: 5, Labels: 6,
+		}))
+	}
+	be := batch.New()
+	ue := batch.New(batch.WithBanding(false))
+	bp := be.PrepareAll(corpus)
+	up := ue.PrepareAll(corpus)
+	for i, tau := range []float64{float64(n) / 16, float64(n) / 2} {
+		banded, bst := be.Join(bp, tau, true)
+		plain, ust := ue.Join(up, tau, true)
+		fmt.Fprintf(cfg.Out, "join\tcorpus\t%g\t%d\t%d\t%d\t%d\t%d-matches\n",
+			tau, ust.Subproblems, bst.Subproblems, bst.BandSkippedCells, bst.PrunedKeyroots, len(banded))
+		if len(plain) != len(banded) {
+			return fmt.Errorf("join tau=%g: banded found %d matches, unbanded %d", tau, len(banded), len(plain))
+		}
+		for k := range plain {
+			if plain[k].I != banded[k].I || plain[k].J != banded[k].J || plain[k].Dist != banded[k].Dist {
+				return fmt.Errorf("join tau=%g: match %d differs: %+v vs %+v", tau, k, banded[k], plain[k])
+			}
+		}
+		if bst.Subproblems > ust.Subproblems {
+			return fmt.Errorf("join tau=%g: banded evaluated %d subproblems, unbanded %d",
+				tau, bst.Subproblems, ust.Subproblems)
+		}
+		if i == 0 && n >= 24 && bst.Subproblems >= ust.Subproblems {
+			return fmt.Errorf("join tau=%g: band saved nothing (%d vs %d subproblems)",
+				tau, bst.Subproblems, ust.Subproblems)
+		}
+	}
+	return nil
+}

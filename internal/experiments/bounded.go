@@ -30,7 +30,7 @@ func init() {
 
 func boundedExp(cfg Config) error {
 	header(cfg, "bounded", "tau-threaded GTED vs exact",
-		"section", "pair", "d", "tau", "exact_subs", "bounded_subs", "pruned", "verdict")
+		"section", "pair", "d", "tau", "exact_subs", "bounded_subs", "pruned", "band_cells", "verdict")
 
 	n := cfg.size(120)
 	shapes := []struct {
@@ -57,8 +57,10 @@ func boundedExp(cfg Config) error {
 				if ok {
 					verdict = "exact"
 				}
-				fmt.Fprintf(cfg.Out, "pairwise\t%s\t%g\t%g\t%d\t%d\t%d\t%s\n",
-					pair, d, tau, est.Subproblems, bst.Subproblems, bst.PrunedSubproblems, verdict)
+				// band_cells splits the pruning attribution: cells skipped
+				// as whole band ranges, vs slack saturation caught per cell.
+				fmt.Fprintf(cfg.Out, "pairwise\t%s\t%g\t%g\t%d\t%d\t%d\t%d\t%s\n",
+					pair, d, tau, est.Subproblems, bst.Subproblems, bst.PrunedSubproblems, bst.BandSkippedCells, verdict)
 				if ok != (d <= tau) {
 					return fmt.Errorf("%s tau=%g: bounded verdict %v but d=%g", pair, tau, ok, d)
 				}
@@ -96,8 +98,8 @@ func boundedExp(cfg Config) error {
 	for _, tau := range []float64{float64(n) / 8, float64(n) / 2} {
 		plain, pst := e.Join(ps, tau, false)
 		bounded, bst := e.Join(ps, tau, true)
-		fmt.Fprintf(cfg.Out, "join\tcorpus\t-\t%g\t%d\t%d\t%d\t%d-matches\n",
-			tau, pst.Subproblems, bst.Subproblems, bst.PrunedSubproblems, len(bounded))
+		fmt.Fprintf(cfg.Out, "join\tcorpus\t-\t%g\t%d\t%d\t%d\t%d\t%d-matches\n",
+			tau, pst.Subproblems, bst.Subproblems, bst.PrunedSubproblems, bst.BandSkippedCells, len(bounded))
 		if len(plain) != len(bounded) {
 			return fmt.Errorf("join tau=%g: bounded found %d matches, plain %d", tau, len(bounded), len(plain))
 		}

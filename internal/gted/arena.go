@@ -20,6 +20,12 @@ type Arena struct {
 	rows     [][]float64
 	ch       chain
 	gs       gside
+	// Banded bounded runs: per-subtree height arrays (keyroot-level
+	// band) and the T2 path-chain coordinates of one ΔL/ΔR keyroot
+	// (saturating skipped whole-subtree cells).
+	hF, hG  []int32
+	chainDJ []int32
+	chainN2 []int32
 }
 
 // NewArena returns an empty arena. The zero value is also ready to use.

@@ -32,8 +32,23 @@ type Stats struct {
 	// PrunedSubproblems is the number of relevant subproblems a bounded
 	// run skipped: DP cells whose forest sizes alone prove the cell value
 	// exceeds the pair cutoff, saturated to +Inf instead of computed.
-	// Always zero for exact runs.
+	// With banding (the default) it additionally includes, for every
+	// keyroot subproblem skipped wholesale by the keyroot-level band, the
+	// product of the two subtree sizes — a lower bound on the relevant
+	// cells that DP would have visited. Always zero for exact runs.
 	PrunedSubproblems int64
+	// BandSkippedCells counts the cells skipped as whole loop ranges by
+	// the structural band (never individually tested), as opposed to
+	// cells pruned one at a time by the per-cell slack predicate of the
+	// unbanded path. With banding on, every in-loop pruned cell is a band
+	// skip, so BandSkippedCells + keyroot-level contributions equals
+	// PrunedSubproblems; with banding off it stays zero and the
+	// difference attributes pruning to slack saturation alone.
+	BandSkippedCells int64
+	// PrunedKeyroots counts keyroot subproblem DPs skipped entirely by
+	// the keyroot-level band: subtree pairs whose size or leaf-depth
+	// (height) offset alone prices the pair above its saturation cutoff.
+	PrunedKeyroots int64
 	// SPFCalls counts single-path function invocations (one per subtree
 	// pair the strategy decomposes).
 	SPFCalls int64
@@ -78,6 +93,18 @@ type Runner struct {
 	abortEarly bool
 	exceeded   bool
 	cb, cbT    opCosts
+
+	// banded selects the structural band of bounded runs (on by
+	// default): inner loops iterate only the diagonal band of index
+	// pairs the cutoff can admit, and whole keyroot subproblems with
+	// hopeless size/height offsets are skipped before their DP starts.
+	// Off, the PR3 per-cell slack predicate tests every cell one by one;
+	// both modes return bit-identical bounded results (see SetBanding).
+	banded bool
+	// Per-subtree heights (leaf = 0) of the two trees, built lazily for
+	// the keyroot-level band; hReady guards the one-time fill.
+	hF, hG []int32
+	hReady bool
 }
 
 // opCosts holds the extrema of the per-node delete/insert costs of one
@@ -146,13 +173,14 @@ func NewCompiled(f, g *tree.Tree, cm *cost.Compiled, s strategy.Strategy) *Runne
 func NewInArena(f, g *tree.Tree, cm *cost.Compiled, s strategy.Strategy, ar *Arena) *Runner {
 	n := f.Len() * g.Len()
 	r := &Runner{
-		f:     f,
-		g:     g,
-		cm:    cm,
-		strat: s,
-		ar:    ar,
-		d:     growF64(&ar.d, n),
-		seen:  growBool(&ar.seen, n),
+		f:      f,
+		g:      g,
+		cm:     cm,
+		strat:  s,
+		ar:     ar,
+		banded: true,
+		d:      growF64(&ar.d, n),
+		seen:   growBool(&ar.seen, n),
 	}
 	for i := range r.seen {
 		r.seen[i] = false
@@ -182,15 +210,42 @@ func (r *Runner) Run() float64 {
 // subtree pair, either the exact distance or +Inf/an overestimate that is
 // provably above the pair cutoff.
 //
+// The structural band (SetBanding, on by default) preserves exactly that
+// invariant while skipping the hopeless cells as whole loop ranges: for a
+// fixed F-side forest size the admissible G-side sizes form one
+// contiguous interval [fSz−maxD, fSz+maxI] (maxD/maxI are the most
+// cheapest-cost deletions/insertions the cutoff can pay for, bandWidth),
+// because the per-cell predicate is monotone in the size difference. Any
+// branch of an in-band cell that would read an out-of-band cell is
+// priced at +Inf instead — sound, since the out-of-band forest pair needs
+// more than maxD deletions or maxI insertions, so its true value already
+// exceeds the cutoff and the branch using it cannot be the minimum of
+// any value at most the cutoff. Skipped cells that publish into the
+// subtree-distance matrix (tree×tree cells) are still saturated there to
+// +Inf, so consumers observe the same matrix the per-cell path writes
+// wherever a value is at most its pair cutoff.
+//
 // With abortEarly set the run additionally stops as soon as any subtree
 // pair proves the root distance greater than tau (Exceeded reports it);
 // the matrix is then partial and only the exceeded verdict is usable.
+// Banded abortEarly runs also stop before a keyroot subproblem whose
+// size or height offset alone prices the pair above its saturation
+// cutoff (subtreeLower) — the DP for that pair never starts.
 // A +Inf tau disables bounded mode.
 func (r *Runner) SetCutoff(tau float64, abortEarly bool) {
 	r.tau = tau
 	r.bounded = !math.IsInf(tau, 1)
 	r.abortEarly = abortEarly && r.bounded
 }
+
+// SetBanding toggles the structural band of bounded runs (on by
+// default). Off, bounded runs fall back to testing every DP cell against
+// the slack predicate one at a time (the pre-band behaviour), which the
+// differential harness and the `tedbench -exp band` ablation use as the
+// comparison baseline. Both modes satisfy the same bounded contract and
+// return bit-identical results; banding only changes which cells are
+// ever touched. Exact (unbounded) runs ignore the flag.
+func (r *Runner) SetBanding(on bool) { r.banded = on }
 
 // RunBounded is Run with cutoff tau: it returns (d, true) iff the exact
 // distance d is at most tau, and (+Inf, false) — typically after
@@ -236,6 +291,90 @@ func (r *Runner) pairCutoff(v, w int) float64 {
 		float64(r.f.Len()-r.f.Size(v))*oc.imax
 }
 
+// subtreeLower returns a cheap lower bound on δ(F_v, G_w) from the size
+// and height offsets of the pair: an edit script needs at least |Δsize|
+// deletions (or insertions), and — because a delete or insert changes
+// the height of a tree by at most one while a rename leaves it unchanged
+// — at least |Δheight| of them as well. Each is priced at the cheapest
+// per-node cost of its direction.
+func (r *Runner) subtreeLower(v, w int) float64 {
+	oc := r.opCostsFor(r.cm)
+	hf, hg := r.heights()
+	lb := 0.0
+	if ds := r.f.Size(v) - r.g.Size(w); ds > 0 {
+		lb = float64(ds) * oc.dmin
+	} else if ds < 0 {
+		lb = float64(-ds) * oc.imin
+	}
+	if dh := int(hf[v]) - int(hg[w]); dh > 0 {
+		if b := float64(dh) * oc.dmin; b > lb {
+			lb = b
+		}
+	} else if dh < 0 {
+		if b := float64(-dh) * oc.imin; b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// heights lazily builds (into arena scratch) the per-subtree height
+// arrays of the two trees: h[v] is the edge count of the longest
+// root-leaf path of the subtree rooted at v (leaves are 0).
+func (r *Runner) heights() ([]int32, []int32) {
+	if !r.hReady {
+		r.hF = subtreeHeights(r.f, &r.ar.hF)
+		r.hG = subtreeHeights(r.g, &r.ar.hG)
+		r.hReady = true
+	}
+	return r.hF, r.hG
+}
+
+func subtreeHeights(t *tree.Tree, buf *[]int32) []int32 {
+	h := growI32(buf, t.Len())
+	for v := 0; v < t.Len(); v++ { // postorder: children precede parents
+		best := int32(0)
+		for _, c := range t.Children(v) {
+			if h[c]+1 > best {
+				best = h[c] + 1
+			}
+		}
+		h[v] = best
+	}
+	return h
+}
+
+// bandWidth returns the width of one side of the structural band: the
+// largest k ≥ 0 whose k cheapest operations of per-node cost c still fit
+// under tcut, i.e. the largest k with float64(k)*c ≤ tcut — evaluated
+// with exactly the float arithmetic of the per-cell predicate so banded
+// and unbanded runs prune precisely the same cells. A non-positive c can
+// never prove a cell hopeless (the side is unbounded) and a negative
+// cutoff admits nothing.
+func bandWidth(tcut, c float64) int {
+	if math.IsNaN(tcut) {
+		return math.MaxInt32 // NaN comparisons never prune; match that
+	}
+	if tcut < 0 {
+		return 0
+	}
+	if c <= 0 {
+		return math.MaxInt32
+	}
+	q := tcut / c
+	if q >= float64(math.MaxInt32) {
+		return math.MaxInt32
+	}
+	k := int(q)
+	for k > 0 && float64(k)*c > tcut {
+		k--
+	}
+	for float64(k+1)*c <= tcut {
+		k++
+	}
+	return k
+}
+
 // cutPad returns the slack added to cutoff comparisons. Unit costs sum to
 // small integers, which float64 represents exactly, so the bounded
 // contract is exact and the pad is zero. Arbitrary cost models accumulate
@@ -279,6 +418,18 @@ func (r *Runner) gted(v, w int) {
 	tcut := math.Inf(1)
 	if r.bounded {
 		tcut = r.pairCutoff(v, w)
+		// Keyroot-level band: if the size or height offset of the pair
+		// alone prices δ(F_v, G_w) above the saturation cutoff, the root
+		// distance provably exceeds tau — skip the pair's entire DP (and
+		// the recursion feeding it) instead of computing cells that would
+		// all saturate. Only valid with abortEarly: without it the caller
+		// is owed the other pairs' matrix entries.
+		if r.banded && r.abortEarly && r.subtreeLower(v, w) > tcut+r.cutPad(tcut) {
+			r.exceeded = true
+			r.stats.PrunedKeyroots++
+			r.stats.PrunedSubproblems += int64(r.f.Size(v)) * int64(r.g.Size(w))
+			return
+		}
 	}
 	if !ch.InG() {
 		strategy.ForEachHanging(r.f, v, ch.Type(), func(rt int) { r.gted(rt, w) })

@@ -264,6 +264,37 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 		tcut += r.cutPad(tcut)
 	}
 	inf := math.Inf(1)
+	// Structural band (default): for a fixed chain state the admissible
+	// G-forest sizes form one interval, and within one la-run of the
+	// storage the forest size is nondecreasing in lb — so the admissible
+	// cells are a contiguous span found by binary search, and the spans
+	// outside are skipped (and counted) without per-cell tests. Skipped
+	// cells hold stale scratch; atB guards every read that can land on
+	// one and prices it +Inf, sound because an out-of-band forest pair
+	// needs more than maxD deletions or maxI insertions (SetCutoff).
+	banded := bounded && r.banded
+	var maxD, maxI int
+	if banded {
+		maxD, maxI = bandWidth(tcut, dmin), bandWidth(tcut, imin)
+		// Widths beyond any possible size difference act identically;
+		// capping keeps the index arithmetic comfortably in range.
+		if n := t1.Len() + t2.Len(); maxD > n {
+			maxD = n
+		}
+		if n := t1.Len() + t2.Len(); maxI > n {
+			maxI = n
+		}
+	}
+	inBand := func(tt, gsz int) bool {
+		d := (s1 - tt) - gsz
+		return d <= maxD && -d <= maxI
+	}
+	atB := func(tt, la, lb, gsz int) float64 {
+		if !inBand(tt, gsz) {
+			return inf
+		}
+		return at(tt, la, lb, gsz)
+	}
 
 	for t := s1 - 1; t >= 0; t-- {
 		row := alloc()
@@ -281,6 +312,131 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 		fSz := s1 - t // F-side forest size of this chain state
 		if !bounded {
 			r.stats.Subproblems += gs.canon
+		}
+
+		if banded {
+			loSz, hiSz := fSz-maxD, fSz+maxI
+			for la := s2 - 1; la >= 0; la-- {
+				n0 := int(gs.lByPre[la])
+				base := int(gs.off[la])
+				n0sz := int(gs.sz[n0])
+				n0g := gs.g0 + n0
+				end := base + (s2 - 1 - n0) // last storage cell of the run
+				// Canonical cells in [base..c] number szCell[c]−n0sz+1
+				// (the base cell plus one per size increment); that and
+				// the monotone size column make span accounting O(log).
+				cLo := base
+				if int(gs.szCell[base]) < loSz {
+					l, h := base, end+1 // first cell with szCell ≥ loSz
+					for l < h {
+						m := int(uint(l+h) >> 1)
+						if int(gs.szCell[m]) < loSz {
+							l = m + 1
+						} else {
+							h = m
+						}
+					}
+					cLo = l
+				}
+				cHi := end
+				if int(gs.szCell[end]) > hiSz {
+					l, h := base, end+1 // first cell with szCell > hiSz
+					for l < h {
+						m := int(uint(l+h) >> 1)
+						if int(gs.szCell[m]) <= hiSz {
+							l = m + 1
+						} else {
+							h = m
+						}
+					}
+					cHi = l - 1
+				}
+				if cLo > end || cHi < base {
+					skipped := int64(int(gs.szCell[end]) - n0sz + 1)
+					r.stats.PrunedSubproblems += skipped
+					r.stats.BandSkippedCells += skipped
+					if isT {
+						// The base cell — the run's only tree×tree cell —
+						// was band-skipped; saturate its matrix entry.
+						dv.set(u, n0g, inf)
+					}
+					continue
+				}
+				var skipped int64
+				if cLo > base {
+					skipped += int64(int(gs.szCell[cLo-1]) - n0sz + 1)
+					if isT {
+						dv.set(u, n0g, inf)
+					}
+				}
+				if cHi < end {
+					skipped += int64(int(gs.szCell[end]) - int(gs.szCell[cHi]))
+				}
+				r.stats.PrunedSubproblems += skipped
+				r.stats.BandSkippedCells += skipped
+				for c := cLo; c <= cHi; c++ {
+					lb := n0 + (c - base)
+					if int(gs.lPre[lb]) < la {
+						// Duplicate cell: same node set as its predecessor,
+						// hence the same forest size — the predecessor is
+						// always inside the band too, so the copy is valid.
+						row[c] = row[c-1]
+						continue
+					}
+					gSz := int(gs.szCell[c])
+					r.stats.Subproblems++
+					var val float64
+					switch {
+					case isT && gSz == n0sz:
+						wg := gs.g0 + lb // == n0g: single root
+						val = atB(t+1, la, lb, gSz) + delU
+						if x := atB(t, la+1, lb-1, gSz-1) + cm.Ins[wg]; x < val {
+							val = x
+						}
+						if x := atB(t+1, la+1, lb-1, gSz-1) + cm.Ren(u, wg); x < val {
+							val = x
+						}
+						dv.set(u, wg, val)
+					case isT:
+						wl := lb
+						wsz := int(gs.sz[wl])
+						wg := gs.g0 + wl
+						val = atB(t+1, la, lb, gSz) + delU
+						if x := atB(t, la, lb-1, gSz-1) + cm.Ins[wg]; x < val {
+							val = x
+						}
+						if x := atB(t, int(gs.lPre[wl]), lb, wsz) + atB(s1, la, lb-wsz, gSz-wsz); x < val {
+							val = x
+						}
+					case dirR:
+						wl := lb
+						wsz := int(gs.sz[wl])
+						wg := gs.g0 + wl
+						val = atB(t+1, la, lb, gSz) + delU
+						if x := atB(t, la, lb-1, gSz-1) + cm.Ins[wg]; x < val {
+							val = x
+						}
+						if x := dv.get(u, wg) + atB(jump, la, lb-wsz, gSz-wsz); x < val {
+							val = x
+						}
+					default:
+						wsz := n0sz
+						val = atB(t+1, la, lb, gSz) + delU
+						if x := atB(t, la+1, lb, gSz-1) + cm.Ins[n0g]; x < val {
+							val = x
+						}
+						if x := dv.get(u, n0g) + atB(jump, la+wsz, lb, gSz-wsz); x < val {
+							val = x
+						}
+					}
+					row[c] = val
+				}
+			}
+			release(t + 1)
+			if !isT {
+				release(jump)
+			}
+			continue
 		}
 
 		for la := s2 - 1; la >= 0; la-- {

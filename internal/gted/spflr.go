@@ -97,6 +97,23 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 		bounded = dmin > 0 || imin > 0
 		tcut += r.cutPad(tcut)
 	}
+	// Structural band (default): for prefix pair (di, dj) the per-cell
+	// predicate depends only on di−dj, so per row the admissible dj form
+	// the contiguous range [di−maxD, di+maxI] — iterate just that range
+	// and account the rest as whole skipped spans.
+	banded := bounded && r.banded
+	var maxD, maxI int
+	if banded {
+		maxD, maxI = bandWidth(tcut, dmin), bandWidth(tcut, imin)
+		// Widths beyond any possible size difference act identically;
+		// capping keeps the index arithmetic comfortably in range.
+		if n := t1.Len() + t2.Len(); maxD > n {
+			maxD = n
+		}
+		if n := t1.Len() + t2.Len(); maxI > n {
+			maxI = n
+		}
+	}
 	inf := math.Inf(1)
 
 	for _, kc := range ks {
@@ -110,6 +127,10 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 		fd[0] = 0
 		for dj := 1; dj <= s2k; dj++ {
 			fd[dj] = fd[dj-1] + cm.Ins[view2.nodeOf(jlo+dj-1)]
+		}
+		if banded {
+			r.spfLRBandedKeyroot(view1, lo1, s1, view2, jlo, kc, cm, dv, fd, maxD, maxI)
+			continue
 		}
 		for di := 1; di <= s1; di++ {
 			i := lo1 + di - 1
@@ -155,6 +176,104 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 				if tt {
 					dv.set(n1, n2, m)
 				}
+			}
+		}
+	}
+}
+
+// spfLRBandedKeyroot runs one keyroot of the ΔL/ΔR DP restricted to the
+// structural band: row di computes only dj ∈ [di−maxD, di+maxI]. Cells
+// outside the band hold stale scratch from earlier keyroots, so every
+// read that can cross the band edge is guarded by the same integer
+// predicate and priced +Inf instead — sound, because an out-of-band
+// prefix pair needs more than maxD deletions or maxI insertions and its
+// true value therefore exceeds the cutoff (see the SetCutoff comment).
+// Band-skipped cells on the T2 path chain still saturate their
+// subtree-distance matrix entry to +Inf: later single-path functions
+// read those entries.
+func (r *Runner) spfLRBandedKeyroot(view1 zsview, lo1, s1 int, view2 zsview, jlo, kc int, cm *cost.Compiled, dv dview, fd []float64, maxD, maxI int) {
+	inf := math.Inf(1)
+	s2k := kc - jlo + 1
+	w := s2k + 1
+	// The T2 path chain of this keyroot, ascending: dj offsets (and node
+	// ids) of the prefixes that are whole subtrees with view-leftmost
+	// leaf jlo — exactly the cells that publish into the distance matrix.
+	chD := r.ar.chainDJ[:0]
+	chN := r.ar.chainN2[:0]
+	for n := view2.nodeOf(jlo); ; n = view2.t.Parent(n) {
+		cc := view2.coordOf(n)
+		chD = append(chD, int32(cc-jlo+1))
+		chN = append(chN, int32(n))
+		if cc == kc {
+			break
+		}
+	}
+	r.ar.chainDJ, r.ar.chainN2 = chD, chN
+
+	for di := 1; di <= s1; di++ {
+		i := lo1 + di - 1
+		n1 := view1.nodeOf(i)
+		del1 := cm.Del[n1]
+		fd[di*w] = fd[(di-1)*w] + del1
+		fl1 := view1.leafmost(i)
+		onPath1 := fl1 == lo1
+		lo := di - maxD
+		if lo < 1 {
+			lo = 1
+		}
+		hi := di + maxI
+		if hi > s2k {
+			hi = s2k
+		}
+		var skipped int64
+		if lo > hi { // whole row out of band
+			skipped = int64(s2k)
+		} else {
+			skipped = int64(lo-1) + int64(s2k-hi)
+			r.stats.Subproblems += int64(hi - lo + 1)
+		}
+		r.stats.PrunedSubproblems += skipped
+		r.stats.BandSkippedCells += skipped
+		if onPath1 && skipped > 0 {
+			// Saturate the matrix entries of band-skipped chain cells.
+			for ci := 0; ci < len(chD) && int(chD[ci]) < lo; ci++ {
+				dv.set(n1, int(chN[ci]), inf)
+			}
+			for ci := len(chD) - 1; ci >= 0 && int(chD[ci]) > hi; ci-- {
+				dv.set(n1, int(chN[ci]), inf)
+			}
+		}
+		for dj := lo; dj <= hi; dj++ {
+			j := jlo + dj - 1
+			n2 := view2.nodeOf(j)
+			fl2 := view2.leafmost(j)
+			tt := onPath1 && fl2 == jlo
+			// Neighbour reads can cross the band edge by one on a single
+			// side each; the diagonal (di−1, dj−1) never leaves it.
+			del := inf
+			if dj-(di-1) <= maxI {
+				del = fd[(di-1)*w+dj] + del1
+			}
+			ins := inf
+			if di-(dj-1) <= maxD {
+				ins = fd[di*w+dj-1] + cm.Ins[n2]
+			}
+			match := inf
+			if tt {
+				match = fd[(di-1)*w+dj-1] + cm.Ren(n1, n2)
+			} else if a, b := fl1-lo1, fl2-jlo; a-b <= maxD && b-a <= maxI {
+				match = fd[a*w+b] + dv.get(n1, n2)
+			}
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if match < m {
+				m = match
+			}
+			fd[di*w+dj] = m
+			if tt {
+				dv.set(n1, n2, m)
 			}
 		}
 	}

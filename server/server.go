@@ -35,6 +35,13 @@ type Server struct {
 	shed         atomic.Int64
 	admitHook    func()
 
+	// Cumulative DP pruning counters over served joins (see
+	// StatsResponse): threshold-pruned cells, band-skipped cells, and
+	// keyroot DPs refused by the band.
+	prunedSubs  atomic.Int64
+	bandCells   atomic.Int64
+	prunedKroot atomic.Int64
+
 	maxBody    int64
 	maxNodes   int
 	maxK       int
@@ -259,6 +266,10 @@ func (s *Server) Stats() StatsResponse {
 		Rejected:    s.rejected.Load(),
 		Shed:        s.shed.Load(),
 		Draining:    s.draining.Load(),
+
+		PrunedSubproblems: s.prunedSubs.Load(),
+		BandSkippedCells:  s.bandCells.Load(),
+		PrunedKeyroots:    s.prunedKroot.Load(),
 	}
 }
 
@@ -322,6 +333,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		limit = req.Limit
 	}
 	ms, st := s.c.Join(s.e, req.Tau, batch.JoinOptions{Mode: mode, Q: req.Q})
+	s.prunedSubs.Add(st.PrunedSubproblems)
+	s.bandCells.Add(st.BandSkippedCells)
+	s.prunedKroot.Add(st.PrunedKeyroots)
 	resp := JoinResponse{Count: len(ms), Stats: joinStats(st)}
 	if len(ms) > limit {
 		ms = ms[:limit]
@@ -527,13 +541,16 @@ func parseMode(s string) (batch.IndexMode, bool) {
 
 func joinStats(st batch.JoinStats) JoinStats {
 	return JoinStats{
-		Candidates:    st.Comparisons,
-		LowerPruned:   st.LowerPruned,
-		UpperAccepted: st.UpperAccepted,
-		ExactComputed: st.ExactComputed,
-		Subproblems:   st.Subproblems,
-		Mode:          st.Mode.String(),
-		ElapsedMS:     st.Elapsed.Milliseconds(),
+		Candidates:        st.Comparisons,
+		LowerPruned:       st.LowerPruned,
+		UpperAccepted:     st.UpperAccepted,
+		ExactComputed:     st.ExactComputed,
+		Subproblems:       st.Subproblems,
+		PrunedSubproblems: st.PrunedSubproblems,
+		BandSkippedCells:  st.BandSkippedCells,
+		PrunedKeyroots:    st.PrunedKeyroots,
+		Mode:              st.Mode.String(),
+		ElapsedMS:         st.Elapsed.Milliseconds(),
 	}
 }
 

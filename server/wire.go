@@ -66,8 +66,14 @@ type JoinStats struct {
 	UpperAccepted int    `json:"upper_accepted"`
 	ExactComputed int    `json:"exact_computed"`
 	Subproblems   int64  `json:"subproblems"`
-	Mode          string `json:"mode"`
-	ElapsedMS     int64  `json:"elapsed_ms"`
+	// DP cells the exact stage skipped under the threshold cutoff, the
+	// subset of those skipped as whole ranges by the structural band,
+	// and keyroot subproblem DPs the band refused outright.
+	PrunedSubproblems int64  `json:"pruned_subproblems"`
+	BandSkippedCells  int64  `json:"band_skipped_cells"`
+	PrunedKeyroots    int64  `json:"pruned_keyroots"`
+	Mode              string `json:"mode"`
+	ElapsedMS         int64  `json:"elapsed_ms"`
 }
 
 // JoinResponse: Count is the full match count; Matches holds at most
@@ -131,6 +137,14 @@ type StatsResponse struct {
 	// refusals. A load run cross-checks its observed 503s against this.
 	Shed     int64 `json:"shed"`
 	Draining bool  `json:"draining"`
+	// Cumulative DP pruning over every served join's exact stage since
+	// boot: cells skipped under the threshold cutoff, the subset skipped
+	// as whole ranges by the structural band, and keyroot subproblem DPs
+	// the band refused outright. Monitoring the band share over time is
+	// the serving-side view of the `tedbench -exp band` ablation.
+	PrunedSubproblems int64 `json:"pruned_subproblems"`
+	BandSkippedCells  int64 `json:"band_skipped_cells"`
+	PrunedKeyroots    int64 `json:"pruned_keyroots"`
 }
 
 // ErrorResponse is every non-2xx body.

@@ -109,8 +109,20 @@ type Stats struct {
 	Subproblems int64
 	// PrunedSubproblems is the number of relevant subproblems a bounded
 	// call (DistanceBounded) skipped because the cutoff proved them
-	// irrelevant. Always zero for exact calls.
+	// irrelevant, including a size-product lower bound on the cells of
+	// keyroot subproblems the band skipped wholesale. Always zero for
+	// exact calls.
 	PrunedSubproblems int64
+	// BandSkippedCells counts the DP cells skipped as whole loop ranges
+	// by the structural band of a bounded call, as opposed to cells
+	// pruned one at a time by slack saturation; with WithBanding(false)
+	// it is always zero, so the difference between two runs attributes
+	// pruning to the band versus the per-cell predicate.
+	BandSkippedCells int64
+	// PrunedKeyroots counts keyroot subproblem DPs a bounded call
+	// skipped entirely because the size or height offset of the subtree
+	// pair already exceeded its cutoff.
+	PrunedKeyroots int64
 	// SPFCalls counts single-path function invocations.
 	SPFCalls int64
 	// StrategyTime is the time spent computing the optimal strategy
@@ -122,13 +134,14 @@ type Stats struct {
 }
 
 type config struct {
-	alg     Algorithm
-	model   CostModel
-	stats   *Stats
-	workers int
-	filters bool
-	indexed bool
-	imode   IndexMode
+	alg      Algorithm
+	model    CostModel
+	stats    *Stats
+	workers  int
+	filters  bool
+	indexed  bool
+	imode    IndexMode
+	unbanded bool
 }
 
 // Option configures Distance, Mapping and Join.
@@ -142,6 +155,12 @@ func WithCost(m CostModel) Option { return func(c *config) { c.model = m } }
 
 // WithStats requests instrumentation; s is filled during the call.
 func WithStats(s *Stats) Option { return func(c *config) { c.stats = s } }
+
+// WithBanding toggles the structural band of bounded calls (default
+// on). Off, DistanceBounded falls back to testing every DP cell against
+// the cutoff one at a time — same answers bit for bit, more cells
+// touched. Exists for ablation and differential testing; leave it on.
+func WithBanding(on bool) Option { return func(c *config) { c.unbanded = !on } }
 
 func buildConfig(opts []Option) config {
 	c := config{alg: RTED, model: UnitCost}
@@ -256,12 +275,15 @@ func DistanceBounded(f, g *Tree, tau float64, opts ...Option) (float64, bool) {
 		alg = ZhangL
 	}
 	run := gted.New(f, g, c.model, StrategyFor(alg, f, g))
+	run.SetBanding(!c.unbanded)
 	d, ok := run.RunBounded(tau)
 	if c.stats != nil {
 		st := run.Stats()
 		*c.stats = Stats{
 			Subproblems:       st.Subproblems,
 			PrunedSubproblems: st.PrunedSubproblems,
+			BandSkippedCells:  st.BandSkippedCells,
+			PrunedKeyroots:    st.PrunedKeyroots,
 			SPFCalls:          st.SPFCalls,
 			TotalTime:         time.Since(start),
 			MaxLiveRows:       st.MaxLiveRows,

@@ -92,6 +92,8 @@ func TopKSubtreesAcross(query *Tree, data []*Tree, k int, opts ...Option) []Cros
 	if c.stats != nil {
 		c.stats.Subproblems = st.Subproblems
 		c.stats.PrunedSubproblems = st.PrunedSubproblems
+		c.stats.BandSkippedCells = st.BandSkippedCells
+		c.stats.PrunedKeyroots = st.PrunedKeyroots
 		c.stats.SPFCalls = st.SPFCalls
 		c.stats.MaxLiveRows = st.MaxLiveRows
 	}
