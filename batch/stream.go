@@ -1,0 +1,280 @@
+package batch
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bounds"
+)
+
+// This file is the streaming half of the join/top-k API: the same
+// pipelines as Join/JoinIndexed/JoinCandidates/TopKAcross, but results
+// are handed to the caller as they are found instead of buffered into a
+// slice, and a context threads cancellation back into the worker pool —
+// the engine side of a server streaming NDJSON to a client that may
+// disconnect mid-response.
+//
+// Contracts shared by every streaming call:
+//
+//   - emit runs on the calling goroutine, one invocation at a time, in
+//     completion order (nondeterministic across runs). Run to
+//     completion, the emitted multiset is exactly the buffered call's
+//     match set; only the order differs.
+//   - Cancelling ctx stops the work: workers abandon remaining pairs at
+//     the next pair boundary and the call returns ctx's error. The
+//     returned stats then cover only the work actually done
+//     (JoinStats.Comparisons counts evaluated pairs, not planned ones).
+
+// JoinStream is the streaming Join: every match is passed to emit as
+// soon as its pair resolves. See the streaming contracts above.
+func (e *Engine) JoinStream(ctx context.Context, trees []*PreparedTree, tau float64, filtered bool, emit func(Match)) (JoinStats, error) {
+	e.check(trees...)
+	if filtered && !e.unit {
+		panic("batch: filtered JoinStream requires the unit cost model")
+	}
+	start := time.Now()
+	n := len(trees)
+	pairs := make([]ij, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, ij{i: i, j: j})
+		}
+	}
+	st, err := e.evalPairsStream(ctx, trees, pairs, tau, filtered, emit)
+	st.Mode = IndexEnumerate
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+// JoinIndexedStream is the streaming JoinIndexed: candidate pairs come
+// from the selected inverted index, matches flow to emit as found. See
+// the streaming contracts above.
+func (e *Engine) JoinIndexedStream(ctx context.Context, trees []*PreparedTree, tau float64, opts JoinOptions, emit func(Match)) (JoinStats, error) {
+	e.check(trees...)
+	if !e.unit {
+		panic("batch: JoinIndexedStream requires the unit cost model")
+	}
+	mode := opts.Mode
+	if mode == IndexAuto {
+		if indexablePrunes(trees, tau) {
+			mode = IndexHistogram
+		} else {
+			mode = IndexEnumerate
+		}
+	}
+	if mode == IndexEnumerate {
+		st, err := e.JoinStream(ctx, trees, tau, true, emit)
+		st.Mode = IndexEnumerate
+		return st, err
+	}
+
+	start := time.Now()
+	pairs, indexTime := generate(trees, tau, mode, opts)
+	st, err := e.evalPairsStream(ctx, trees, pairs, tau, true, emit)
+	st.Mode = mode
+	st.IndexTime = indexTime
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+// JoinCandidatesStream is the streaming JoinCandidates: the caller's
+// candidate pairs run through the filtered pipeline and matches flow to
+// emit as found. See the streaming contracts above.
+func (e *Engine) JoinCandidatesStream(ctx context.Context, trees []*PreparedTree, cands []CandidatePair, tau float64, emit func(Match)) (JoinStats, error) {
+	e.check(trees...)
+	if !e.unit {
+		panic("batch: JoinCandidatesStream requires the unit cost model")
+	}
+	start := time.Now()
+	pairs := make([]ij, len(cands))
+	for k, c := range cands {
+		i, j := c.I, c.J
+		if i > j {
+			i, j = j, i
+		}
+		if i < 0 || j >= len(trees) || i == j {
+			panic(fmt.Sprintf("batch: candidate pair (%d, %d) outside the %d-tree collection", c.I, c.J, len(trees)))
+		}
+		pairs[k] = ij{i: i, j: j, lb: c.LB}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	st, err := e.evalPairsStream(ctx, trees, pairs, tau, true, emit)
+	st.Mode = IndexEnumerate
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+// streamOutcome is one worker's resolved pair, tagged with its index so
+// the collector can name the matched trees.
+type streamOutcome struct {
+	k int
+	o joinOutcome
+}
+
+// evalPairsStream is evalPairs with the buffer replaced by a channel:
+// workers resolve pairs and send outcomes; the calling goroutine
+// aggregates stats and emits matches in completion order. Workers check
+// ctx at every pair boundary, so cancellation abandons the remaining
+// work promptly; outcomes already in flight still drain (their stats
+// count), then the call returns ctx's error.
+func (e *Engine) evalPairsStream(ctx context.Context, trees []*PreparedTree, pairs []ij, tau float64, filtered bool, emit func(Match)) (JoinStats, error) {
+	eval := func(ws *workspace, k int) joinOutcome {
+		f, g := trees[pairs[k].i], trees[pairs[k].j]
+		if filtered {
+			lb := bounds.LowerProfiled(f.profile(), g.profile())
+			if cand := pairs[k].lb; cand > lb {
+				lb = cand
+			}
+			if lb >= tau {
+				return joinOutcome{dist: lb, kind: 1}
+			}
+			if ub := bounds.Constrained(f.t, g.t); ub < tau {
+				return joinOutcome{dist: ub, kind: 2}
+			}
+			r := e.pairRunner(ws, f, g)
+			d, ok := r.RunBounded(tau)
+			if !ok {
+				d = tau
+			}
+			gst := r.Stats()
+			return joinOutcome{dist: d, subs: gst.Subproblems, pruned: gst.PrunedSubproblems,
+				band: gst.BandSkippedCells, kroots: gst.PrunedKeyroots}
+		}
+		r := e.pairRunner(ws, f, g)
+		d := r.Run()
+		return joinOutcome{dist: d, subs: r.Stats().Subproblems}
+	}
+
+	w := e.workers
+	if w > len(pairs) {
+		w = len(pairs)
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make(chan streamOutcome, w)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := e.getWS()
+			defer e.putWS(ws)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				k := int(next.Add(1))
+				if k >= len(pairs) {
+					return
+				}
+				select {
+				case out <- streamOutcome{k: k, o: eval(ws, k)}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	var st JoinStats
+	for so := range out {
+		st.Comparisons++
+		k, o := so.k, so.o
+		switch o.kind {
+		case 1:
+			st.LowerPruned++
+		case 2:
+			st.UpperAccepted++
+			emit(Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
+		default:
+			if filtered {
+				st.ExactComputed++
+			}
+			st.Subproblems += o.subs
+			st.PrunedSubproblems += o.pruned
+			st.BandSkippedCells += o.band
+			st.PrunedKeyroots += o.kroots
+			if o.dist < tau {
+				emit(Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
+			}
+		}
+	}
+	return st, ctx.Err()
+}
+
+// TopKAcrossStream is TopKAcross with cancellation: the scan over data
+// trees checks ctx between trees and returns ctx's error once
+// cancelled, with the matches and stats of the work done so far (the
+// partial matches are NOT the true top k of the full collection — a
+// cancelled call is an abandoned one, not an approximate answer).
+//
+// Top-k results are only final once every data tree has been scanned,
+// so unlike JoinStream there is nothing sound to emit early; the
+// streaming transport value is in the NDJSON framing and in
+// cancellation, not in early partial answers.
+func (e *Engine) TopKAcrossStream(ctx context.Context, query *PreparedTree, data []*PreparedTree, k int) ([]CrossMatch, Stats, error) {
+	var st Stats
+	if k <= 0 || len(data) == 0 {
+		return nil, st, ctx.Err()
+	}
+	e.check(query)
+	e.check(data...)
+	ws := e.getWS()
+	defer e.putWS(ws)
+
+	q := query.t.Root()
+	h := &crossHeap{}
+	heap.Init(h)
+	for di, d := range data {
+		if ctx.Err() != nil {
+			return nil, st, ctx.Err()
+		}
+		tau := math.Inf(1)
+		if h.Len() == k {
+			tau = h.items[0].Dist
+		}
+		// Every subtree of d has at most d.Len() nodes, so every distance
+		// to the query is at least |query| − |d| insertions-or-more.
+		if e.unit && float64(query.Len()-d.Len()) > tau {
+			continue
+		}
+		r := e.pairRunner(ws, query, d)
+		r.SetCutoff(tau, false)
+		r.Run()
+		st.add(r.Stats())
+		for w := 0; w < d.t.Len(); w++ {
+			m := CrossMatch{Tree: di, Root: w, Dist: r.Dist(q, w)}
+			if h.Len() < k {
+				heap.Push(h, m)
+				continue
+			}
+			// Saturated entries (Dist > tau ≥ heap max) can never win;
+			// entries at or below the cutoff are exact and compare fairly.
+			if crossLess(m, h.items[0]) {
+				h.items[0] = m
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	out := append([]CrossMatch(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return crossLess(out[i], out[j]) })
+	return out, st, ctx.Err()
+}

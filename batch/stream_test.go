@@ -1,0 +1,143 @@
+package batch_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/batch"
+	"repro/gen"
+)
+
+func streamFixture(t *testing.T, n, size int) (*batch.Engine, []*batch.PreparedTree) {
+	t.Helper()
+	e := batch.New(batch.WithWorkers(4))
+	ps := make([]*batch.PreparedTree, n)
+	for i := range ps {
+		base := gen.Random(int64(40+i), gen.RandomSpec{Size: size, MaxDepth: 6, MaxFanout: 4, Labels: 8})
+		ps[i] = e.Prepare(base)
+	}
+	return e, ps
+}
+
+func matchKey(m batch.Match) string { return fmt.Sprintf("%d|%d|%.9f", m.I, m.J, m.Dist) }
+
+// sortedKeys reduces a match set to a canonical multiset representation:
+// streaming emits in completion order, so only the multiset is pinned.
+func sortedKeys(ms []batch.Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = matchKey(m)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestJoinStreamMatchesJoin pins the streaming contract: run to
+// completion, JoinStream emits exactly the buffered Join's match
+// multiset, and the aggregate stats agree on everything order-free.
+func TestJoinStreamMatchesJoin(t *testing.T) {
+	e, ps := streamFixture(t, 12, 18)
+	for _, tau := range []float64{2, 6, 12} {
+		want, wantSt := e.Join(ps, tau, true)
+		var got []batch.Match
+		gotSt, err := e.JoinStream(context.Background(), ps, tau, true, func(m batch.Match) {
+			got = append(got, m)
+		})
+		if err != nil {
+			t.Fatalf("tau %g: JoinStream: %v", tau, err)
+		}
+		w, g := sortedKeys(want), sortedKeys(got)
+		if len(w) != len(g) {
+			t.Fatalf("tau %g: stream emitted %d matches, buffered %d", tau, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("tau %g: match multiset diverges at %d: %s vs %s", tau, i, g[i], w[i])
+			}
+		}
+		if gotSt.Comparisons != wantSt.Comparisons ||
+			gotSt.LowerPruned != wantSt.LowerPruned ||
+			gotSt.UpperAccepted != wantSt.UpperAccepted ||
+			gotSt.ExactComputed != wantSt.ExactComputed ||
+			gotSt.Subproblems != wantSt.Subproblems {
+			t.Fatalf("tau %g: stream stats %+v diverge from buffered %+v", tau, gotSt, wantSt)
+		}
+	}
+}
+
+// TestJoinIndexedStreamMatchesJoinIndexed: the indexed streaming path
+// (candidate generation + streaming pipeline) emits the same multiset
+// as the buffered indexed join, per mode.
+func TestJoinIndexedStreamMatchesJoinIndexed(t *testing.T) {
+	e, ps := streamFixture(t, 10, 16)
+	for _, mode := range []batch.IndexMode{batch.IndexAuto, batch.IndexEnumerate, batch.IndexHistogram, batch.IndexPQGram} {
+		opts := batch.JoinOptions{Mode: mode}
+		want, _ := e.JoinIndexed(ps, 5, opts)
+		var got []batch.Match
+		if _, err := e.JoinIndexedStream(context.Background(), ps, 5, opts, func(m batch.Match) {
+			got = append(got, m)
+		}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		w, g := sortedKeys(want), sortedKeys(got)
+		if fmt.Sprint(w) != fmt.Sprint(g) {
+			t.Fatalf("mode %v: stream %v, buffered %v", mode, g, w)
+		}
+	}
+}
+
+// TestJoinStreamCancel pins the early-exit contract: cancelling the
+// context on the first emitted match stops the engine — the call
+// returns ctx's error and the remaining pairs are abandoned, visible as
+// an evaluated-pair count well below the planned all-pairs count.
+func TestJoinStreamCancel(t *testing.T) {
+	e, ps := streamFixture(t, 40, 24)
+	total := len(ps) * (len(ps) - 1) / 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	st, err := e.JoinStream(ctx, ps, 1e9, false, func(batch.Match) {
+		emitted++
+		cancel()
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled stream returned %v, want context.Canceled", err)
+	}
+	if emitted == 0 {
+		t.Fatal("cancel hook never ran")
+	}
+	if st.Comparisons >= total {
+		t.Fatalf("cancelled stream still evaluated all %d pairs", total)
+	}
+}
+
+// TestTopKAcrossStreamMatchesTopKAcross: the ctx-aware scan returns the
+// exact TopKAcross answer when not cancelled, and aborts with partial
+// stats when cancelled up front.
+func TestTopKAcrossStreamMatchesTopKAcross(t *testing.T) {
+	e, ps := streamFixture(t, 8, 14)
+	q := ps[0]
+	want, wantSt := e.TopKAcross(q, ps[1:], 5)
+	got, gotSt, err := e.TopKAcrossStream(context.Background(), q, ps[1:], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Fatalf("stream %v, buffered %v", got, want)
+	}
+	if gotSt != wantSt {
+		t.Fatalf("stream stats %+v, buffered %+v", gotSt, wantSt)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms, st, err := e.TopKAcrossStream(ctx, q, ps[1:], 5)
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled scan returned %v, want context.Canceled", err)
+	}
+	if len(ms) != 0 || st.Subproblems != 0 {
+		t.Fatalf("pre-cancelled scan did work: %d matches, %d subproblems", len(ms), st.Subproblems)
+	}
+}

@@ -2,7 +2,7 @@ package batch
 
 import (
 	"container/heap"
-	"math"
+	"context"
 	"sort"
 )
 
@@ -83,49 +83,8 @@ func crossLess(a, b CrossMatch) bool {
 // of its subtrees beyond the current k-th best is skipped without running
 // any DP.
 func (e *Engine) TopKAcross(query *PreparedTree, data []*PreparedTree, k int) ([]CrossMatch, Stats) {
-	var st Stats
-	if k <= 0 || len(data) == 0 {
-		return nil, st
-	}
-	e.check(query)
-	e.check(data...)
-	ws := e.getWS()
-	defer e.putWS(ws)
-
-	q := query.t.Root()
-	h := &crossHeap{}
-	heap.Init(h)
-	for di, d := range data {
-		tau := math.Inf(1)
-		if h.Len() == k {
-			tau = h.items[0].Dist
-		}
-		// Every subtree of d has at most d.Len() nodes, so every distance
-		// to the query is at least |query| − |d| insertions-or-more.
-		if e.unit && float64(query.Len()-d.Len()) > tau {
-			continue
-		}
-		r := e.pairRunner(ws, query, d)
-		r.SetCutoff(tau, false)
-		r.Run()
-		st.add(r.Stats())
-		for w := 0; w < d.t.Len(); w++ {
-			m := CrossMatch{Tree: di, Root: w, Dist: r.Dist(q, w)}
-			if h.Len() < k {
-				heap.Push(h, m)
-				continue
-			}
-			// Saturated entries (Dist > tau ≥ heap max) can never win;
-			// entries at or below the cutoff are exact and compare fairly.
-			if crossLess(m, h.items[0]) {
-				h.items[0] = m
-				heap.Fix(h, 0)
-			}
-		}
-	}
-	out := append([]CrossMatch(nil), h.items...)
-	sort.Slice(out, func(i, j int) bool { return crossLess(out[i], out[j]) })
-	return out, st
+	ms, st, _ := e.TopKAcrossStream(context.Background(), query, data, k)
+	return ms, st
 }
 
 // crossHeap is a max-heap on (Dist, Tree, Root) so the worst kept match

@@ -66,6 +66,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		indexKind    = fs.String("index", "histogram", "maintained index for a fresh corpus: histogram | pqgram | both | none")
 		q            = fs.Int("q", 2, "pq-gram base length when -index includes pqgram")
 		maxInFlight  = fs.Int("max-inflight", 0, "admission: max concurrent requests (0 = 2x workers)")
+		heavySlots   = fs.Int("heavy-slots", 0, "admission: max slots joins/top-k may hold at once (0 = half of max-inflight)")
+		tenantQuota  = fs.Int("tenant-quota", 0, "admission: max slots one X-Tenant may hold at once (0 = no per-tenant cap)")
 		queueWait    = fs.Duration("queue-timeout", 2*time.Second, "admission: how long an arrival may wait for a slot")
 		maxNodes     = fs.Int("max-nodes", 4096, "largest accepted request tree, in nodes (DP memory is O(n^2): ~9*n^2 bytes per pair)")
 		maxLabels    = fs.Int("max-labels", 1<<20, "distinct-label cap; at capacity, ad-hoc trees are refused with 503")
@@ -120,6 +122,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	if *maxInFlight > 0 {
 		sopts = append(sopts, server.WithMaxInFlight(*maxInFlight))
 	}
+	if *heavySlots > 0 {
+		sopts = append(sopts, server.WithHeavySlots(*heavySlots))
+	}
+	if *tenantQuota > 0 {
+		sopts = append(sopts, server.WithTenantQuota(*tenantQuota))
+	}
 	srv := server.New(c, sopts...)
 	if !*noWarm {
 		start = time.Now()
@@ -140,7 +148,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(logw, "tedd: serving on %s (%d workers, %d in-flight)\n", ln.Addr(), srv.Engine().Workers(), srv.MaxInFlight())
+	fmt.Fprintf(logw, "tedd: serving on %s (%d workers, %d in-flight, %d heavy, tenant quota %d)\n",
+		ln.Addr(), srv.Engine().Workers(), srv.MaxInFlight(), srv.HeavySlots(), srv.TenantQuota())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

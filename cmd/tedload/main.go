@@ -8,6 +8,9 @@
 //	tedload -url ... -mix distance=4,bounded=3,mutate=1 \
 //	        -tau 8 -conc 8 -warmup 50 -n 400                # closed loop
 //	tedload -url ... -rate 200 -conc 64                     # open loop, 200 rps Poisson
+//	tedload -url ... -mix join_stream=1 -tau 6              # NDJSON streaming joins
+//	tedload -url ... -tenant batch -rate 100 &              # two tenants
+//	tedload -url ... -tenant web -seed 2 -rate 100          #   driving one server
 //	tedload -url ... -out BENCH_serve.json -fail-on-error   # the CI invocation
 //	tedload -check BENCH_serve.json                         # validate a committed artifact
 //
@@ -55,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		k         = fs.Int("k", 3, "top-k request size")
 		joinMode  = fs.String("join-mode", "auto", "join candidate generator: auto | enumerate | histogram | pqgram")
 		joinLimit = fs.Int("join-limit", 64, "matches a join response may carry")
+		tenant    = fs.String("tenant", "", "X-Tenant header for every request (empty = server default tenant)")
 		seed      = fs.Int64("seed", 1, "request-stream seed (distinct seeds → disjoint mutation content)")
 		rate      = fs.Float64("rate", 0, "open-loop Poisson arrival rate in rps (0 = closed loop)")
 		conc      = fs.Int("conc", 8, "closed-loop workers / open-loop max outstanding requests")
@@ -89,7 +93,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	spec := load.Spec{
 		Mix: mix, Tau: *tau, K: *k,
 		JoinMode: *joinMode, JoinLimit: *joinLimit,
-		Seed: *seed, Rate: *rate, Conc: *conc,
+		Tenant: *tenant,
+		Seed:   *seed, Rate: *rate, Conc: *conc,
 		Warmup: *warmup, Requests: *n,
 	}
 	if err := spec.Validate(); err != nil {

@@ -1,0 +1,122 @@
+package corpus
+
+import (
+	"context"
+	"time"
+
+	"repro/batch"
+	"repro/index"
+)
+
+// JoinStream is the streaming Join: every match is passed to emit as
+// soon as its pair resolves on the worker pool, instead of being
+// buffered into a slice — the corpus side of a server streaming NDJSON
+// join results to a client.
+//
+// Candidate generation, mode resolution, snapshot consistency and the
+// match set are exactly Join's (run to completion, the emitted multiset
+// equals Join's result); only the delivery differs. emit runs on the
+// calling goroutine, one invocation at a time, in completion order.
+// Cancelling ctx stops the engine work at the next pair boundary and
+// returns ctx's error; the returned stats then cover only the pairs
+// actually evaluated.
+func (c *Corpus) JoinStream(ctx context.Context, e *batch.Engine, tau float64, opts batch.JoinOptions, emit func(Match)) (batch.JoinStats, error) {
+	c.checkEngine(e)
+
+	if !e.UnitCost() {
+		ids, ps := c.snapshotPrepared(e, nil)
+		return e.JoinStream(ctx, ps, tau, false, mapEmit(ids, emit))
+	}
+
+	wantQ := opts.Q
+	if wantQ <= 0 {
+		wantQ = 2
+	}
+	auto := opts.Mode == batch.IndexAuto
+
+	// Mode resolution and index probing run inside the snapshot hook —
+	// same lock acquisition as the prepared trees — exactly as in Join.
+	var (
+		mode      batch.IndexMode
+		probed    bool
+		cands     []batch.CandidatePair
+		probeTime time.Duration
+	)
+	ids, ps := c.snapshotPrepared(e, func(ids []ID, ps []*batch.PreparedTree) {
+		mode = opts.Mode
+		if auto {
+			mode = c.resolveAuto(ps, tau)
+		}
+		var probe func(q int, buf []index.Candidate) []index.Candidate
+		switch {
+		case mode == batch.IndexHistogram && c.hist != nil:
+			probe = func(q int, buf []index.Candidate) []index.Candidate {
+				return c.hist.CandidatesBelow(q, tau, buf)
+			}
+		case mode == batch.IndexPQGram && c.pq != nil && (auto || c.pq.Q() == wantQ):
+			probe = func(q int, buf []index.Candidate) []index.Candidate {
+				return c.pq.CandidatesBelow(q, tau, buf)
+			}
+		}
+		if probe == nil {
+			return
+		}
+		probed = true
+		start := time.Now()
+		pos := make(map[int]int, len(ids))
+		for i, id := range ids {
+			pos[int(id)] = i
+		}
+		var buf []index.Candidate
+		for j, id := range ids {
+			buf = probe(int(id), buf)
+			for _, cd := range buf {
+				i, ok := pos[cd.ID]
+				if !ok {
+					continue // tombstoned posting of a deleted tree
+				}
+				cands = append(cands, batch.CandidatePair{I: i, J: j, LB: cd.LB})
+			}
+		}
+		probeTime = time.Since(start)
+	})
+
+	if !probed {
+		return e.JoinIndexedStream(ctx, ps, tau, batch.JoinOptions{Mode: mode, Q: opts.Q}, mapEmit(ids, emit))
+	}
+
+	start := time.Now()
+	st, err := e.JoinCandidatesStream(ctx, ps, cands, tau, mapEmit(ids, emit))
+	st.Mode = mode
+	st.IndexTime = probeTime
+	st.Elapsed = probeTime + time.Since(start)
+	return st, err
+}
+
+// mapEmit translates engine matches (collection positions) into corpus
+// matches (stored IDs) on the way to the caller's emit. Positions are
+// aligned with the ascending snapshot IDs, so I < J is preserved.
+func mapEmit(ids []ID, emit func(Match)) func(batch.Match) {
+	return func(m batch.Match) {
+		emit(Match{I: ids[m.I], J: ids[m.J], Dist: m.Dist})
+	}
+}
+
+// TopKAcrossStream is TopKAcross with streaming delivery and
+// cancellation: the scan checks ctx between stored trees and abandons
+// the remaining work once cancelled (returning ctx's error and emitting
+// nothing — partial top-k answers are not sound); run to completion,
+// the final k matches are passed to emit one at a time in result order
+// and the call returns the scan's stats.
+func (c *Corpus) TopKAcrossStream(ctx context.Context, e *batch.Engine, query *batch.PreparedTree, k int, emit func(CrossMatch)) (batch.Stats, error) {
+	c.checkEngine(e)
+	ids, ps := c.snapshotPrepared(e, nil)
+	ms, st, err := e.TopKAcrossStream(ctx, query, ps, k)
+	if err != nil {
+		return st, err
+	}
+	for _, m := range ms {
+		emit(CrossMatch{Tree: ids[m.Tree], Root: m.Root, Dist: m.Dist})
+	}
+	return st, nil
+}

@@ -156,6 +156,25 @@
 // crash must not lose them; serve with tedd when the callers are not Go
 // code.
 //
+// Served joins and top-k scans then come in two response shapes. The
+// buffered endpoints (/v1/join, /v1/topk) return one JSON document; the
+// streaming ones (/v1/join/stream, /v1/topk/stream) emit
+// newline-delimited JSON — one match per line, flushed as the engine
+// finds it, closed by a terminal stats record. The two shapes carry the
+// identical match multiset at equal threshold (pinned by test); they
+// differ only in delivery:
+//
+//	How should results come back?
+//	├── bounded result set, simplest caller → /v1/join, /v1/topk —
+//	│                                          one JSON body
+//	├── first matches matter (pipelines,    → /v1/join/stream — matches
+//	│    progress UIs)                         flush as found, so
+//	│                                          time-to-first-match beats
+//	│                                          the buffered total
+//	└── caller may stop early or disconnect → the stream endpoints:
+//	                                           closing the connection
+//	                                           cancels the engine work
+//
 // Whatever is served should also be measured: package load (and its CLI
 // cmd/tedload) drives a running tedd with declarative workload mixes —
 // open-loop Poisson or closed-loop arrivals — and emits the

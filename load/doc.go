@@ -30,20 +30,37 @@
 // dropped: under overload the shed rate is the result. cmd/tedload is
 // the CLI; internal/experiments reuses Hist for its serve ablation.
 //
-// # The BENCH_serve.json schema (version 1)
+// The streaming endpoints (join_stream, topk_stream) are driven over
+// their NDJSON wire format: the worker reads the response line by line
+// as the server flushes it, stamps the first and last match lines
+// (time-to-first-match and time-to-last-match, measured from request
+// start), and requires the terminal done record — a stream that ends
+// without one was cut short and counts as an error, never as a fast
+// success. Total latency for a streaming request still means
+// last-byte-received, so streamed and buffered latencies compare
+// directly; TTFM/TTLM are reported alongside as the streaming-only
+// delivery profile. A Spec.Tenant tags every request with the X-Tenant
+// header, so several tedload processes with distinct tenants and seeds
+// compose into one multi-tenant overload experiment against a single
+// server.
+//
+// # The BENCH_serve.json schema (version 2)
 //
 // Report is the schema; Report.Validate is the contract checker CI
-// runs. The fields:
+// runs (it accepts version 1 artifacts, which simply predate the
+// streaming and pacing fields). The fields:
 //
 //	{
 //	  "bench": "serve",              // always "serve"
-//	  "schema_version": 1,           // load.SchemaVersion
+//	  "schema_version": 2,           // load.SchemaVersion
 //	  "git_rev": "abc1234",          // the measured revision
 //	  "started_at": "RFC3339",       // run start (UTC)
 //	  "target": "http://host:port",  // the driven server
 //	  "spec": { ... },               // the full workload Spec (see Spec)
 //	  "wall_seconds": 1.23,          // measured-phase wall clock
 //	  "warmup_errors": 0,            // failures before measurement began
+//	  "requested_rps": 200,          // open loop only: the -rate asked for
+//	  "achieved_rps": 198.7,         // open loop only: rate the pacer delivered
 //	  "endpoints": {                 // one entry per endpoint in the mix
 //	    "distance": {
 //	      "requests": 100,           // = ok + errors + shed
@@ -51,17 +68,32 @@
 //	      "p50_ms": 1.2, "p90_ms": 2.0, "p99_ms": 3.1,
 //	      "max_ms": 4.0, "mean_ms": 1.4,   // over ok only
 //	      "throughput_rps": 81.3,          // ok / wall_seconds
-//	      "first_error": "..."             // present iff errors > 0
+//	      "first_error": "...",            // present iff errors > 0
+//	      "stream": {                      // streaming endpoints only,
+//	        "ttfm_p50_ms": 0.4,            //   and only when ≥ 1 request
+//	        "ttfm_p99_ms": 1.1,            //   delivered ≥ 1 match
+//	        "ttlm_p50_ms": 2.2,
+//	        "ttlm_p99_ms": 4.0
+//	      }
 //	    }, ...
 //	  },
-//	  "totals": { ... }              // same shape, all endpoints merged
+//	  "totals": { ... }              // same shape, streams omitted
 //	}
 //
 // Invariants Validate enforces: requests = ok + errors + shed per
 // entry; 0 < p50 ≤ p90 ≤ p99 ≤ max and throughput > 0 whenever ok > 0;
+// 0 < ttfm ≤ ttlm per quantile whenever a stream block is present;
 // totals.requests equals the endpoint sum. Percentiles are conservative
 // (never below the true nearest-rank value, at most 3.2% above — see
 // Hist.Quantile); max is exact.
+//
+// requested_rps vs achieved_rps is the open-loop honesty check: the
+// pacer walks an absolute arrival schedule (each deadline derived from
+// the previous one, never from "now"), so late dispatches borrow from
+// subsequent gaps instead of pushing the whole schedule back, and the
+// two fields agree to within Poisson noise. A persistent gap between
+// them means the offered load printed on the label was not the offered
+// load applied — treat the artifact's latency columns with suspicion.
 //
 // # The trajectory convention
 //

@@ -1,6 +1,7 @@
 package load_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -123,6 +124,62 @@ func crossCheck(c *corpus.Corpus, e *batch.Engine) func(req load.Request, status
 					return fmt.Errorf("join match %d = %+v served, %+v in process", i, got, m)
 				}
 			}
+		case load.EpJoinStream:
+			var q server.JoinRequest
+			if err := json.Unmarshal(req.Body, &q); err != nil {
+				return fmt.Errorf("decode request: %w", err)
+			}
+			got, done, err := scanStream[server.JoinMatch, server.JoinStreamDone](body)
+			if err != nil {
+				return err
+			}
+			want, _ := c.Join(e, q.Tau, batch.JoinOptions{Mode: batch.IndexHistogram})
+			if done.Count != len(want) {
+				return fmt.Errorf("streamed join count = %d served, %d in process", done.Count, len(want))
+			}
+			if done.Truncated != (len(want) > q.Limit) {
+				return fmt.Errorf("streamed join truncated = %v with %d matches at limit %d", done.Truncated, len(want), q.Limit)
+			}
+			// Streamed matches arrive in completion order and the limit cuts
+			// that order, so compare by membership: every emitted pair must be
+			// a real match, and the emitted count must be exactly the limit's
+			// worth. With unique pairs that is multiset equality when nothing
+			// was truncated.
+			if len(got) != min(q.Limit, len(want)) {
+				return fmt.Errorf("streamed join emitted %d matches, want %d", len(got), min(q.Limit, len(want)))
+			}
+			wantBy := make(map[[2]int64]float64, len(want))
+			for _, m := range want {
+				wantBy[[2]int64{int64(m.I), int64(m.J)}] = m.Dist
+			}
+			for _, g := range got {
+				d, ok := wantBy[[2]int64{g.I, g.J}]
+				if !ok || d != g.Dist {
+					return fmt.Errorf("streamed join emitted (%d,%d,%g); in process has (dist %g, present %v)", g.I, g.J, g.Dist, d, ok)
+				}
+			}
+		case load.EpTopKStream:
+			var q server.TopKRequest
+			if err := json.Unmarshal(req.Body, &q); err != nil {
+				return fmt.Errorf("decode request: %w", err)
+			}
+			got, _, err := scanStream[server.TopKMatch, server.TopKStreamDone](body)
+			if err != nil {
+				return err
+			}
+			p, err := resolve(q.Query)
+			if err != nil {
+				return err
+			}
+			want, _ := c.TopKAcross(e, p, q.K)
+			if len(got) != len(want) {
+				return fmt.Errorf("streamed topk emitted %d matches, want %d", len(got), len(want))
+			}
+			for i, m := range want {
+				if got[i].Tree != int64(m.Tree) || got[i].Root != m.Root || got[i].Dist != m.Dist {
+					return fmt.Errorf("streamed topk match %d = %+v served, %+v in process", i, got[i], m)
+				}
+			}
 		case load.EpMutate:
 			var q server.TreeRequest
 			var r server.TreeResponse
@@ -141,6 +198,38 @@ func crossCheck(c *corpus.Corpus, e *batch.Engine) func(req load.Request, status
 		}
 		return nil
 	}
+}
+
+// scanStream decodes a captured NDJSON response body into its match
+// lines and its terminal done record, which must be present — the
+// cross-check re-applies the client's cut-short rule to the raw bytes.
+func scanStream[M, D any](body []byte) ([]M, *D, error) {
+	var (
+		ms   []M
+		done *D
+	)
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Match *M `json:"match"`
+			Done  *D `json:"done"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("decode stream line %q: %w", line, err)
+		}
+		if rec.Match != nil {
+			ms = append(ms, *rec.Match)
+		}
+		if rec.Done != nil {
+			done = rec.Done
+		}
+	}
+	if done == nil {
+		return nil, nil, fmt.Errorf("stream has no done record")
+	}
+	return ms, done, nil
 }
 
 func decode2(reqBody []byte, reqInto any, respBody []byte, respInto any) error {
@@ -176,7 +265,10 @@ func TestE2EClosedLoopCrossChecked(t *testing.T) {
 	}
 
 	spec := load.Spec{
-		Mix: map[string]float64{load.EpDistance: 3, load.EpBounded: 3, load.EpTopK: 2, load.EpJoin: 0.3},
+		Mix: map[string]float64{
+			load.EpDistance: 3, load.EpBounded: 3, load.EpTopK: 2, load.EpJoin: 0.3,
+			load.EpJoinStream: 0.3, load.EpTopKStream: 2,
+		},
 		Tau: 4, K: 3, JoinMode: "histogram", JoinLimit: 16,
 		Seed: 11, Conc: 4, Warmup: 8, Requests: 120,
 	}
@@ -202,10 +294,15 @@ func TestE2EClosedLoopCrossChecked(t *testing.T) {
 	if rep.Totals.OK != int64(spec.Requests) || rep.Totals.Shed != 0 {
 		t.Fatalf("uncontended run: ok %d, shed %d, want %d, 0", rep.Totals.OK, rep.Totals.Shed, spec.Requests)
 	}
-	for _, ep := range []string{load.EpDistance, load.EpBounded, load.EpTopK} {
+	for _, ep := range []string{load.EpDistance, load.EpBounded, load.EpTopK, load.EpTopKStream} {
 		if st, ok := rep.Endpoints[ep]; !ok || st.OK == 0 {
 			t.Fatalf("endpoint %s missing from the report: %+v", ep, rep.Endpoints)
 		}
+	}
+	// Top-k always yields matches here, so the streaming histograms must
+	// have been populated.
+	if st := rep.Endpoints[load.EpTopKStream]; st.Stream == nil {
+		t.Fatal("topk_stream endpoint reported no stream block")
 	}
 
 	// The artifact round-trips: write, re-read (ReadReport validates),

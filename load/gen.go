@@ -80,16 +80,24 @@ func (g *Gen) Next() Request {
 		return g.marshal(ep, "POST", "/v1/distance-bounded", server.DistanceBoundedRequest{
 			F: g.storedRef(), G: g.eitherRef(), Tau: g.spec.Tau,
 		})
-	case EpJoin:
+	case EpJoin, EpJoinStream:
 		limit := g.spec.JoinLimit
 		if limit <= 0 {
 			limit = 64
 		}
-		return g.marshal(ep, "POST", "/v1/join", server.JoinRequest{
+		path := "/v1/join"
+		if ep == EpJoinStream {
+			path = "/v1/join/stream"
+		}
+		return g.marshal(ep, "POST", path, server.JoinRequest{
 			Tau: g.spec.Tau, Mode: g.spec.JoinMode, Limit: limit,
 		})
-	case EpTopK:
-		return g.marshal(ep, "POST", "/v1/topk", server.TopKRequest{
+	case EpTopK, EpTopKStream:
+		path := "/v1/topk"
+		if ep == EpTopKStream {
+			path = "/v1/topk/stream"
+		}
+		return g.marshal(ep, "POST", path, server.TopKRequest{
 			Query: server.TreeRef{Tree: g.tree()}, K: g.spec.K,
 		})
 	default: // EpMutate

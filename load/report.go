@@ -9,9 +9,13 @@ import (
 )
 
 // SchemaVersion is the BENCH_serve.json schema version this package
-// emits and validates. Bump it on any incompatible change and extend
-// Validate to accept the versions still in the trajectory.
-const SchemaVersion = 1
+// emits. Bump it on any incompatible change and extend Validate to
+// accept the versions still in the trajectory. Version 2 added the
+// streaming endpoints (join_stream/topk_stream with their TTFM/TTLM
+// stream blocks), the tenant tag in the spec, and the open-loop
+// requested/achieved rate pair; version-1 artifacts (no such fields)
+// still validate.
+const SchemaVersion = 2
 
 // EndpointStats is one endpoint's (or the run total's) measured-phase
 // accounting. Requests = OK + Errors + Shed: a shed (503) request is
@@ -38,6 +42,23 @@ type EndpointStats struct {
 	// FirstError carries one representative error for diagnosis; the
 	// count is what gates CI.
 	FirstError string `json:"first_error,omitempty"`
+
+	// Stream is present only for the NDJSON streaming endpoints (and
+	// only when ≥ 1 stream carried a match): the delivery latencies the
+	// streaming API exists to improve.
+	Stream *StreamStats `json:"stream,omitempty"`
+}
+
+// StreamStats times result delivery within streaming responses:
+// time-to-first-match (how long until the client had something to work
+// with) and time-to-last-match (when the result set was complete on the
+// wire), both measured from the request start, over streams that
+// carried at least one match.
+type StreamStats struct {
+	TTFMp50ms float64 `json:"ttfm_p50_ms"`
+	TTFMp99ms float64 `json:"ttfm_p99_ms"`
+	TTLMp50ms float64 `json:"ttlm_p50_ms"`
+	TTLMp99ms float64 `json:"ttlm_p99_ms"`
 }
 
 // Report is the machine-readable result of one run — the
@@ -50,6 +71,14 @@ type Report struct {
 	Target        string  `json:"target"`
 	Spec          Spec    `json:"spec"`
 	WallSeconds   float64 `json:"wall_seconds"`
+
+	// Open-loop runs carry the offered-rate reconciliation: the rate the
+	// spec asked for and the rate the pacer actually delivered (measured
+	// over dispatch times). A gap between them means the load the report
+	// describes is not the load that was applied — the drift the
+	// absolute-deadline pacer exists to eliminate.
+	RequestedRPS float64 `json:"requested_rps,omitempty"`
+	AchievedRPS  float64 `json:"achieved_rps,omitempty"`
 
 	// WarmupErrors counts failures during the unmeasured warmup phase:
 	// excluded from the per-endpoint arithmetic, but a gated run (CI,
@@ -67,8 +96,8 @@ func (r *Report) Validate() error {
 	if r.Bench != "serve" {
 		return fmt.Errorf("bench must be %q (got %q)", "serve", r.Bench)
 	}
-	if r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("schema_version must be %d (got %d)", SchemaVersion, r.SchemaVersion)
+	if r.SchemaVersion != 1 && r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("schema_version must be 1 or %d (got %d)", SchemaVersion, r.SchemaVersion)
 	}
 	if r.GitRev == "" {
 		return fmt.Errorf("git_rev is required")
@@ -112,6 +141,14 @@ func (st EndpointStats) validate() error {
 		}
 		if st.ThroughputRPS <= 0 {
 			return fmt.Errorf("throughput must be > 0 when ok > 0 (got %g)", st.ThroughputRPS)
+		}
+	}
+	if s := st.Stream; s != nil {
+		// First match precedes last within every stream, so the ordering
+		// survives quantiles and (monotone) bucketing.
+		if s.TTFMp50ms <= 0 || s.TTFMp50ms > s.TTLMp50ms || s.TTFMp99ms > s.TTLMp99ms {
+			return fmt.Errorf("stream stats must satisfy 0 < ttfm ≤ ttlm per quantile (got p50 %g/%g, p99 %g/%g)",
+				s.TTFMp50ms, s.TTLMp50ms, s.TTFMp99ms, s.TTLMp99ms)
 		}
 	}
 	return nil
@@ -162,16 +199,36 @@ func (r *Report) WriteTable(w io.Writer) {
 	for _, ep := range Endpoints {
 		if st, ok := r.Endpoints[ep]; ok {
 			row(ep, st)
+			if s := st.Stream; s != nil {
+				fmt.Fprintf(w, "  %s stream\tttfm p50 %.3f p99 %.3f\tttlm p50 %.3f p99 %.3f (ms)\n",
+					ep, s.TTFMp50ms, s.TTFMp99ms, s.TTLMp50ms, s.TTLMp99ms)
+			}
 		}
 	}
 	row("TOTAL", r.Totals)
+	if r.RequestedRPS > 0 && r.AchievedRPS > 0 {
+		fmt.Fprintf(w, "# offered rate: requested %.1f rps, achieved %.1f rps\n", r.RequestedRPS, r.AchievedRPS)
+	}
 }
 
 func (r *Report) mode() string {
 	if r.Spec.Rate > 0 {
-		return fmt.Sprintf("open loop, %.0f rps Poisson, ≤ %d outstanding", r.Spec.Rate, r.Spec.Conc)
+		m := fmt.Sprintf("open loop, %.0f rps Poisson, ≤ %d outstanding", r.Spec.Rate, r.Spec.Conc)
+		if r.Spec.Tenant != "" {
+			m += ", tenant " + r.Spec.Tenant
+		}
+		return m
 	}
-	return fmt.Sprintf("closed loop, %d workers", r.Spec.Conc)
+	m := fmt.Sprintf("closed loop, %d workers", r.Spec.Conc)
+	if r.Spec.Tenant != "" {
+		m += ", tenant " + r.Spec.Tenant
+	}
+	return m
+}
+
+// histMS reads one quantile of a histogram in milliseconds.
+func histMS(h *Hist, q float64) float64 {
+	return float64(h.Quantile(q).Nanoseconds()) / 1e6
 }
 
 // statsToEndpoint folds a histogram + counters into wire form.

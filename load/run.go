@@ -1,8 +1,10 @@
 package load
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -35,8 +37,13 @@ type Runner struct {
 
 // shard is one worker's private accounting; shards merge after the run
 // (the merge path is the same one a multi-process harness would use).
+// Streaming endpoints additionally record time-to-first-match and
+// time-to-last-match: the latencies the streaming API exists to
+// improve, invisible in the whole-exchange histogram.
 type shard struct {
 	hists    map[string]*Hist
+	ttfm     map[string]*Hist
+	ttlm     map[string]*Hist
 	errors   map[string]int64
 	shed     map[string]int64
 	firstErr map[string]string
@@ -45,10 +52,21 @@ type shard struct {
 func newShard() *shard {
 	return &shard{
 		hists:    map[string]*Hist{},
+		ttfm:     map[string]*Hist{},
+		ttlm:     map[string]*Hist{},
 		errors:   map[string]int64{},
 		shed:     map[string]int64{},
 		firstErr: map[string]string{},
 	}
+}
+
+func observe(m map[string]*Hist, ep string, d time.Duration) {
+	h := m[ep]
+	if h == nil {
+		h = &Hist{}
+		m[ep] = h
+	}
+	h.Observe(d)
 }
 
 func (sh *shard) fail(ep, msg string) {
@@ -112,12 +130,19 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		if body != nil {
 			hr.Header.Set("Content-Type", "application/json")
 		}
+		if r.Spec.Tenant != "" {
+			hr.Header.Set("X-Tenant", r.Spec.Tenant)
+		}
 		start := time.Now()
 		resp, err := client.Do(hr)
 		if err != nil {
 			if ctx.Err() == nil {
 				r.recordFailure(sh, j, ep, fmt.Sprintf("transport: %v", err), &warmupErrs, &warmupMu)
 			}
+			return
+		}
+		if streamEndpoints[ep] && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			r.consumeStream(j, sh, resp, start, &warmupErrs, &warmupMu)
 			return
 		}
 		raw, rerr := io.ReadAll(resp.Body)
@@ -142,17 +167,19 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				}
 			}
 			if !j.warm {
-				h := sh.hists[ep]
-				if h == nil {
-					h = &Hist{}
-					sh.hists[ep] = h
-				}
-				h.Observe(elapsed)
+				observe(sh.hists, ep, elapsed)
 			}
 		default:
 			r.recordFailure(sh, j, ep, fmt.Sprintf("status %d: %s", resp.StatusCode, truncate(raw, 200)), &warmupErrs, &warmupMu)
 		}
 	}
+
+	// Measured-phase arrival accounting (open loop only): written by the
+	// single pacer goroutine, read after wg.Wait.
+	var (
+		arrivals          int64
+		firstArr, lastArr time.Time
+	)
 
 	var wg sync.WaitGroup
 	if r.Spec.Rate > 0 {
@@ -169,12 +196,29 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			defer wg.Done()
 			var inner sync.WaitGroup
 			defer inner.Wait()
+			// The schedule is absolute: deadline i is the pacer start plus
+			// the sum of the first i Poisson gaps, and each iteration
+			// sleeps until its deadline. Sleeping the gap *between*
+			// dispatches (the old pacer) stacked generation, scheduling
+			// and dispatch overhead on top of every gap, so the offered
+			// rate silently undershot the requested one — drift that grew
+			// with the request count and made "overload at R rps" milder
+			// than the spec claimed. Against absolute deadlines a late
+			// dispatch shortens the next sleep instead of shifting every
+			// later arrival; the report carries achieved_rps so any
+			// residual gap between asked-for and delivered is visible
+			// instead of assumed away.
+			next := time.Now()
 			for i := 0; i < total; i++ {
 				j := job{req: gen.Next(), warm: i < r.Spec.Warmup}
-				gap := time.Duration(gaps.ExpFloat64() / r.Spec.Rate * float64(time.Second))
-				select {
-				case <-time.After(gap):
-				case <-ctx.Done():
+				next = next.Add(time.Duration(gaps.ExpFloat64() / r.Spec.Rate * float64(time.Second)))
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
 					return
 				}
 				var slot int
@@ -182,6 +226,14 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				case slot = <-slots:
 				case <-ctx.Done():
 					return
+				}
+				if !j.warm {
+					now := time.Now()
+					if arrivals == 0 {
+						firstArr = now
+					}
+					lastArr = now
+					arrivals++
 				}
 				inner.Add(1)
 				go func(j job, slot int) {
@@ -224,7 +276,87 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 
 	rep := r.report(shards, wall, started)
 	rep.WarmupErrors = warmupErrs
+	if r.Spec.Rate > 0 {
+		rep.RequestedRPS = r.Spec.Rate
+		// Achieved offered rate, over actual dispatch times: n arrivals
+		// span n−1 gaps. Divergence from RequestedRPS means the pacer
+		// could not keep the schedule (or the outstanding-request cap
+		// throttled it) — the drift the absolute schedule exists to
+		// surface rather than hide.
+		if arrivals > 1 && lastArr.After(firstArr) {
+			rep.AchievedRPS = float64(arrivals-1) / lastArr.Sub(firstArr).Seconds()
+		}
+	}
 	return rep, ctx.Err()
+}
+
+// consumeStream reads one NDJSON streaming response line by line,
+// timing the first and last match lines against the request start and
+// requiring the terminal done record — a stream without one was cut
+// short and is an error, not a fast success.
+func (r *Runner) consumeStream(j job, sh *shard, resp *http.Response, start time.Time, warmupErrs *int64, warmupMu *sync.Mutex) {
+	defer resp.Body.Close()
+	ep := j.req.Endpoint
+	br := bufio.NewReader(resp.Body)
+	var (
+		raw         bytes.Buffer
+		first, last time.Duration
+		matches     int
+		sawDone     bool
+	)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			at := time.Since(start)
+			raw.Write(line)
+			var rec struct {
+				Match json.RawMessage `json:"match"`
+				Done  json.RawMessage `json:"done"`
+			}
+			if uerr := json.Unmarshal(line, &rec); uerr != nil {
+				r.recordFailure(sh, j, ep, fmt.Sprintf("stream: bad line: %v", uerr), warmupErrs, warmupMu)
+				return
+			}
+			switch {
+			case rec.Done != nil:
+				sawDone = true
+			case rec.Match != nil:
+				matches++
+				if matches == 1 {
+					first = at
+				}
+				last = at
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.recordFailure(sh, j, ep, fmt.Sprintf("stream: read: %v", err), warmupErrs, warmupMu)
+			return
+		}
+	}
+	elapsed := time.Since(start)
+	if !sawDone {
+		r.recordFailure(sh, j, ep, "stream ended without a done record (cut short)", warmupErrs, warmupMu)
+		return
+	}
+	if r.Check != nil {
+		if cerr := r.Check(j.req, resp.StatusCode, raw.Bytes()); cerr != nil {
+			r.recordFailure(sh, j, ep, fmt.Sprintf("cross-check: %v", cerr), warmupErrs, warmupMu)
+			return
+		}
+	}
+	if !j.warm {
+		observe(sh.hists, ep, elapsed)
+		// TTFM/TTLM are defined only for streams that carried ≥ 1 match;
+		// an empty (but complete) stream contributes to the exchange
+		// histogram alone.
+		if matches > 0 {
+			observe(sh.ttfm, ep, first)
+			observe(sh.ttlm, ep, last)
+		}
+	}
 }
 
 // recordFailure books an error against the measured counters, or the
@@ -261,12 +393,18 @@ func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time) 
 	var totalErrs, totalShed int64
 	totalFirst := ""
 	for _, ep := range Endpoints {
-		merged := &Hist{}
+		merged, mergedF, mergedL := &Hist{}, &Hist{}, &Hist{}
 		var errs, shed int64
 		first := ""
 		for _, sh := range shards {
 			if h := sh.hists[ep]; h != nil {
 				merged.Merge(h)
+			}
+			if h := sh.ttfm[ep]; h != nil {
+				mergedF.Merge(h)
+			}
+			if h := sh.ttlm[ep]; h != nil {
+				mergedL.Merge(h)
 			}
 			errs += sh.errors[ep]
 			shed += sh.shed[ep]
@@ -277,7 +415,18 @@ func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time) 
 		if merged.Count() == 0 && errs == 0 && shed == 0 {
 			continue // endpoint not in the mix
 		}
-		rep.Endpoints[ep] = statsToEndpoint(merged, errs, shed, first, wall)
+		st := statsToEndpoint(merged, errs, shed, first, wall)
+		if mergedF.Count() > 0 {
+			// Streaming-only extras; the totals row deliberately omits
+			// them (merging TTFM across endpoints measures nothing).
+			st.Stream = &StreamStats{
+				TTFMp50ms: histMS(mergedF, 0.50),
+				TTFMp99ms: histMS(mergedF, 0.99),
+				TTLMp50ms: histMS(mergedL, 0.50),
+				TTLMp99ms: histMS(mergedL, 0.99),
+			}
+		}
+		rep.Endpoints[ep] = st
 		totalHist.Merge(merged)
 		totalErrs += errs
 		totalShed += shed

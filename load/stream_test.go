@@ -1,0 +1,159 @@
+package load_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/load"
+)
+
+// stubSnap is a minimal snapshot for runs against stub servers that
+// never look at the generated operands.
+var stubSnap = load.Snapshot{IDs: []int64{0, 1}, Trees: []string{"{a}", "{a{b}}"}}
+
+// TestOpenLoopPacerHoldsRate pins the pacer-drift bugfix: the old pacer
+// slept each Poisson gap *between* dispatches, so per-iteration overhead
+// stacked onto every gap and the offered rate undershot the requested
+// one, worse the higher the rate. Against a fast stub the achieved rate
+// (now reported) must track the requested one.
+func TestOpenLoopPacerHoldsRate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+
+	spec := load.Spec{
+		Mix:  map[string]float64{load.EpDistance: 1},
+		Seed: 7, Rate: 2000, Conc: 64, Warmup: 0, Requests: 600,
+	}
+	r := &load.Runner{Base: ts.URL, Client: ts.Client(), Spec: spec, Snap: stubSnap, GitRev: "pacer-test"}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestedRPS != spec.Rate {
+		t.Fatalf("requested_rps = %g, want %g", rep.RequestedRPS, spec.Rate)
+	}
+	if rep.AchievedRPS == 0 {
+		t.Fatal("open-loop run reported no achieved rate")
+	}
+	// ±20%: ~3σ of the Poisson sample mean over 600 gaps plus timer
+	// slack. The old relative-sleep pacer undershot far beyond this at
+	// sub-millisecond gaps.
+	if ratio := rep.AchievedRPS / spec.Rate; ratio < 0.80 || ratio > 1.20 {
+		t.Fatalf("achieved %g rps for requested %g (ratio %.2f): pacer is drifting",
+			rep.AchievedRPS, spec.Rate, ratio)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema: %v", err)
+	}
+}
+
+// TestStreamClientMeasuresDelivery drives the NDJSON client against a
+// stub that spaces its match lines far apart: time-to-first-match must
+// come in well before time-to-last-match (the whole point of the
+// streaming histograms), and the report must carry the stream block.
+func TestStreamClientMeasuresDelivery(t *testing.T) {
+	const gap = 80 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl := w.(http.Flusher)
+		fmt.Fprintln(w, `{"match":{"i":0,"j":1,"dist":1}}`)
+		fl.Flush()
+		time.Sleep(gap)
+		fmt.Fprintln(w, `{"match":{"i":0,"j":2,"dist":2}}`)
+		fl.Flush()
+		fmt.Fprintln(w, `{"done":{"count":2,"stats":{}}}`)
+	}))
+	defer ts.Close()
+
+	spec := load.Spec{
+		Mix: map[string]float64{load.EpJoinStream: 1},
+		Tau: 2, Seed: 3, Conc: 2, Warmup: 0, Requests: 8,
+	}
+	r := &load.Runner{Base: ts.URL, Client: ts.Client(), Spec: spec, Snap: stubSnap, GitRev: "stream-test"}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := rep.Endpoints[load.EpJoinStream]
+	if !ok || st.OK != int64(spec.Requests) || st.Errors != 0 {
+		t.Fatalf("join_stream stats %+v (present %v), want %d ok", st, ok, spec.Requests)
+	}
+	if st.Stream == nil {
+		t.Fatal("streaming endpoint reported no stream block")
+	}
+	// The stub guarantees ≥ gap between first and last match; histogram
+	// bucketing error is ≤ 3.2%.
+	if diff := st.Stream.TTLMp50ms - st.Stream.TTFMp50ms; diff < 0.6*float64(gap.Milliseconds()) {
+		t.Fatalf("ttlm p50 - ttfm p50 = %.1f ms, want ≥ %.1f (stream %+v)",
+			diff, 0.6*float64(gap.Milliseconds()), st.Stream)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema: %v", err)
+	}
+}
+
+// TestStreamWithoutDoneIsError: a stream that ends without the terminal
+// done record was cut short and must count as an error — never as a
+// fast success.
+func TestStreamWithoutDoneIsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"match":{"i":0,"j":1,"dist":1}}`)
+	}))
+	defer ts.Close()
+
+	spec := load.Spec{
+		Mix: map[string]float64{load.EpTopKStream: 1},
+		Tau: 2, K: 1, Seed: 5, Conc: 1, Warmup: 0, Requests: 3,
+	}
+	r := &load.Runner{Base: ts.URL, Client: ts.Client(), Spec: spec, Snap: stubSnap, GitRev: "stream-test"}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Endpoints[load.EpTopKStream]
+	if st.OK != 0 || st.Errors != int64(spec.Requests) {
+		t.Fatalf("truncated streams counted %d ok / %d errors, want 0 / %d", st.OK, st.Errors, spec.Requests)
+	}
+	if st.FirstError == "" {
+		t.Fatal("no first_error recorded for the truncated streams")
+	}
+}
+
+// TestTenantHeaderApplied: a Spec.Tenant must reach the server on every
+// request as the X-Tenant header the admission quotas key on.
+func TestTenantHeaderApplied(t *testing.T) {
+	var tagged, total atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total.Add(1)
+		if r.Header.Get("X-Tenant") == "acme" {
+			tagged.Add(1)
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+
+	spec := load.Spec{
+		Mix:    map[string]float64{load.EpDistance: 1},
+		Tenant: "acme",
+		Seed:   9, Conc: 2, Warmup: 1, Requests: 6,
+	}
+	r := &load.Runner{Base: ts.URL, Client: ts.Client(), Spec: spec, Snap: stubSnap, GitRev: "tenant-test"}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("errors: %d (first: %s)", rep.Totals.Errors, rep.Totals.FirstError)
+	}
+	if got, n := tagged.Load(), total.Load(); got != n || n == 0 {
+		t.Fatalf("%d of %d requests carried X-Tenant: acme", got, n)
+	}
+}

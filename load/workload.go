@@ -15,15 +15,22 @@ import (
 // route; "mutate" is POST /v1/trees with a generated near-duplicate
 // tree whose root label carries a seed-unique mutation tag.
 const (
-	EpDistance = "distance"
-	EpBounded  = "bounded"
-	EpJoin     = "join"
-	EpTopK     = "topk"
-	EpMutate   = "mutate"
+	EpDistance   = "distance"
+	EpBounded    = "bounded"
+	EpJoin       = "join"
+	EpJoinStream = "join_stream"
+	EpTopK       = "topk"
+	EpTopKStream = "topk_stream"
+	EpMutate     = "mutate"
 )
 
 // Endpoints lists the valid mix keys in canonical (reporting) order.
-var Endpoints = []string{EpDistance, EpBounded, EpJoin, EpTopK, EpMutate}
+var Endpoints = []string{EpDistance, EpBounded, EpJoin, EpJoinStream, EpTopK, EpTopKStream, EpMutate}
+
+// streamEndpoints marks the NDJSON endpoints, whose responses the
+// runner reads line by line (timing first and last match) instead of as
+// one buffered body.
+var streamEndpoints = map[string]bool{EpJoinStream: true, EpTopKStream: true}
 
 // Spec declares a workload: what to send (Mix, Tau, K, JoinMode), how
 // fast (Rate/Conc), and how much (Warmup, Requests). A Spec plus a
@@ -45,6 +52,12 @@ type Spec struct {
 	// default; joins are verbose, the harness measures them, it does not
 	// archive them).
 	JoinLimit int `json:"join_limit,omitempty"`
+
+	// Tenant, when non-empty, tags every request of the run with an
+	// X-Tenant header — the key the server's per-tenant admission quotas
+	// and counters group by. Two concurrent runs under different tenants
+	// are how the multi-tenant isolation experiment is driven.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Seed drives request generation (operand choice, endpoint choice,
 	// mutation tags) and the Poisson arrival gaps.
@@ -92,6 +105,9 @@ func (s Spec) Validate() error {
 	}
 	if w := s.Mix[EpTopK]; w > 0 && s.K < 1 {
 		return fmt.Errorf("k must be ≥ 1 when topk is in the mix (got %d)", s.K)
+	}
+	if w := s.Mix[EpTopKStream]; w > 0 && s.K < 1 {
+		return fmt.Errorf("k must be ≥ 1 when topk_stream is in the mix (got %d)", s.K)
 	}
 	if s.Conc < 1 {
 		return fmt.Errorf("concurrency must be ≥ 1 (got %d)", s.Conc)

@@ -67,6 +67,22 @@ if ! diff -u "$WORK/offline.join" "$WORK/served.join"; then
 fi
 echo "   $(wc -l < "$WORK/served.join") matches identical"
 
+echo "== /v1/join/stream vs buffered"
+curl -sfN -X POST "$BASE/v1/join/stream" -H 'Content-Type: application/json' \
+  -d '{"tau": 25, "mode": "histogram", "limit": 100000}' > "$WORK/stream.ndjson"
+jq -r 'select(.match) | "\(.match.i)\t\(.match.j)\t\(.match.dist)"' "$WORK/stream.ndjson" \
+  | sort -n > "$WORK/streamed.join"
+if ! diff -u "$WORK/served.join" "$WORK/streamed.join"; then
+  echo "streamed join differs from the buffered one"
+  exit 1
+fi
+DONE_COUNT="$(jq -r 'select(.done) | .done.count' "$WORK/stream.ndjson")"
+if [ "$DONE_COUNT" != "$(wc -l < "$WORK/streamed.join")" ]; then
+  echo "stream done record counted $DONE_COUNT matches, saw $(wc -l < "$WORK/streamed.join")"
+  exit 1
+fi
+echo "   $DONE_COUNT streamed matches identical, done record present"
+
 echo "== tedload (short mixed workload, open-loop)"
 go build -o "$WORK/tedload" ./cmd/tedload
 "$WORK/tedload" -url "$BASE" \
@@ -79,6 +95,22 @@ if [ "$ERRS" != "0" ]; then
   exit 1
 fi
 echo "   $(jq -c '{requests: .totals.requests, shed: .totals.shed, p50_ms: .totals.p50_ms, p99_ms: .totals.p99_ms}' "$BENCH_OUT")"
+
+echo "== two-tenant mix (streamed joiner vs point lookups)"
+"$WORK/tedload" -url "$BASE" -tenant batch -mix "join_stream=0.5,topk_stream=2" \
+  -tau 25 -k 3 -seed 3 -conc 4 -warmup 5 -n 60 \
+  -out "$WORK/bench_batch.json" -fail-on-error &
+LOAD_PID=$!
+"$WORK/tedload" -url "$BASE" -tenant web -mix "distance=1" \
+  -tau 25 -seed 4 -conc 4 -warmup 5 -n 60 \
+  -out "$WORK/bench_web.json" -fail-on-error
+wait "$LOAD_PID"
+jq -e '.endpoints.topk_stream.stream.ttfm_p50_ms > 0' "$WORK/bench_batch.json" > /dev/null \
+  || { echo "streamed run carried no TTFM histogram"; exit 1; }
+STATS="$(curl -sf "$BASE/v1/stats")"
+echo "   tenants: $(jq -c .tenants <<<"$STATS")"
+jq -e '.tenants.batch.admitted > 0 and .tenants.web.admitted > 0' <<<"$STATS" > /dev/null \
+  || { echo "per-tenant admission counters missing from /v1/stats"; exit 1; }
 
 echo "== durable mutation + graceful drain"
 NEW_ID="$(curl -sf -X POST "$BASE/v1/trees" -H 'Content-Type: application/json' \

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The tenant-aware admission gate. PR 5's gate was a single global
+// semaphore: one slot pool, every request equal, so a tenant issuing
+// heavy joins could occupy every slot and starve another tenant's
+// point lookups for the whole queue timeout. This gate keeps one total
+// capacity but constrains who may hold it:
+//
+//   - Priority classes: every route is either a point lookup (distance,
+//     bounded, tree CRUD — cheap, latency-sensitive) or heavy work
+//     (join, top-k and their streaming variants — long-running,
+//     throughput-oriented). Heavy requests may hold at most heavyCap
+//     slots, so capTotal − heavyCap slots are always reachable by point
+//     lookups no matter how many joins are queued.
+//   - Per-tenant quotas: the X-Tenant request header names the tenant
+//     (missing or empty → "default"); one tenant may hold at most
+//     tenantCap slots, so a single aggressive client cannot occupy the
+//     whole pool even within its class.
+//
+// Admission is: a fitting slot now, a fitting slot within the queue
+// timeout, or a 503 — with every waiter outcome counted (admitted,
+// shed on timeout, or abandoned when the client disconnects while
+// queued; the abandoned count is what lets a load harness reconcile
+// its observed 503s exactly against server counters).
+type gate struct {
+	capTotal  int
+	heavyCap  int
+	tenantCap int
+
+	mu        sync.Mutex
+	inflight  int
+	heavy     int
+	perTenant map[string]int
+	// wake is closed and replaced on every release, waking all waiters
+	// to retry; a waiter loops (try, wait) until it fits, times out, or
+	// its request context ends.
+	wake chan struct{}
+}
+
+func newGate(total, heavyCap, tenantCap int) *gate {
+	if total < 1 {
+		total = 1
+	}
+	if heavyCap < 1 {
+		heavyCap = 1
+	}
+	if heavyCap > total {
+		heavyCap = total
+	}
+	if tenantCap < 1 || tenantCap > total {
+		tenantCap = total
+	}
+	return &gate{
+		capTotal:  total,
+		heavyCap:  heavyCap,
+		tenantCap: tenantCap,
+		perTenant: make(map[string]int),
+		wake:      make(chan struct{}),
+	}
+}
+
+// admitOutcome is one waiter's fate.
+type admitOutcome int
+
+const (
+	gateAdmitted  admitOutcome = iota
+	gateTimedOut               // no fitting slot within the queue timeout → 503
+	gateAbandoned              // the client disconnected while queued → no response at all
+)
+
+// tryAcquire takes a slot if one fits this tenant and class right now.
+func (g *gate) tryAcquire(tenant string, heavy bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight >= g.capTotal || (heavy && g.heavy >= g.heavyCap) || g.perTenant[tenant] >= g.tenantCap {
+		return false
+	}
+	g.inflight++
+	if heavy {
+		g.heavy++
+	}
+	g.perTenant[tenant]++
+	return true
+}
+
+// acquire blocks until a fitting slot is taken, the timeout elapses, or
+// ctx ends — in that priority when several are ready at once (a waiter
+// that could be admitted is admitted, not shed).
+func (g *gate) acquire(ctx context.Context, tenant string, heavy bool, timeout time.Duration) admitOutcome {
+	if g.tryAcquire(tenant, heavy) {
+		return gateAdmitted
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		g.mu.Lock()
+		if g.inflight < g.capTotal && !(heavy && g.heavy >= g.heavyCap) && g.perTenant[tenant] < g.tenantCap {
+			g.inflight++
+			if heavy {
+				g.heavy++
+			}
+			g.perTenant[tenant]++
+			g.mu.Unlock()
+			return gateAdmitted
+		}
+		wake := g.wake
+		g.mu.Unlock()
+		select {
+		case <-wake:
+		case <-t.C:
+			return gateTimedOut
+		case <-ctx.Done():
+			return gateAbandoned
+		}
+	}
+}
+
+// release returns a slot and wakes every waiter to retry. A tenant's
+// count reaching zero deletes its map entry, so the map tracks only
+// tenants with work in flight (tenant cardinality is bounded separately
+// by the counter table; see tenants).
+func (g *gate) release(tenant string, heavy bool) {
+	g.mu.Lock()
+	g.inflight--
+	if heavy {
+		g.heavy--
+	}
+	if n := g.perTenant[tenant] - 1; n > 0 {
+		g.perTenant[tenant] = n
+	} else {
+		delete(g.perTenant, tenant)
+	}
+	close(g.wake)
+	g.wake = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// inFlight reports the currently held slots.
+func (g *gate) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// tenantCounters is one tenant's admission accounting; the counters of
+// /v1/stats "tenants".
+type tenantCounters struct {
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	abandoned atomic.Int64
+}
+
+// maxTenantCounters bounds the per-tenant counter table: X-Tenant is
+// client-controlled, so without a bound an adversarial header stream
+// grows server memory forever. Beyond the cap, unseen tenants share the
+// overflow bucket (they still get their own in-flight quota slots — the
+// gate's map is bounded by capTotal live entries — only their counters
+// aggregate).
+const (
+	maxTenantCounters = 256
+	overflowTenant    = "~other"
+	defaultTenant     = "default"
+)
+
+// tenants is the per-tenant counter table.
+type tenants struct {
+	mu sync.Mutex
+	m  map[string]*tenantCounters
+}
+
+func (t *tenants) get(name string) *tenantCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]*tenantCounters)
+	}
+	tc, ok := t.m[name]
+	if !ok {
+		if len(t.m) >= maxTenantCounters && name != overflowTenant {
+			name = overflowTenant
+			if tc, ok = t.m[name]; ok {
+				return tc
+			}
+		}
+		tc = &tenantCounters{}
+		t.m[name] = tc
+	}
+	return tc
+}
+
+// snapshot folds the table into wire form.
+func (t *tenants) snapshot() map[string]TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.m) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantStats, len(t.m))
+	for name, tc := range t.m {
+		out[name] = TenantStats{
+			Admitted:  tc.admitted.Load(),
+			Shed:      tc.shed.Load(),
+			Abandoned: tc.abandoned.Load(),
+		}
+	}
+	return out
+}
+
+// tenantOf names the request's tenant: the X-Tenant header, or
+// "default". Over-long names are truncated rather than rejected — the
+// tenant name is an accounting key, not a credential.
+func tenantOf(r *http.Request) string {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		return defaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}

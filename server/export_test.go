@@ -2,14 +2,18 @@ package server
 
 // OccupySlots fills n admission slots and returns a release function, so
 // tests can drive the gate into its full state deterministically instead
-// of racing slow requests against fast ones.
+// of racing slow requests against fast ones. Slots are taken as point
+// lookups of a dedicated tenant: the total pool fills, whatever the
+// heavy-share and per-tenant configuration under test.
 func (s *Server) OccupySlots(n int) (release func()) {
 	for i := 0; i < n; i++ {
-		s.sem <- struct{}{}
+		if !s.gate.tryAcquire("~test-occupier", classPoint) {
+			panic("OccupySlots: gate full before n slots taken")
+		}
 	}
 	return func() {
 		for i := 0; i < n; i++ {
-			<-s.sem
+			s.gate.release("~test-occupier", classPoint)
 		}
 	}
 }

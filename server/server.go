@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -25,14 +27,20 @@ type Server struct {
 
 	mux *http.ServeMux
 
-	// Admission gate: sem holds one token per admissible in-flight
-	// request; arrivals beyond cap wait up to queueTimeout for a token.
-	sem          chan struct{}
+	// Admission gate (see admission.go): per-tenant quotas and two
+	// priority classes over one bounded slot pool; arrivals that do not
+	// fit wait up to queueTimeout for a fitting slot.
+	gate         *gate
+	maxInFlight  int
+	heavySlots   int
+	tenantQuota  int
 	queueTimeout time.Duration
 	draining     atomic.Bool
 	admitted     atomic.Int64
 	rejected     atomic.Int64
 	shed         atomic.Int64
+	abandoned    atomic.Int64
+	byTenant     tenants
 	admitHook    func()
 
 	// Cumulative DP pruning counters over served joins (see
@@ -64,7 +72,32 @@ func WithWorkers(n int) Option {
 func WithMaxInFlight(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
-			s.sem = make(chan struct{}, n)
+			s.maxInFlight = n
+		}
+	}
+}
+
+// WithHeavySlots caps how many in-flight slots heavy requests — joins,
+// top-k and their streaming variants — may hold at once (default: half
+// the in-flight cap, at least 1). The remainder is reachable only by
+// point lookups, so one tenant's heavy joins can never occupy every
+// slot. Values are clamped to [1, max-in-flight].
+func WithHeavySlots(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.heavySlots = n
+		}
+	}
+}
+
+// WithTenantQuota caps how many in-flight slots one tenant (the
+// X-Tenant request header; missing → "default") may hold at once
+// (default: no per-tenant cap beyond the pool itself). Values are
+// clamped to [1, max-in-flight].
+func WithTenantQuota(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.tenantQuota = n
 		}
 	}
 }
@@ -143,9 +176,16 @@ func New(c *corpus.Corpus, opts ...Option) *Server {
 		eopts = append(eopts, batch.WithWorkers(s.workers))
 	}
 	s.e = c.Engine(eopts...)
-	if s.sem == nil {
-		s.sem = make(chan struct{}, 2*s.e.Workers())
+	if s.maxInFlight <= 0 {
+		s.maxInFlight = 2 * s.e.Workers()
 	}
+	if s.heavySlots <= 0 {
+		s.heavySlots = (s.maxInFlight + 1) / 2
+	}
+	s.gate = newGate(s.maxInFlight, s.heavySlots, s.tenantQuota)
+	s.maxInFlight = s.gate.capTotal
+	s.heavySlots = s.gate.heavyCap
+	s.tenantQuota = s.gate.tenantCap
 	s.routes()
 	return s
 }
@@ -169,57 +209,90 @@ func (s *Server) Drain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // MaxInFlight reports the admission gate's capacity.
-func (s *Server) MaxInFlight() int { return cap(s.sem) }
+func (s *Server) MaxInFlight() int { return s.maxInFlight }
+
+// HeavySlots reports how many slots heavy requests (join/topk and their
+// streaming variants) may hold at once.
+func (s *Server) HeavySlots() int { return s.heavySlots }
+
+// TenantQuota reports how many slots one tenant may hold at once.
+func (s *Server) TenantQuota() int { return s.tenantQuota }
+
+// The two admission priority classes: point lookups stay admissible
+// even when every heavy slot is occupied by joins.
+const (
+	classPoint = false
+	classHeavy = true
+)
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.Handle("POST /v1/distance", s.admit(s.handleDistance))
-	s.mux.Handle("POST /v1/distance-bounded", s.admit(s.handleDistanceBounded))
-	s.mux.Handle("POST /v1/join", s.admit(s.handleJoin))
-	s.mux.Handle("POST /v1/topk", s.admit(s.handleTopK))
-	s.mux.Handle("POST /v1/trees", s.admit(s.handleAddTree))
-	s.mux.Handle("GET /v1/trees/{id}", s.admit(s.handleGetTree))
-	s.mux.Handle("PUT /v1/trees/{id}", s.admit(s.handlePutTree))
-	s.mux.Handle("DELETE /v1/trees/{id}", s.admit(s.handleDeleteTree))
+	s.mux.Handle("POST /v1/distance", s.admit(classPoint, s.handleDistance))
+	s.mux.Handle("POST /v1/distance-bounded", s.admit(classPoint, s.handleDistanceBounded))
+	s.mux.Handle("POST /v1/join", s.admit(classHeavy, s.handleJoin))
+	s.mux.Handle("POST /v1/join/stream", s.admit(classHeavy, s.handleJoinStream))
+	s.mux.Handle("POST /v1/topk", s.admit(classHeavy, s.handleTopK))
+	s.mux.Handle("POST /v1/topk/stream", s.admit(classHeavy, s.handleTopKStream))
+	s.mux.Handle("POST /v1/trees", s.admit(classPoint, s.handleAddTree))
+	s.mux.Handle("GET /v1/trees/{id}", s.admit(classPoint, s.handleGetTree))
+	s.mux.Handle("PUT /v1/trees/{id}", s.admit(classPoint, s.handlePutTree))
+	s.mux.Handle("DELETE /v1/trees/{id}", s.admit(classPoint, s.handleDeleteTree))
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// admit is the admission gate: a slot now, a slot within queueTimeout,
-// or a 503 with Retry-After. Client disconnects while queued just
-// abandon the wait. Body parsing happens while the slot is held, so the
-// hosting http.Server should set read deadlines (cmd/tedd does) —
-// otherwise slow-body clients could pin slots indefinitely.
-func (s *Server) admit(h http.HandlerFunc) http.Handler {
+// admit is the admission gate: a fitting slot now, a fitting slot
+// within queueTimeout, or a 503 with Retry-After. heavy selects the
+// priority class (see the gate doc in admission.go).
+func (s *Server) admit(heavy bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.reject(w, "draining")
 			return
 		}
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			// Full: queue with a bounded wait.
-			t := time.NewTimer(s.queueTimeout)
-			defer t.Stop()
-			select {
-			case s.sem <- struct{}{}:
-			case <-t.C:
-				// A capacity shed, distinct from drain rejections: the
-				// load harness reads this counter to cross-check that
-				// every 503 it observed was accounted for server-side.
-				s.shed.Add(1)
-				s.reject(w, "over capacity")
-				return
-			case <-r.Context().Done():
+		// Buffer the body before queueing, for two reasons. A slot is
+		// never held while a slow client trickles bytes in — the hosting
+		// http.Server's read deadlines (cmd/tedd sets them) bound the
+		// pre-admission read instead. And an HTTP/1 server only notices a
+		// client disconnect once the request body is consumed: without
+		// this, a client hanging up while queued would be undetectable —
+		// the waiter would burn its whole queue timeout for nobody and be
+		// miscounted as shed instead of abandoned.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
 				return
 			}
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("read request body: %v", err))
+			return
 		}
-		defer func() { <-s.sem }()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		tenant := tenantOf(r)
+		switch s.gate.acquire(r.Context(), tenant, heavy, s.queueTimeout) {
+		case gateTimedOut:
+			// A capacity shed, distinct from drain rejections: the load
+			// harness reads this counter to cross-check that every 503
+			// it observed was accounted for server-side.
+			s.shed.Add(1)
+			s.byTenant.get(tenant).shed.Add(1)
+			s.reject(w, "over capacity")
+			return
+		case gateAbandoned:
+			// The client disconnected while queued: no response goes
+			// anywhere, but the outcome is still counted — admitted +
+			// rejected + abandoned must cover every arrival, or a load
+			// harness's exact reconciliation breaks.
+			s.abandoned.Add(1)
+			s.byTenant.get(tenant).abandoned.Add(1)
+			return
+		}
+		defer s.gate.release(tenant, heavy)
 		if s.draining.Load() {
 			// Drained while queued: the point of draining is that no new
 			// engine work starts.
@@ -227,6 +300,7 @@ func (s *Server) admit(h http.HandlerFunc) http.Handler {
 			return
 		}
 		s.admitted.Add(1)
+		s.byTenant.get(tenant).admitted.Add(1)
 		if s.admitHook != nil {
 			s.admitHook()
 		}
@@ -260,11 +334,15 @@ func (s *Server) Stats() StatsResponse {
 		Trees:       s.c.Len(),
 		Labels:      s.e.Interner().Len(),
 		Workers:     s.e.Workers(),
-		InFlight:    len(s.sem),
-		MaxInFlight: cap(s.sem),
+		InFlight:    s.gate.inFlight(),
+		MaxInFlight: s.maxInFlight,
+		HeavySlots:  s.heavySlots,
+		TenantQuota: s.tenantQuota,
 		Admitted:    s.admitted.Load(),
 		Rejected:    s.rejected.Load(),
 		Shed:        s.shed.Load(),
+		Abandoned:   s.abandoned.Load(),
+		Tenants:     s.byTenant.snapshot(),
 		Draining:    s.draining.Load(),
 
 		PrunedSubproblems: s.prunedSubs.Load(),
@@ -361,8 +439,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ms, _ := s.c.TopKAcross(s.e, q, req.K)
-	resp := TopKResponse{Matches: make([]TopKMatch, len(ms))}
+	start := time.Now()
+	ms, st := s.c.TopKAcross(s.e, q, req.K)
+	// The scan's pruning feeds the same cumulative counters joins feed;
+	// before this, top-k work was invisible in /v1/stats.
+	s.prunedSubs.Add(st.PrunedSubproblems)
+	s.bandCells.Add(st.BandSkippedCells)
+	s.prunedKroot.Add(st.PrunedKeyroots)
+	resp := TopKResponse{Matches: make([]TopKMatch, len(ms)), Stats: topKStats(st, time.Since(start))}
 	for i, m := range ms {
 		resp.Matches[i] = TopKMatch{Tree: int64(m.Tree), Root: m.Root, Dist: m.Dist}
 	}

@@ -61,11 +61,11 @@ type JoinMatch struct {
 
 // JoinStats is the server-side accounting of one join call.
 type JoinStats struct {
-	Candidates    int    `json:"candidates"`
-	LowerPruned   int    `json:"lower_pruned"`
-	UpperAccepted int    `json:"upper_accepted"`
-	ExactComputed int    `json:"exact_computed"`
-	Subproblems   int64  `json:"subproblems"`
+	Candidates    int   `json:"candidates"`
+	LowerPruned   int   `json:"lower_pruned"`
+	UpperAccepted int   `json:"upper_accepted"`
+	ExactComputed int   `json:"exact_computed"`
+	Subproblems   int64 `json:"subproblems"`
 	// DP cells the exact stage skipped under the threshold cutoff, the
 	// subset of those skipped as whole ranges by the structural band,
 	// and keyroot subproblem DPs the band refused outright.
@@ -101,10 +101,55 @@ type TopKMatch struct {
 	Dist float64 `json:"dist"`
 }
 
+// TopKStats is the server-side accounting of one top-k call: the DP
+// cost of the scan and the cells/keyroots its shrinking cutoff pruned.
+type TopKStats struct {
+	Subproblems       int64 `json:"subproblems"`
+	PrunedSubproblems int64 `json:"pruned_subproblems"`
+	BandSkippedCells  int64 `json:"band_skipped_cells"`
+	PrunedKeyroots    int64 `json:"pruned_keyroots"`
+	ElapsedMS         int64 `json:"elapsed_ms"`
+}
+
 // TopKResponse carries the matches sorted by distance (ties toward
-// smaller (tree, root)).
+// smaller (tree, root)) and the scan's pruning stats.
 type TopKResponse struct {
 	Matches []TopKMatch `json:"matches"`
+	Stats   TopKStats   `json:"stats"`
+}
+
+// JoinStreamRecord is one NDJSON line of POST /v1/join/stream: exactly
+// one of Match (a result, flushed as found, in completion order) or
+// Done (the terminal record) is set. A stream without a Done line was
+// cut short — by a client disconnect or a server failure mid-stream —
+// and must not be trusted as complete.
+type JoinStreamRecord struct {
+	Match *JoinMatch      `json:"match,omitempty"`
+	Done  *JoinStreamDone `json:"done,omitempty"`
+}
+
+// JoinStreamDone terminates a join stream: the full match count (also
+// counting matches beyond the limit, which are dropped, flagged by
+// Truncated), and the same stats block the buffered endpoint returns.
+type JoinStreamDone struct {
+	Count     int       `json:"count"`
+	Truncated bool      `json:"truncated,omitempty"`
+	Stats     JoinStats `json:"stats"`
+}
+
+// TopKStreamRecord is one NDJSON line of POST /v1/topk/stream: exactly
+// one of Match or Done is set. Matches arrive in final result order
+// (top-k answers are only sound once the whole corpus is scanned, so
+// the lines are written after the scan; the framing still delivers
+// them one by one and a disconnect mid-scan cancels the engine work).
+type TopKStreamRecord struct {
+	Match *TopKMatch      `json:"match,omitempty"`
+	Done  *TopKStreamDone `json:"done,omitempty"`
+}
+
+// TopKStreamDone terminates a top-k stream.
+type TopKStreamDone struct {
+	Stats TopKStats `json:"stats"`
 }
 
 // TreeRequest carries a tree for POST/PUT /v1/trees.
@@ -125,18 +170,33 @@ type TreeResponse struct {
 // a steadily climbing value under high-cardinality query labels is the
 // signal to cap or normalize request labels upstream.
 type StatsResponse struct {
-	Trees       int   `json:"trees"`
-	Labels      int   `json:"labels"`
-	Workers     int   `json:"workers"`
-	InFlight    int   `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
+	Trees       int `json:"trees"`
+	Labels      int `json:"labels"`
+	Workers     int `json:"workers"`
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+	// HeavySlots and TenantQuota describe the admission gate's shape:
+	// joins/top-k (the heavy class) may hold at most HeavySlots of the
+	// MaxInFlight slots, and any one tenant at most TenantQuota.
+	HeavySlots  int   `json:"heavy_slots"`
+	TenantQuota int   `json:"tenant_quota"`
 	Admitted    int64 `json:"admitted"`
 	Rejected    int64 `json:"rejected"`
 	// Shed counts admission rejections due to capacity (queue-timeout
 	// 503s) alone — a subset of Rejected, which also counts drain-mode
 	// refusals. A load run cross-checks its observed 503s against this.
-	Shed     int64 `json:"shed"`
-	Draining bool  `json:"draining"`
+	Shed int64 `json:"shed"`
+	// Abandoned counts requests whose client disconnected while queued
+	// for admission: they consumed queue time but got no response and no
+	// slot, and without this counter they'd be invisible — admitted +
+	// shed would undercount arrivals and a load harness could never
+	// reconcile exactly.
+	Abandoned int64 `json:"abandoned"`
+	Draining  bool  `json:"draining"`
+	// Per-tenant admission outcomes, keyed by X-Tenant (missing header →
+	// "default"; beyond 256 distinct tenants, new names aggregate under
+	// "~other"). Absent until the first admission decision.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 	// Cumulative DP pruning over every served join's exact stage since
 	// boot: cells skipped under the threshold cutoff, the subset skipped
 	// as whole ranges by the structural band, and keyroot subproblem DPs
@@ -145,6 +205,13 @@ type StatsResponse struct {
 	PrunedSubproblems int64 `json:"pruned_subproblems"`
 	BandSkippedCells  int64 `json:"band_skipped_cells"`
 	PrunedKeyroots    int64 `json:"pruned_keyroots"`
+}
+
+// TenantStats is one tenant's admission outcomes in /v1/stats.
+type TenantStats struct {
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Abandoned int64 `json:"abandoned"`
 }
 
 // ErrorResponse is every non-2xx body.
