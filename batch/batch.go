@@ -65,6 +65,8 @@ type Engine struct {
 	workers  int
 	strat    StrategyFunc
 	unbanded bool
+	noSparse bool
+	noSharp  bool
 
 	// in assigns the label ids shared by every PreparedTree. It is
 	// internally synchronized, and may be shared with other engines (a
@@ -97,6 +99,20 @@ func WithStrategy(fn StrategyFunc) Option { return func(e *Engine) { e.strat = f
 // Answers are bit-identical either way; turning it off exists for the
 // `tedbench -exp band` ablation and the differential harness.
 func WithBanding(on bool) Option { return func(e *Engine) { e.unbanded = !on } }
+
+// WithSparseRows toggles band-compressed DP row storage of banded bounded
+// computations (default on): keyroot rows whose admissible band is
+// narrower than the row materialize only their band cells. Answers and
+// pruning are bit-identical either way (gted.Runner.SetSparseRows);
+// turning it off exists for the `tedbench -exp sparse` ablation and the
+// differential harness.
+func WithSparseRows(on bool) Option { return func(e *Engine) { e.noSparse = !on } }
+
+// WithSharpBands toggles label-aware per-region band pricing and the
+// depth-spectra keyroot band of banded bounded computations (default on).
+// Answers are bit-identical either way (gted.Runner.SetSharpBands); off
+// restores the globally priced band for ablation.
+func WithSharpBands(on bool) Option { return func(e *Engine) { e.noSharp = !on } }
 
 // WithInterner makes the engine assign label ids from a shared interner
 // instead of a private one. Engines sharing an interner agree on label
@@ -201,6 +217,13 @@ type Stats struct {
 	// PrunedKeyroots counts keyroot subproblem DPs skipped entirely by
 	// the keyroot-level band.
 	PrunedKeyroots int64
+	// CompressedRows counts forest-distance DP rows materialized in
+	// band-compressed form (WithSparseRows).
+	CompressedRows int64
+	// RowCells counts the DP row cells materialized across all
+	// single-path-function row storage; ×8 it is the bytes of row storage
+	// streamed (gted.Stats.RowCells).
+	RowCells int64
 	// SPFCalls counts single-path function invocations.
 	SPFCalls int64
 	// MaxLiveRows is the peak number of retained heavy-path DP rows in
@@ -213,6 +236,8 @@ func (s *Stats) add(g gted.Stats) {
 	s.PrunedSubproblems += g.PrunedSubproblems
 	s.BandSkippedCells += g.BandSkippedCells
 	s.PrunedKeyroots += g.PrunedKeyroots
+	s.CompressedRows += g.CompressedRows
+	s.RowCells += g.RowCells
 	s.SPFCalls += g.SPFCalls
 	if g.MaxLiveRows > s.MaxLiveRows {
 		s.MaxLiveRows = g.MaxLiveRows
@@ -234,6 +259,9 @@ func (e *Engine) pairRunner(ws *workspace, f, g *PreparedTree) *gted.Runner {
 	r := gted.NewInArena(f.t, g.t, cm, st, ws.arena)
 	r.SetMirrorLeafmost(f.lfm, g.lfm)
 	r.SetBanding(!e.unbanded)
+	r.SetSparseRows(!e.noSparse)
+	r.SetSharpBands(!e.noSharp)
+	r.SetDepthSpectra(f.spectra, g.spectra)
 	return r
 }
 

@@ -3,6 +3,7 @@ package batch_test
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -343,31 +344,75 @@ func TestTopKAcrossMatchesPerTree(t *testing.T) {
 
 // TestBoundedAllocFree is the bounded-mode allocation regression test:
 // bounded runs in a warm arena must stay as allocation-free as exact
-// runs — the cutoff machinery may not allocate per pair.
+// runs — the cutoff machinery may not allocate per pair. It runs under
+// both row layouts: the sparse slab is a second arena-owned slice, so
+// the compressed path must be just as allocation-free once warm.
 func TestBoundedAllocFree(t *testing.T) {
 	query := gen.Random(85, gen.RandomSpec{Size: 50, MaxDepth: 8, MaxFanout: 4, Labels: 4})
 	others := randomTrees(86, 12, 50)
+	engines := []struct {
+		name string
+		e    *batch.Engine
+	}{
+		{"sparse", batch.New(batch.WithWorkers(1))},
+		{"dense", batch.New(batch.WithWorkers(1), batch.WithSparseRows(false), batch.WithSharpBands(false))},
+	}
+	for _, eng := range engines {
+		e := eng.e
+		q := e.Prepare(query)
+		ps := e.PrepareAll(others)
+		// Warm the workspace pool, the arena, and the lazy bound profiles
+		// through both DistanceBounded branches.
+		for _, p := range ps {
+			e.DistanceBounded(q, p, 2)
+			e.DistanceBounded(q, p, 1e9)
+		}
+		for _, tau := range []float64{2, 25, 1e9} {
+			perPair := testing.AllocsPerRun(3, func() {
+				for _, p := range ps {
+					e.DistanceBounded(q, p, tau)
+				}
+			}) / float64(len(ps))
+			// Same bound as the exact-path steady-state test: a handful of
+			// fixed-size descriptors per pair, no DP-sized allocations.
+			if !raceEnabled && perPair > 16 {
+				t.Fatalf("%s tau=%v: bounded steady state allocates %.1f objects per pair", eng.name, tau, perPair)
+			}
+		}
+	}
+}
+
+// TestBoundedBytesPerPair pins the bytes (not just objects) of a warm
+// bounded run at a narrow cutoff: with arena-owned rows, the steady
+// state may allocate a few fixed-size descriptors per pair but nothing
+// DP-sized. TotalAlloc is cumulative so GC cannot skew the delta.
+func TestBoundedBytesPerPair(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race shadow state distorts byte accounting")
+	}
+	query := gen.Random(87, gen.RandomSpec{Size: 50, MaxDepth: 8, MaxFanout: 4, Labels: 4})
+	others := randomTrees(88, 12, 50)
 	e := batch.New(batch.WithWorkers(1))
 	q := e.Prepare(query)
 	ps := e.PrepareAll(others)
-	// Warm the workspace pool, the arena, and the lazy bound profiles
-	// through both DistanceBounded branches.
 	for _, p := range ps {
 		e.DistanceBounded(q, p, 2)
 		e.DistanceBounded(q, p, 1e9)
 	}
-	for _, tau := range []float64{2, 25, 1e9} {
-		tau := tau
-		perPair := testing.AllocsPerRun(3, func() {
-			for _, p := range ps {
-				e.DistanceBounded(q, p, tau)
-			}
-		}) / float64(len(ps))
-		// Same bound as the exact-path steady-state test: a handful of
-		// fixed-size descriptors per pair, no DP-sized allocations.
-		if !raceEnabled && perPair > 16 {
-			t.Fatalf("tau=%v: bounded steady state allocates %.1f objects per pair", tau, perPair)
+	const reps = 5
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for rep := 0; rep < reps; rep++ {
+		for _, p := range ps {
+			e.DistanceBounded(q, p, 2)
 		}
+	}
+	runtime.ReadMemStats(&after)
+	perPair := float64(after.TotalAlloc-before.TotalAlloc) / float64(reps*len(ps))
+	// A 50-node pair's smallest DP table is tens of KB; 2 KB per pair
+	// proves the rows come from the arena, not the heap.
+	if perPair > 2048 {
+		t.Fatalf("warm bounded runs allocate %.0f bytes per pair at tau=2; rows must live in the arena", perPair)
 	}
 }
 

@@ -99,6 +99,11 @@ type JoinStats struct {
 	// PrunedKeyroots counts keyroot subproblem DPs the keyroot-level
 	// band skipped entirely during the exact stage.
 	PrunedKeyroots int64
+	// CompressedRows counts DP rows the exact stage materialized in
+	// band-compressed form, and RowCells the row cells materialized in
+	// total (×8 = bytes of row storage streamed); see gted.Stats.
+	CompressedRows int64
+	RowCells       int64
 	Elapsed        time.Duration
 
 	// Indexed joins only: the candidate generator that actually ran
@@ -116,6 +121,8 @@ type joinOutcome struct {
 	pruned int64
 	band   int64
 	kroots int64
+	crows  int64
+	rcells int64
 	kind   uint8 // 0 exact, 1 lower-pruned, 2 upper-accepted
 }
 
@@ -341,12 +348,14 @@ func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filte
 			}
 			gst := r.Stats()
 			outcomes[k] = joinOutcome{dist: d, subs: gst.Subproblems, pruned: gst.PrunedSubproblems,
-				band: gst.BandSkippedCells, kroots: gst.PrunedKeyroots}
+				band: gst.BandSkippedCells, kroots: gst.PrunedKeyroots,
+				crows: gst.CompressedRows, rcells: gst.RowCells}
 			return
 		}
 		r := e.pairRunner(ws, f, g)
 		d := r.Run()
-		outcomes[k] = joinOutcome{dist: d, subs: r.Stats().Subproblems}
+		gst := r.Stats()
+		outcomes[k] = joinOutcome{dist: d, subs: gst.Subproblems, rcells: gst.RowCells}
 	})
 
 	var ms []Match
@@ -366,6 +375,8 @@ func (e *Engine) evalPairs(trees []*PreparedTree, pairs []ij, tau float64, filte
 			st.PrunedSubproblems += o.pruned
 			st.BandSkippedCells += o.band
 			st.PrunedKeyroots += o.kroots
+			st.CompressedRows += o.crows
+			st.RowCells += o.rcells
 			if o.dist < tau {
 				ms = append(ms, Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
 			}

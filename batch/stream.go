@@ -149,11 +149,13 @@ func (e *Engine) evalPairsStream(ctx context.Context, trees []*PreparedTree, pai
 			}
 			gst := r.Stats()
 			return joinOutcome{dist: d, subs: gst.Subproblems, pruned: gst.PrunedSubproblems,
-				band: gst.BandSkippedCells, kroots: gst.PrunedKeyroots}
+				band: gst.BandSkippedCells, kroots: gst.PrunedKeyroots,
+				crows: gst.CompressedRows, rcells: gst.RowCells}
 		}
 		r := e.pairRunner(ws, f, g)
 		d := r.Run()
-		return joinOutcome{dist: d, subs: r.Stats().Subproblems}
+		gst := r.Stats()
+		return joinOutcome{dist: d, subs: gst.Subproblems, rcells: gst.RowCells}
 	}
 
 	w := e.workers
@@ -212,6 +214,8 @@ func (e *Engine) evalPairsStream(ctx context.Context, trees []*PreparedTree, pai
 			st.PrunedSubproblems += o.pruned
 			st.BandSkippedCells += o.band
 			st.PrunedKeyroots += o.kroots
+			st.CompressedRows += o.crows
+			st.RowCells += o.rcells
 			if o.dist < tau {
 				emit(Match{I: pairs[k].i, J: pairs[k].j, Dist: o.dist})
 			}

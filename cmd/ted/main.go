@@ -198,6 +198,8 @@ func runBounded(f, g *ted.Tree, tau float64, alg ted.Algorithm, stats bool) {
 		fmt.Fprintf(os.Stderr, "subproblems  %d evaluated, %d pruned\n", st.Subproblems, st.PrunedSubproblems)
 		fmt.Fprintf(os.Stderr, "band         %d cells skipped in ranges, %d keyroot DPs skipped\n",
 			st.BandSkippedCells, st.PrunedKeyroots)
+		fmt.Fprintf(os.Stderr, "rows         %d band-compressed, %d cells materialized (%d bytes)\n",
+			st.CompressedRows, st.RowCells, 8*st.RowCells)
 		fmt.Fprintf(os.Stderr, "total        %v\n", st.TotalTime)
 	}
 }

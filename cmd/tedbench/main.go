@@ -6,6 +6,9 @@
 //	tedbench -list
 //	tedbench -exp fig8a [-scale 1.0] [-seed 42]
 //	tedbench -all -scale 0.25
+//	tedbench -exp sparse -out BENCH_gted.json
+//	tedbench -check-gted BENCH_gted.json
+//	tedbench -exp fig8a -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Scale 1.0 reproduces the paper's size grids (minutes to hours for the
 // runtime figures); the default 0.25 keeps every experiment laptop-sized
@@ -16,19 +19,71 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
+// main defers to realMain so the profile writers (deferred there) run
+// before the process exits — os.Exit in main would discard an in-flight
+// CPU profile.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		list  = flag.Bool("list", false, "list experiments and exit")
 		exp   = flag.String("exp", "", "experiment id to run (see -list)")
 		all   = flag.Bool("all", false, "run every experiment")
 		scale = flag.Float64("scale", 0.25, "size-grid scale; 1.0 = the paper's ranges")
 		seed  = flag.Int64("seed", 20111229, "generator seed")
+		out   = flag.String("out", "", "write the experiment's machine-readable artifact here (sparse: BENCH_gted.json)")
+		check = flag.String("check-gted", "", "validate a BENCH_gted.json file and exit")
+		cpu   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		mem   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *check != "" {
+		r, err := experiments.ReadGtedReport(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tedbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: valid (schema v%d, %d scenarios)\n", *check, r.SchemaVersion, len(r.Scenarios))
+		return 0
+	}
+
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tedbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tedbench: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		defer func() {
+			f, err := os.Create(*mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tedbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tedbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -37,9 +92,9 @@ func main() {
 		}
 	case *all:
 		for _, r := range experiments.All() {
-			if err := run(r, *scale, *seed); err != nil {
+			if err := run(r, *scale, *seed, *out); err != nil {
 				fmt.Fprintf(os.Stderr, "tedbench: %s: %v\n", r.ID, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
@@ -47,19 +102,20 @@ func main() {
 		r, ok := experiments.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "tedbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			return 2
 		}
-		if err := run(r, *scale, *seed); err != nil {
+		if err := run(r, *scale, *seed, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "tedbench: %s: %v\n", r.ID, err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func run(r experiments.Runner, scale float64, seed int64) error {
-	cfg := experiments.Config{Scale: scale, Seed: seed, Out: os.Stdout}
+func run(r experiments.Runner, scale float64, seed int64, artifact string) error {
+	cfg := experiments.Config{Scale: scale, Seed: seed, Out: os.Stdout, ArtifactPath: artifact}
 	return r.Run(cfg)
 }

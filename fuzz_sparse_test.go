@@ -1,0 +1,70 @@
+package ted_test
+
+import (
+	"math"
+	"testing"
+
+	ted "repro"
+)
+
+// FuzzDistanceSparseVsDense fuzzes the band-compressed row layout (and
+// the sharp band pricing stacked on it) against full-width banded rows
+// over bracket tree pairs and arbitrary thresholds. Row compression
+// changes where admissible cells are stored, not what they compute, so
+// sparse and dense banded runs must return bit-identical results with
+// equal subproblem and band accounting; sharp pricing may only prune
+// more, never change an answer.
+//
+// Run continuously with: go test -fuzz=FuzzDistanceSparseVsDense
+func FuzzDistanceSparseVsDense(f *testing.F) {
+	f.Add("{a{b}{c}}", "{a{b{d}}}", 1.5)
+	f.Add("{a{b{c{d{e}}}}}", "{a}", 2.0)
+	f.Add("{x{x}{x}{x}{x}}", "{x{x{x{x{x}}}}}", 3.0)
+	f.Add("{a}", "{b}", math.Inf(1))
+	f.Add("{r{a{b}{c}}{d}}", "{r{d}{a{c}{b}}}", 0.0)
+	f.Add("{l0{l1}{l2{l3}}}", "{l0{l2{l3}}{l1}}", -1.0)
+
+	f.Fuzz(func(t *testing.T, fs, gs string, tau float64) {
+		ft, err := ted.Parse(fs)
+		if err != nil || ft.Len() > 60 {
+			t.Skip()
+		}
+		gt, err := ted.Parse(gs)
+		if err != nil || gt.Len() > 60 {
+			t.Skip()
+		}
+		if math.IsNaN(tau) {
+			t.Skip()
+		}
+		var sd, ss, sh ted.Stats
+		dd, okD := ted.DistanceBounded(ft, gt, tau, ted.WithStats(&sd),
+			ted.WithSparseRows(false), ted.WithSharpBands(false))
+		ds, okS := ted.DistanceBounded(ft, gt, tau, ted.WithStats(&ss),
+			ted.WithSparseRows(true), ted.WithSharpBands(false))
+		dh, okH := ted.DistanceBounded(ft, gt, tau, ted.WithStats(&sh),
+			ted.WithSparseRows(true), ted.WithSharpBands(true))
+		if ds != dd || okS != okD {
+			t.Fatalf("sparse (%v, %v) != dense (%v, %v) at tau=%v\nF=%s\nG=%s",
+				ds, okS, dd, okD, tau, fs, gs)
+		}
+		if dh != dd || okH != okD {
+			t.Fatalf("sharp (%v, %v) != dense (%v, %v) at tau=%v\nF=%s\nG=%s",
+				dh, okH, dd, okD, tau, fs, gs)
+		}
+		if ss.Subproblems != sd.Subproblems || ss.PrunedSubproblems != sd.PrunedSubproblems ||
+			ss.BandSkippedCells != sd.BandSkippedCells || ss.PrunedKeyroots != sd.PrunedKeyroots {
+			t.Fatalf("sparse accounting differs from dense at tau=%v\nsparse %+v\ndense  %+v\nF=%s\nG=%s",
+				tau, ss, sd, fs, gs)
+		}
+		if sd.CompressedRows != 0 {
+			t.Fatalf("dense run reports %d compressed rows: %+v", sd.CompressedRows, sd)
+		}
+		if sh.Subproblems > ss.Subproblems {
+			t.Fatalf("sharp evaluated %d subproblems, sparse %d at tau=%v\nF=%s\nG=%s",
+				sh.Subproblems, ss.Subproblems, tau, fs, gs)
+		}
+		if ss.CompressedRows < 0 || ss.RowCells < 0 || sh.RowCells < 0 {
+			t.Fatalf("negative row instrumentation: sparse %+v, sharp %+v", ss, sh)
+		}
+	})
+}

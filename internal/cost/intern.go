@@ -100,6 +100,12 @@ type PerTree struct {
 	Del []float64 // cost of deleting each node
 	Ins []float64 // cost of inserting each node
 
+	// SubDelMin[v]/SubInsMin[v] are the cheapest Del/Ins over the subtree
+	// rooted at v — the per-region price floors of bounded GTED's sharp
+	// band pricing. Nil under the unit model (all floors are the global 1).
+	SubDelMin []float64
+	SubInsMin []float64
+
 	// labels is a snapshot of the interner's id->label table taken at
 	// compile time. It covers every id in IDs (ids grow monotonically, so
 	// the later of two snapshots covers both trees of a pair).
@@ -127,6 +133,10 @@ func CompileTree(m Model, t *tree.Tree, in *Interner) *PerTree {
 	p.labels = in.snapshot()
 	in.mu.Unlock()
 	_, p.unit = m.(Unit)
+	if !p.unit {
+		p.SubDelMin = subtreeMin(t, p.Del)
+		p.SubInsMin = subtreeMin(t, p.Ins)
+	}
 	return p
 }
 
@@ -169,6 +179,10 @@ func CompileTreeFromIDs(m Model, t *tree.Tree, ids []int32, in *Interner) (*PerT
 			p.Del[v] = m.Delete(l)
 			p.Ins[v] = m.Insert(l)
 		}
+	}
+	if !p.unit {
+		p.SubDelMin = subtreeMin(t, p.Del)
+		p.SubInsMin = subtreeMin(t, p.Ins)
 	}
 	p.labels = labels
 	return p, nil
@@ -220,6 +234,8 @@ func PairPreparedMemo(m Model, f, g *PerTree, rm *RenameMemo) *Compiled {
 		Ins:    g.Ins,
 		FID:    f.IDs,
 		GID:    g.IDs,
+		DelSub: f.SubDelMin,
+		InsSub: g.SubInsMin,
 		labels: labels,
 		unit:   f.unit,
 		model:  m,
@@ -229,6 +245,8 @@ func PairPreparedMemo(m Model, f, g *PerTree, rm *RenameMemo) *Compiled {
 		Ins:    f.Del,
 		FID:    g.IDs,
 		GID:    f.IDs,
+		DelSub: g.SubInsMin,
+		InsSub: f.SubDelMin,
 		labels: labels,
 		unit:   f.unit,
 		model:  transposed{m},

@@ -32,7 +32,8 @@ func init() {
 
 func bandExp(cfg Config) error {
 	header(cfg, "band", "banded vs slack-only bounded DP",
-		"section", "pair", "tau", "unbanded_subs", "banded_subs", "band_cells", "keyroots", "verdict")
+		"section", "pair", "tau", "unbanded_subs", "banded_subs", "band_cells", "keyroots",
+		"unbanded_bytes", "banded_bytes", "verdict")
 
 	n := cfg.size(120)
 	pairs := []struct {
@@ -48,15 +49,25 @@ func bandExp(cfg Config) error {
 		// the prefilter) answers, at two scales: tight and loose.
 		lb := ted.LowerBound(p.f, p.g)
 		for i, tau := range []float64{lb + 2, lb + float64(n)/4} {
+			// Each DistanceBounded call builds a fresh arena, so the
+			// TotalAlloc delta around it is the per-pair allocation bill —
+			// the attribution the sparse-row work optimizes.
 			var bb, ub ted.Stats
-			bd, bok := ted.DistanceBounded(p.f, p.g, tau, ted.WithStats(&bb))
-			ud, uok := ted.DistanceBounded(p.f, p.g, tau, ted.WithStats(&ub), ted.WithBanding(false))
+			var bd, ud float64
+			var bok, uok bool
+			bBytes := allocBytes(func() {
+				bd, bok = ted.DistanceBounded(p.f, p.g, tau, ted.WithStats(&bb))
+			})
+			uBytes := allocBytes(func() {
+				ud, uok = ted.DistanceBounded(p.f, p.g, tau, ted.WithStats(&ub), ted.WithBanding(false))
+			})
 			verdict := "exceeds"
 			if bok {
 				verdict = "exact"
 			}
-			fmt.Fprintf(cfg.Out, "pairwise\t%s\t%g\t%d\t%d\t%d\t%d\t%s\n",
-				p.name, tau, ub.Subproblems, bb.Subproblems, bb.BandSkippedCells, bb.PrunedKeyroots, verdict)
+			fmt.Fprintf(cfg.Out, "pairwise\t%s\t%g\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				p.name, tau, ub.Subproblems, bb.Subproblems, bb.BandSkippedCells, bb.PrunedKeyroots,
+				uBytes, bBytes, verdict)
 			if bok != uok || bd != ud {
 				return fmt.Errorf("%s tau=%g: banded (%g, %v), unbanded (%g, %v)", p.name, tau, bd, bok, ud, uok)
 			}
@@ -98,10 +109,13 @@ func bandExp(cfg Config) error {
 	bp := be.PrepareAll(corpus)
 	up := ue.PrepareAll(corpus)
 	for i, tau := range []float64{float64(n) / 16, float64(n) / 2} {
-		banded, bst := be.Join(bp, tau, true)
-		plain, ust := ue.Join(up, tau, true)
-		fmt.Fprintf(cfg.Out, "join\tcorpus\t%g\t%d\t%d\t%d\t%d\t%d-matches\n",
-			tau, ust.Subproblems, bst.Subproblems, bst.BandSkippedCells, bst.PrunedKeyroots, len(banded))
+		var banded, plain []batch.Match
+		var bst, ust batch.JoinStats
+		bBytes := allocBytes(func() { banded, bst = be.Join(bp, tau, true) })
+		uBytes := allocBytes(func() { plain, ust = ue.Join(up, tau, true) })
+		fmt.Fprintf(cfg.Out, "join\tcorpus\t%g\t%d\t%d\t%d\t%d\t%d\t%d\t%d-matches\n",
+			tau, ust.Subproblems, bst.Subproblems, bst.BandSkippedCells, bst.PrunedKeyroots,
+			uBytes, bBytes, len(banded))
 		if len(plain) != len(banded) {
 			return fmt.Errorf("join tau=%g: banded found %d matches, unbanded %d", tau, len(banded), len(plain))
 		}

@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -27,6 +28,10 @@ type Config struct {
 	Seed int64
 	// Out receives the result table.
 	Out io.Writer
+	// ArtifactPath, when non-empty, is where experiments that emit a
+	// machine-readable artifact write it (the sparse ablation's
+	// BENCH_gted.json). Empty skips the artifact.
+	ArtifactPath string
 }
 
 func (c Config) size(n int) int {
@@ -94,3 +99,16 @@ func header(cfg Config, id, title string, cols ...string) {
 }
 
 func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+// allocBytes runs fn and returns the heap bytes it allocated, as the
+// delta of runtime.MemStats.TotalAlloc. TotalAlloc is cumulative and
+// never decreases, so a GC between the two reads cannot skew the
+// number; experiments run their measured calls on this goroutine alone,
+// which makes the delta attributable to fn.
+func allocBytes(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}

@@ -10,8 +10,8 @@ import (
 // scale; each experiment's internal assertions (RTED never worse than
 // the best competitor, optima consistent, etc.) run as part of it.
 func TestAllExperimentsRun(t *testing.T) {
-	if len(All()) != 25 {
-		t.Fatalf("registered %d experiments, want 25", len(All()))
+	if len(All()) != 26 {
+		t.Fatalf("registered %d experiments, want 26", len(All()))
 	}
 	for _, r := range All() {
 		r := r
@@ -29,6 +29,40 @@ func TestAllExperimentsRun(t *testing.T) {
 				t.Fatalf("%s produced only %d lines", r.ID, lines)
 			}
 		})
+	}
+}
+
+// TestSparseArtifact runs the sparse ablation with an artifact path and
+// checks the emitted BENCH_gted.json survives the read+validate path
+// CI gates on.
+func TestSparseArtifact(t *testing.T) {
+	r, ok := ByID("sparse")
+	if !ok {
+		t.Fatal("sparse not registered")
+	}
+	path := t.TempDir() + "/BENCH_gted.json"
+	var buf bytes.Buffer
+	if err := r.Run(Config{Scale: 0.05, Seed: 7, Out: &buf, ArtifactPath: path}); err != nil {
+		t.Fatalf("sparse failed: %v\n%s", err, buf.String())
+	}
+	rep, err := ReadGtedReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) == 0 {
+		t.Fatal("artifact has no scenarios")
+	}
+	for _, s := range rep.Scenarios {
+		if s.Mode == "dense" && s.CompressedRows != 0 {
+			t.Fatalf("dense scenario %q reports compressed rows", s.Scenario)
+		}
+	}
+	// A corrupted report must fail validation, not pass silently.
+	bad := *rep
+	bad.Scenarios = append([]GtedScenario(nil), rep.Scenarios...)
+	bad.Scenarios[0].Mode = "bogus"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("validation accepted a bogus mode")
 	}
 }
 

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// GtedSchemaVersion is the BENCH_gted.json schema version this package
+// emits. Bump it on any incompatible change and extend Validate to
+// accept the versions still in the trajectory.
+const GtedSchemaVersion = 1
+
+// GtedScenario is one measured kernel configuration of the sparse
+// ablation: a crafted tree pair at a cutoff, run under one row-layout /
+// band-pricing mode. Mode is "dense" (PR 7 banding, full-width rows),
+// "sparse" (band-compressed rows), or "sharp" (band-compressed rows
+// with per-region pricing and depth spectra).
+type GtedScenario struct {
+	Scenario string  `json:"scenario"` // pair name, e.g. "chain/binary"
+	Nodes    int     `json:"nodes"`    // per-tree size of the pair
+	Tau      float64 `json:"tau"`
+	Mode     string  `json:"mode"`
+
+	// DP accounting for the run: subproblems evaluated (cells touched),
+	// row cells materialized (×8 = bytes of row storage streamed), and
+	// rows stored band-compressed.
+	Subproblems    int64 `json:"subproblems"`
+	RowCells       int64 `json:"row_cells"`
+	CompressedRows int64 `json:"compressed_rows"`
+
+	// Wall clock and heap bytes per DistanceBounded call, averaged over
+	// the measurement repetitions.
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+}
+
+// GtedReport is the machine-readable result of the sparse ablation —
+// the BENCH_gted.json artifact CI emits and validates so the bounded
+// kernel's cell/byte trajectory is diffable across commits.
+type GtedReport struct {
+	Bench         string         `json:"bench"` // always "gted"
+	SchemaVersion int            `json:"schema_version"`
+	Scale         float64        `json:"scale"`
+	Seed          int64          `json:"seed"`
+	Scenarios     []GtedScenario `json:"scenarios"`
+}
+
+var gtedModes = map[string]bool{"dense": true, "sparse": true, "sharp": true}
+
+// Validate checks the report against the schema contract. It does not
+// judge the numbers — only that they are present, consistent, and
+// plausible (the sparse experiment's own gates judge quality).
+func (r *GtedReport) Validate() error {
+	if r.Bench != "gted" {
+		return fmt.Errorf("bench must be %q (got %q)", "gted", r.Bench)
+	}
+	if r.SchemaVersion != GtedSchemaVersion {
+		return fmt.Errorf("schema_version must be %d (got %d)", GtedSchemaVersion, r.SchemaVersion)
+	}
+	if r.Scale <= 0 {
+		return fmt.Errorf("scale must be > 0 (got %g)", r.Scale)
+	}
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("scenarios is empty")
+	}
+	for i, s := range r.Scenarios {
+		if s.Scenario == "" {
+			return fmt.Errorf("scenario %d: name is required", i)
+		}
+		if !gtedModes[s.Mode] {
+			return fmt.Errorf("scenario %d (%s): mode must be dense|sparse|sharp (got %q)", i, s.Scenario, s.Mode)
+		}
+		if s.Nodes <= 0 || s.Tau <= 0 {
+			return fmt.Errorf("scenario %d (%s): nodes and tau must be > 0 (got %d, %g)", i, s.Scenario, s.Nodes, s.Tau)
+		}
+		if s.Subproblems < 0 || s.RowCells <= 0 || s.CompressedRows < 0 {
+			return fmt.Errorf("scenario %d (%s): counters out of range (subs %d, cells %d, rows %d)",
+				i, s.Scenario, s.Subproblems, s.RowCells, s.CompressedRows)
+		}
+		if s.Mode == "dense" && s.CompressedRows != 0 {
+			return fmt.Errorf("scenario %d (%s): dense mode reports %d compressed rows", i, s.Scenario, s.CompressedRows)
+		}
+		if s.NsPerOp <= 0 || s.BytesPerOp < 0 {
+			return fmt.Errorf("scenario %d (%s): ns_per_op must be > 0, bytes_per_op ≥ 0 (got %g, %g)",
+				i, s.Scenario, s.NsPerOp, s.BytesPerOp)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path (truncate + write + close).
+func (r *GtedReport) WriteJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGtedReport loads and validates a BENCH_gted.json file.
+func ReadGtedReport(path string) (*GtedReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r GtedReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	ted "repro"
+	"repro/batch"
+	"repro/internal/tree"
+	"repro/internal/treegen"
+)
+
+// Ablation: band-compressed DP rows and sharper band pricing against
+// PR 7's full-width banded rows, in two settings:
+//
+//   - pairwise, on near pairs (same shape family, slightly different
+//     size) where the bounded DP succeeds at a narrow cutoff, so the
+//     admissible band is a thin diagonal of each keyroot row. PR 7
+//     banding already skips the cells outside it but still materializes
+//     full-width rows; the sparse layout stores only the ≤ maxD+maxI+1
+//     admissible cells per row, so at tight tau it must materialize
+//     strictly fewer row cells and allocate strictly fewer bytes per
+//     pair while touching the exact same subproblems and returning a
+//     bit-identical distance. The sharp mode (per-region cost floors +
+//     leaf-depth spectra) may only shrink the work further.
+//   - join, sparse+sharp engine vs batch.New(batch.WithSparseRows(false),
+//     batch.WithSharpBands(false)) on a mixed corpus: identical match
+//     sets at every threshold — the regression guard the CI smoke step
+//     executes.
+//
+// When cfg.ArtifactPath is set, the pairwise measurements are also
+// written there as BENCH_gted.json (see GtedReport), the bounded
+// kernel's machine-readable perf trajectory.
+
+func init() {
+	register("sparse", "Ablation: band-compressed rows + sharp pricing vs full-width banded rows", sparseExp)
+}
+
+// sparseMode is one row-layout / band-pricing configuration under test.
+type sparseMode struct {
+	name   string
+	sparse bool
+	sharp  bool
+}
+
+var sparseModes = []sparseMode{
+	{"dense", false, false}, // PR 7 banding: full-width rows, global pricing
+	{"sparse", true, false},
+	{"sharp", true, true},
+}
+
+func sparseExp(cfg Config) error {
+	header(cfg, "sparse", "band-compressed rows vs full-width banded rows",
+		"section", "pair", "tau", "mode", "subs", "row_cells", "compressed_rows", "bytes", "ns", "verdict")
+
+	// Near pairs: the same shape family at slightly different sizes, so
+	// the exact distance (hence the interesting cutoff) is far below the
+	// tree size and the band is thin. spfLR is forced (ZhangL) because
+	// the row compression lives in the ΔL/ΔR kernel; ΔI rows stay dense
+	// by design (see internal/gted/spfi.go).
+	n := cfg.size(120)
+	pairs := []struct {
+		name string
+		f, g *tree.Tree
+	}{
+		{"chain/chain+6", treegen.LeftBranch(n), treegen.LeftBranch(n + 6)},
+		{"binary/binary+8", treegen.FullBinary(n), treegen.FullBinary(n + 8)},
+		{"zigzag/zigzag+6", treegen.ZigZag(n), treegen.ZigZag(n + 6)},
+		{"mixed/mixed+8", treegen.Mixed(n), treegen.Mixed(n + 8)},
+	}
+
+	report := &GtedReport{Bench: "gted", SchemaVersion: GtedSchemaVersion, Scale: cfg.Scale, Seed: cfg.Seed}
+	const reps = 3
+
+	for _, p := range pairs {
+		d := ted.Distance(p.f, p.g, ted.WithAlgorithm(ted.ZhangL))
+		// Tight: just above d, so the run succeeds inside a thin band.
+		// Loose: well above d, where the band widens and compression
+		// fades — included so the table shows the crossover, gated only
+		// for agreement.
+		for i, tau := range []float64{d + 2, d + float64(n)/2} {
+			var st [3]ted.Stats
+			var dist [3]float64
+			var ok [3]bool
+			var bytes [3]uint64
+			var ns [3]float64
+			for m, mode := range sparseModes {
+				opts := []ted.Option{ted.WithAlgorithm(ted.ZhangL), ted.WithStats(&st[m]),
+					ted.WithSparseRows(mode.sparse), ted.WithSharpBands(mode.sharp)}
+				var total uint64
+				start := time.Now()
+				for rep := 0; rep < reps; rep++ {
+					total += allocBytes(func() { dist[m], ok[m] = ted.DistanceBounded(p.f, p.g, tau, opts...) })
+				}
+				ns[m] = float64(time.Since(start).Nanoseconds()) / reps
+				bytes[m] = total / reps
+				verdict := "exceeds"
+				if ok[m] {
+					verdict = "exact"
+				}
+				fmt.Fprintf(cfg.Out, "pairwise\t%s\t%g\t%s\t%d\t%d\t%d\t%d\t%.0f\t%s\n",
+					p.name, tau, mode.name, st[m].Subproblems, st[m].RowCells, st[m].CompressedRows,
+					bytes[m], ns[m], verdict)
+				if i == 0 {
+					report.Scenarios = append(report.Scenarios, GtedScenario{
+						Scenario: p.name, Nodes: n, Tau: tau, Mode: mode.name,
+						Subproblems: st[m].Subproblems, RowCells: st[m].RowCells,
+						CompressedRows: st[m].CompressedRows,
+						NsPerOp:        ns[m], BytesPerOp: float64(bytes[m]),
+					})
+				}
+			}
+			// Bit-identical answers across all three modes, always.
+			for m := 1; m < 3; m++ {
+				if dist[m] != dist[0] || ok[m] != ok[0] {
+					return fmt.Errorf("%s tau=%g: %s answered (%g, %v), dense (%g, %v)",
+						p.name, tau, sparseModes[m].name, dist[m], ok[m], dist[0], ok[0])
+				}
+			}
+			// The compressed layout changes storage, not the computation:
+			// identical subproblem and band accounting to the dense rows.
+			if st[1].Subproblems != st[0].Subproblems || st[1].BandSkippedCells != st[0].BandSkippedCells ||
+				st[1].PrunedKeyroots != st[0].PrunedKeyroots {
+				return fmt.Errorf("%s tau=%g: sparse accounting differs from dense (subs %d vs %d, band %d vs %d, keyroots %d vs %d)",
+					p.name, tau, st[1].Subproblems, st[0].Subproblems, st[1].BandSkippedCells,
+					st[0].BandSkippedCells, st[1].PrunedKeyroots, st[0].PrunedKeyroots)
+			}
+			// Sharp pricing may only shrink the work.
+			if st[2].Subproblems > st[1].Subproblems {
+				return fmt.Errorf("%s tau=%g: sharp evaluated %d subproblems, sparse %d",
+					p.name, tau, st[2].Subproblems, st[1].Subproblems)
+			}
+			if st[0].CompressedRows != 0 {
+				return fmt.Errorf("%s tau=%g: dense mode reports %d compressed rows", p.name, tau, st[0].CompressedRows)
+			}
+			// The acceptance guard: at the tight cutoff the compressed
+			// layout must materialize strictly fewer row cells and allocate
+			// strictly fewer bytes, not merely re-label the dense rows.
+			// Below ~24 nodes the band covers the whole row and there is
+			// nothing to compress, so tiny smoke scales check agreement only.
+			if i == 0 && n >= 24 {
+				if st[1].CompressedRows == 0 || st[1].RowCells >= st[0].RowCells {
+					return fmt.Errorf("%s tau=%g: sparse rows saved nothing (%d vs %d cells, %d compressed rows)",
+						p.name, tau, st[1].RowCells, st[0].RowCells, st[1].CompressedRows)
+				}
+				if bytes[1] >= bytes[0] {
+					return fmt.Errorf("%s tau=%g: sparse allocated %d bytes/pair, dense %d",
+						p.name, tau, bytes[1], bytes[0])
+				}
+			}
+		}
+	}
+
+	// Join section: the sparse+sharp engine (the default) against one with
+	// both toggles off, on a corpus of the near-pair shapes; identical
+	// match sets required at every threshold.
+	var corpus []*tree.Tree
+	for _, p := range pairs {
+		corpus = append(corpus, p.f, p.g)
+	}
+	se := batch.New()
+	de := batch.New(batch.WithSparseRows(false), batch.WithSharpBands(false))
+	sp := se.PrepareAll(corpus)
+	dp := de.PrepareAll(corpus)
+	for _, tau := range []float64{10, float64(n) / 2} {
+		sm, sst := se.Join(sp, tau, true)
+		dm, dst := de.Join(dp, tau, true)
+		fmt.Fprintf(cfg.Out, "join\tcorpus\t%g\tsparse\t%d\t%d\t%d\t-\t-\t%d-matches\n",
+			tau, sst.Subproblems, sst.RowCells, sst.CompressedRows, len(sm))
+		if len(sm) != len(dm) {
+			return fmt.Errorf("join tau=%g: sparse found %d matches, dense %d", tau, len(sm), len(dm))
+		}
+		for k := range dm {
+			if dm[k].I != sm[k].I || dm[k].J != sm[k].J || dm[k].Dist != sm[k].Dist {
+				return fmt.Errorf("join tau=%g: match %d differs: %+v vs %+v", tau, k, sm[k], dm[k])
+			}
+		}
+		if sst.RowCells > dst.RowCells {
+			return fmt.Errorf("join tau=%g: sparse materialized %d row cells, dense %d",
+				tau, sst.RowCells, dst.RowCells)
+		}
+	}
+
+	if cfg.ArtifactPath != "" {
+		if err := report.Validate(); err != nil {
+			return fmt.Errorf("BENCH_gted report: %w", err)
+		}
+		if err := report.WriteJSON(cfg.ArtifactPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "# wrote %s (%d scenarios)\n", cfg.ArtifactPath, len(report.Scenarios))
+	}
+	return nil
+}

@@ -26,6 +26,11 @@ type Arena struct {
 	hF, hG  []int32
 	chainDJ []int32
 	chainN2 []int32
+	// Sparse banded runs: the band-compressed ΔL/ΔR forest-distance slab
+	// (kept apart from fd so dense ΔI rows never force it to row width)
+	// and the depth-spectra scratch of standalone runners.
+	fdB      []float64
+	spF, spG []int32
 }
 
 // NewArena returns an empty arena. The zero value is also ready to use.

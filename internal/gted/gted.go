@@ -46,9 +46,22 @@ type Stats struct {
 	// difference attributes pruning to slack saturation alone.
 	BandSkippedCells int64
 	// PrunedKeyroots counts keyroot subproblem DPs skipped entirely by
-	// the keyroot-level band: subtree pairs whose size or leaf-depth
-	// (height) offset alone prices the pair above its saturation cutoff.
+	// the keyroot-level band: subtree pairs whose size, height or depth-
+	// spectra offset alone prices the pair above its saturation cutoff.
 	PrunedKeyroots int64
+	// CompressedRows counts forest-distance DP rows materialized in
+	// band-compressed form (SetSparseRows): only the ≤ maxD+maxI+1
+	// admissible cells of each row are stored, offset-indexed by the
+	// band diagonal. Zero when sparse rows are off or no band is narrower
+	// than its row.
+	CompressedRows int64
+	// RowCells counts the DP row cells materialized across all
+	// single-path-function row storage: a dense ΔL/ΔR keyroot contributes
+	// rows×(s2k+1), a band-compressed one rows×(maxD+maxI+1), and every
+	// ΔI chain-state row its full decomposition-row length. Multiplied by
+	// 8 it is the bytes of row storage streamed per computation — the
+	// memory-traffic measure the sparse-row ablation tracks.
+	RowCells int64
 	// SPFCalls counts single-path function invocations (one per subtree
 	// pair the strategy decomposes).
 	SPFCalls int64
@@ -101,10 +114,22 @@ type Runner struct {
 	// Off, the PR3 per-cell slack predicate tests every cell one by one;
 	// both modes return bit-identical bounded results (see SetBanding).
 	banded bool
+	// sparse selects band-compressed row storage for banded ΔL/ΔR
+	// keyroots whose band is narrower than the row (on by default; see
+	// SetSparseRows). sharp selects label-aware band pricing and the
+	// depth-spectra keyroot band (on by default; see SetSharpBands).
+	sparse bool
+	sharp  bool
 	// Per-subtree heights (leaf = 0) of the two trees, built lazily for
 	// the keyroot-level band; hReady guards the one-time fill.
 	hF, hG []int32
 	hReady bool
+	// Quantized per-subtree depth spectra (SpectraBuckets suffix counts
+	// per node) of the two trees, consumed by the sharp keyroot band.
+	// Batch preparation injects cached arrays via SetDepthSpectra;
+	// standalone runners build them lazily into arena scratch.
+	spF, spG []int32
+	spReady  bool
 }
 
 // opCosts holds the extrema of the per-node delete/insert costs of one
@@ -179,6 +204,8 @@ func NewInArena(f, g *tree.Tree, cm *cost.Compiled, s strategy.Strategy, ar *Are
 		strat:  s,
 		ar:     ar,
 		banded: true,
+		sparse: true,
+		sharp:  true,
 		d:      growF64(&ar.d, n),
 		seen:   growBool(&ar.seen, n),
 	}
@@ -225,6 +252,33 @@ func (r *Runner) Run() float64 {
 // +Inf, so consumers observe the same matrix the per-cell path writes
 // wherever a value is at most its pair cutoff.
 //
+// Two refinements preserve the invariant verbatim:
+//
+// Virtual band-edge reads (SetSparseRows, on by default). When the band
+// is narrower than the row, ΔL/ΔR rows store only their admissible cells,
+// offset-indexed by the band diagonal; a cell outside the slab has no
+// storage at all. Every read that can cross the band edge carries the
+// same integer in-band predicate as the banded dense path, and an
+// out-of-band read yields a virtual +Inf without touching memory. The
+// soundness argument is the dense band's unchanged — the virtual value
+// stands in for a forest pair whose true value provably exceeds the
+// cutoff — and because the predicate, the evaluation order and the float
+// arithmetic are identical, compressed and dense banded rows compute
+// bit-identical cell values and prune exactly the same cells.
+//
+// Per-region pricing (SetSharpBands, on by default). The band widths are
+// priced not at the global cheapest delete/insert but at the cheapest
+// cost over the label set actually present in the relevant subtree
+// (cost.Compiled.DelSub/InsSub): the deletions that shrink an F-side
+// prefix all remove nodes of the current keyroot's subtree, and the
+// insertions that grow a G-side prefix all add nodes of the G keyroot's
+// subtree, so each is bounded below by its subtree's own price floor. A
+// regional floor is ≥ the global one (a subtree's label set is a subset),
+// so sharp bands are narrower-or-equal and every extra skipped cell still
+// satisfies the invariant: its true value exceeds the cutoff under the
+// region's own prices. Results stay bit-identical; only the set of cells
+// ever touched shrinks.
+//
 // With abortEarly set the run additionally stops as soon as any subtree
 // pair proves the root distance greater than tau (Exceeded reports it);
 // the matrix is then partial and only the exceeded verdict is usable.
@@ -246,6 +300,36 @@ func (r *Runner) SetCutoff(tau float64, abortEarly bool) {
 // return bit-identical results; banding only changes which cells are
 // ever touched. Exact (unbounded) runs ignore the flag.
 func (r *Runner) SetBanding(on bool) { r.banded = on }
+
+// SetSparseRows toggles band-compressed row storage of banded ΔL/ΔR
+// keyroots (on by default): when the admissible band is narrower than the
+// row, only the ≤ maxD+maxI+1 admissible cells per forest-distance row
+// are materialized, offset-indexed by the band diagonal, with guarded
+// virtual +Inf reads at the band edges. Bit-identical to dense banded
+// rows (see SetCutoff); off, banded keyroots fall back to full-width
+// rows — the PR 7 layout the `tedbench -exp sparse` ablation compares
+// against. No effect outside banded bounded runs.
+func (r *Runner) SetSparseRows(on bool) { r.sparse = on }
+
+// SetSharpBands toggles the sharper band bounds of banded bounded runs
+// (on by default): label-aware per-region band pricing (band widths
+// priced at the cheapest operation cost present in the relevant subtree,
+// cost.Compiled.DelSub/InsSub, instead of the global minimum) and the
+// depth-spectra keyroot band (quantized per-subtree depth histograms
+// pruning keyroot DPs the height-only bound admits). Both only shrink
+// the set of cells touched; results are bit-identical either way. Off,
+// bands are priced at the global c_min and keyroots tested on size and
+// height alone — the PR 7 behaviour kept for ablation.
+func (r *Runner) SetSharpBands(on bool) { r.sharp = on }
+
+// SetDepthSpectra supplies precomputed per-subtree depth spectra for the
+// two trees (DepthSpectra output, as cached by batch preparation); either
+// may be nil, in which case the runner computes it on first use by the
+// sharp keyroot band.
+func (r *Runner) SetDepthSpectra(spF, spG []int32) {
+	r.spF, r.spG = spF, spG
+	r.spReady = spF != nil && spG != nil
+}
 
 // RunBounded is Run with cutoff tau: it returns (d, true) iff the exact
 // distance d is at most tau, and (+Inf, false) — typically after
@@ -291,31 +375,112 @@ func (r *Runner) pairCutoff(v, w int) float64 {
 		float64(r.f.Len()-r.f.Size(v))*oc.imax
 }
 
+// regionMins returns the price floors of the keyroot pair (v, w) under
+// the runner's forward orientation: the cheapest delete over F_v and the
+// cheapest insert over G_w when sharp per-region pricing is on (and the
+// cost model carries subtree floors), the global minima otherwise. A
+// regional floor is never below the global one.
+func (r *Runner) regionMins(v, w int) (dmin, imin float64) {
+	oc := r.opCostsFor(r.cm)
+	dmin, imin = oc.dmin, oc.imin
+	if r.sharp {
+		if r.cm.DelSub != nil {
+			if m := r.cm.DelSub[v]; m > dmin {
+				dmin = m
+			}
+		}
+		if r.cm.InsSub != nil {
+			if m := r.cm.InsSub[w]; m > imin {
+				imin = m
+			}
+		}
+	}
+	return dmin, imin
+}
+
 // subtreeLower returns a cheap lower bound on δ(F_v, G_w) from the size
 // and height offsets of the pair: an edit script needs at least |Δsize|
 // deletions (or insertions), and — because a delete or insert changes
 // the height of a tree by at most one while a rename leaves it unchanged
 // — at least |Δheight| of them as well. Each is priced at the cheapest
-// per-node cost of its direction.
+// per-node cost of its direction: the deleted nodes all come from F_v and
+// the inserted ones all land in G_w, so with sharp pricing the floors are
+// the pair's own regional minima.
 func (r *Runner) subtreeLower(v, w int) float64 {
-	oc := r.opCostsFor(r.cm)
+	dmin, imin := r.regionMins(v, w)
 	hf, hg := r.heights()
 	lb := 0.0
 	if ds := r.f.Size(v) - r.g.Size(w); ds > 0 {
-		lb = float64(ds) * oc.dmin
+		lb = float64(ds) * dmin
 	} else if ds < 0 {
-		lb = float64(-ds) * oc.imin
+		lb = float64(-ds) * imin
 	}
 	if dh := int(hf[v]) - int(hg[w]); dh > 0 {
-		if b := float64(dh) * oc.dmin; b > lb {
+		if b := float64(dh) * dmin; b > lb {
 			lb = b
 		}
 	} else if dh < 0 {
-		if b := float64(-dh) * oc.imin; b > lb {
+		if b := float64(-dh) * imin; b > lb {
 			lb = b
 		}
 	}
 	return lb
+}
+
+// spectraHopeless reports whether the quantized depth spectra of the
+// pair (v, w) prove δ(F_v, G_w) > tcut, given the band half-widths of the
+// pair's regional prices: maxD deletions and maxI insertions are the most
+// the cutoff can pay for. In any mapping, a mapped node at depth ≥ t
+// below v keeps at least t−d of its t ancestors, whose images are
+// distinct ancestors of its own image — so it maps at depth ≥ t−d below
+// w, where d is the mapping's deletion count. With n_F(t) nodes at depth
+// ≥ t below v and only n_G(t−d) slots at depth ≥ t−d below w, at least
+// n_F(t)−n_G(t−d) of them are deleted; if that already exceeds maxD at
+// d = maxD (n_G's argument is monotone, so maxD is the most forgiving
+// feasible d), every mapping needs more than maxD deletions and its cost
+// exceeds the cutoff. The symmetric test bounds insertions. Spectra
+// entries are exact suffix counts for every depth below SpectraBuckets
+// (see DepthSpectra), so each tested level is sound; deeper levels are
+// simply not tested.
+func (r *Runner) spectraHopeless(v, w, maxD, maxI int) bool {
+	const B = SpectraBuckets
+	sf, sg := r.spectra()
+	fr := sf[v*B : v*B+B]
+	gr := sg[w*B : w*B+B]
+	for t := 1; t < B; t++ {
+		tg := t - maxD
+		if tg < 0 {
+			tg = 0
+		}
+		if int(fr[t])-int(gr[tg]) > maxD {
+			return true
+		}
+		tf := t - maxI
+		if tf < 0 {
+			tf = 0
+		}
+		if int(gr[t])-int(fr[tf]) > maxI {
+			return true
+		}
+	}
+	return false
+}
+
+// spectra lazily builds (into arena scratch) any per-subtree depth
+// spectrum SetDepthSpectra did not inject.
+func (r *Runner) spectra() ([]int32, []int32) {
+	if !r.spReady {
+		if r.spF == nil {
+			r.spF = growI32(&r.ar.spF, r.f.Len()*SpectraBuckets)
+			depthSpectraInto(r.f, r.spF)
+		}
+		if r.spG == nil {
+			r.spG = growI32(&r.ar.spG, r.g.Len()*SpectraBuckets)
+			depthSpectraInto(r.g, r.spG)
+		}
+		r.spReady = true
+	}
+	return r.spF, r.spG
 }
 
 // heights lazily builds (into arena scratch) the per-subtree height
@@ -424,11 +589,22 @@ func (r *Runner) gted(v, w int) {
 		// the recursion feeding it) instead of computing cells that would
 		// all saturate. Only valid with abortEarly: without it the caller
 		// is owed the other pairs' matrix entries.
-		if r.banded && r.abortEarly && r.subtreeLower(v, w) > tcut+r.cutPad(tcut) {
-			r.exceeded = true
-			r.stats.PrunedKeyroots++
-			r.stats.PrunedSubproblems += int64(r.f.Size(v)) * int64(r.g.Size(w))
-			return
+		if r.banded && r.abortEarly {
+			tp := tcut + r.cutPad(tcut)
+			hopeless := r.subtreeLower(v, w) > tp
+			if !hopeless && r.sharp {
+				dmin, imin := r.regionMins(v, w)
+				maxD, maxI := bandWidth(tp, dmin), bandWidth(tp, imin)
+				if maxD < math.MaxInt32 || maxI < math.MaxInt32 {
+					hopeless = r.spectraHopeless(v, w, maxD, maxI)
+				}
+			}
+			if hopeless {
+				r.exceeded = true
+				r.stats.PrunedKeyroots++
+				r.stats.PrunedSubproblems += int64(r.f.Size(v)) * int64(r.g.Size(w))
+				return
+			}
 		}
 	}
 	if !ch.InG() {

@@ -1,0 +1,164 @@
+package gted
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/strategy"
+	"repro/internal/treegen"
+)
+
+// TestSparseRowsBitIdentical checks the row-compression contract on
+// random trees under every strategy and both cost models: the sparse
+// layout changes where band cells live, not what they compute, so dense
+// and sparse banded runs must return bit-identical results with equal
+// subproblem and band accounting; sharp pricing (per-region floors +
+// depth spectra) may only prune more, never change an answer.
+func TestSparseRowsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	models := []cost.Model{
+		cost.Unit{},
+		cost.Weighted{DeleteW: 1.3, InsertW: 0.7, RenameW: 2.1},
+	}
+	for iter := 0; iter < 40; iter++ {
+		f := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(30), MaxDepth: 8, MaxFanout: 4, Labels: 3})
+		g := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(30), MaxDepth: 8, MaxFanout: 4, Labels: 3})
+		for _, m := range models {
+			for _, s := range strategiesFor(f, g) {
+				exact := New(f, g, m, s)
+				d := exact.Run()
+				for _, tau := range []float64{0, d / 2, d, d + 0.5, 2*d + 1, math.Inf(1)} {
+					run := func(sparse, sharp bool) (float64, bool, Stats) {
+						r := New(f, g, m, s)
+						r.SetSparseRows(sparse)
+						r.SetSharpBands(sharp)
+						bd, ok := r.RunBounded(tau)
+						return bd, ok, r.Stats()
+					}
+					dd, okD, sd := run(false, false)
+					ds, okS, ss := run(true, false)
+					dh, okH, sh := run(true, true)
+					if ds != dd || okS != okD {
+						t.Fatalf("iter %d %s tau=%v: sparse (%v, %v) != dense (%v, %v)\nF=%s\nG=%s",
+							iter, s.Name(), tau, ds, okS, dd, okD, f, g)
+					}
+					if dh != dd || okH != okD {
+						t.Fatalf("iter %d %s tau=%v: sharp (%v, %v) != dense (%v, %v)\nF=%s\nG=%s",
+							iter, s.Name(), tau, dh, okH, dd, okD, f, g)
+					}
+					if ss.Subproblems != sd.Subproblems || ss.PrunedSubproblems != sd.PrunedSubproblems ||
+						ss.BandSkippedCells != sd.BandSkippedCells || ss.PrunedKeyroots != sd.PrunedKeyroots {
+						t.Fatalf("iter %d %s tau=%v: sparse accounting %+v differs from dense %+v",
+							iter, s.Name(), tau, ss, sd)
+					}
+					if sd.CompressedRows != 0 {
+						t.Fatalf("iter %d %s tau=%v: dense run reports %d compressed rows", iter, s.Name(), tau, sd.CompressedRows)
+					}
+					if sh.Subproblems > ss.Subproblems {
+						t.Fatalf("iter %d %s tau=%v: sharp evaluated %d subproblems, sparse %d",
+							iter, s.Name(), tau, sh.Subproblems, ss.Subproblems)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSparseRowsCompress pins the point of the compressed layout: on a
+// near pair at a narrow cutoff, the sparse run must store rows
+// band-compressed and materialize strictly fewer row cells than the
+// dense banded run, for the same answer.
+func TestSparseRowsCompress(t *testing.T) {
+	f := treegen.Mixed(120)
+	g := treegen.Mixed(128)
+	s := strategy.ZhangL()
+	exact := New(f, g, cost.Unit{}, s)
+	d := exact.Run()
+
+	run := func(sparse bool) (float64, bool, Stats) {
+		r := New(f, g, cost.Unit{}, s)
+		r.SetSparseRows(sparse)
+		r.SetSharpBands(false)
+		bd, ok := r.RunBounded(d + 2)
+		return bd, ok, r.Stats()
+	}
+	dd, okD, sd := run(false)
+	ds, okS, ss := run(true)
+	if !okD || !okS || dd != d || ds != d {
+		t.Fatalf("near pair at tau=d+2 did not resolve exactly: dense (%v, %v), sparse (%v, %v), d=%v", dd, okD, ds, okS, d)
+	}
+	if ss.CompressedRows == 0 {
+		t.Fatal("narrow-band run materialized no compressed rows")
+	}
+	if ss.RowCells >= sd.RowCells {
+		t.Fatalf("sparse rows saved nothing: %d cells vs dense %d", ss.RowCells, sd.RowCells)
+	}
+}
+
+// TestSparseRowsFreshArenaBytes is the allocation half of the compress
+// test: a cold (fresh-arena) bounded run at a narrow cutoff must
+// allocate strictly fewer bytes under the sparse layout, because the
+// row slab it grows is band-sized instead of row-width-sized.
+// TotalAlloc is cumulative, so GC cannot skew the deltas.
+func TestSparseRowsFreshArenaBytes(t *testing.T) {
+	f := treegen.Mixed(120)
+	g := treegen.Mixed(128)
+	s := strategy.ZhangL()
+	d := New(f, g, cost.Unit{}, s).Run()
+
+	bytesOf := func(sparse bool) uint64 {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		r := New(f, g, cost.Unit{}, s)
+		r.SetSparseRows(sparse)
+		r.SetSharpBands(false)
+		r.RunBounded(d + 2)
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	dense := bytesOf(false)
+	sparse := bytesOf(true)
+	if sparse >= dense {
+		t.Fatalf("cold sparse run allocated %d bytes, dense %d — compression saved nothing", sparse, dense)
+	}
+}
+
+// TestDepthSpectraExact cross-checks the shift-accumulate spectra
+// builder against a brute-force depth census on random trees.
+func TestDepthSpectraExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const B = SpectraBuckets
+	for iter := 0; iter < 25; iter++ {
+		tr := treegen.Random(rng, treegen.RandomSpec{Size: 1 + rng.Intn(60), MaxDepth: 12, MaxFanout: 4, Labels: 2})
+		spec := DepthSpectra(tr)
+
+		// Brute force: for each root v, walk its subtree counting nodes
+		// per relative depth, then fold into suffix counts.
+		var walk func(v, depth int, counts []int32)
+		walk = func(v, depth int, counts []int32) {
+			d := depth
+			if d > B-1 {
+				d = B - 1
+			}
+			for t := 0; t <= d; t++ {
+				counts[t]++
+			}
+			for _, c := range tr.Children(v) {
+				walk(c, depth+1, counts)
+			}
+		}
+		for v := 0; v < tr.Len(); v++ {
+			want := make([]int32, B)
+			walk(v, 0, want)
+			for tt := 0; tt < B; tt++ {
+				if spec[v*B+tt] != want[tt] {
+					t.Fatalf("iter %d node %d bucket %d: spectra %d, brute force %d\nT=%s",
+						iter, v, tt, spec[v*B+tt], want[tt], tr)
+				}
+			}
+		}
+	}
+}

@@ -32,6 +32,14 @@ import (
 //
 // Rows (one per chain state, |A(G)| cells each) are produced bottom-up
 // and released by reference counting once no later state reads them.
+//
+// ΔI rows stay dense even under SetSparseRows: a row is indexed by the
+// (a, b) decomposition cells, whose admissible band is a different
+// contiguous span per la-run, so compressing it would need a per-(row,
+// la) offset table of the same order as the savings. Band-compressed
+// storage therefore applies to the rectangular ΔL/ΔR rows only; ΔI
+// contributes its dense rows to Stats.RowCells and benefits from the
+// sharp per-region band pricing below.
 
 // chain is the Definition 3 removal sequence for one subtree and path.
 type chain struct {
@@ -275,7 +283,20 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 	banded := bounded && r.banded
 	var maxD, maxI int
 	if banded {
-		maxD, maxI = bandWidth(tcut, dmin), bandWidth(tcut, imin)
+		// Sharp per-region pricing (SetSharpBands): every deleted node
+		// lies in T1's subtree at v1 and every inserted one in T2's
+		// subtree at v2, so the band widths may be priced at those
+		// regions' own floors instead of the global minima.
+		dminR, iminR := dmin, imin
+		if r.sharp {
+			if cm.DelSub != nil && cm.DelSub[v1] > dminR {
+				dminR = cm.DelSub[v1]
+			}
+			if cm.InsSub != nil && cm.InsSub[v2] > iminR {
+				iminR = cm.InsSub[v2]
+			}
+		}
+		maxD, maxI = bandWidth(tcut, dminR), bandWidth(tcut, iminR)
 		// Widths beyond any possible size difference act identically;
 		// capping keeps the index arithmetic comfortably in range.
 		if n := t1.Len() + t2.Len(); maxD > n {
@@ -299,6 +320,7 @@ func (r *Runner) spfI(t1 *tree.Tree, v1 int, t2 *tree.Tree, v2 int, pt strategy.
 	for t := s1 - 1; t >= 0; t-- {
 		row := alloc()
 		rows[t] = row
+		r.stats.RowCells += int64(rowLen)
 		r.liveRows++
 		if r.liveRows > r.stats.MaxLiveRows {
 			r.stats.MaxLiveRows = r.liveRows

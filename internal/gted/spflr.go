@@ -85,8 +85,6 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 	}
 	defer func() { r.ar.keyroots = ks[:0] }() // retain capacity for the next call
 
-	fd := growF64(&r.ar.fd, (r.f.Len()+1)*(r.g.Len()+1))
-
 	// Band pruning: with both operation minima zero no size argument can
 	// prove a cell above the cutoff, so the exact path runs unchanged.
 	bounded := r.bounded && !math.IsInf(tcut, 1)
@@ -100,18 +98,28 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 	// Structural band (default): for prefix pair (di, dj) the per-cell
 	// predicate depends only on di−dj, so per row the admissible dj form
 	// the contiguous range [di−maxD, di+maxI] — iterate just that range
-	// and account the rest as whole skipped spans.
+	// and account the rest as whole skipped spans. Widths are priced, when
+	// sharp per-region pricing is on, at the floors of the regions the
+	// operations draw from: every deleted prefix node lies in T1's subtree
+	// at v1 (fixed per call), every inserted one in the current keyroot's
+	// T2 subtree (per keyroot, below).
 	banded := bounded && r.banded
+	sharp := banded && r.sharp
+	nCap := t1.Len() + t2.Len()
 	var maxD, maxI int
 	if banded {
-		maxD, maxI = bandWidth(tcut, dmin), bandWidth(tcut, imin)
+		dminR := dmin
+		if sharp && cm.DelSub != nil && cm.DelSub[v1] > dminR {
+			dminR = cm.DelSub[v1]
+		}
+		maxD, maxI = bandWidth(tcut, dminR), bandWidth(tcut, imin)
 		// Widths beyond any possible size difference act identically;
 		// capping keeps the index arithmetic comfortably in range.
-		if n := t1.Len() + t2.Len(); maxD > n {
-			maxD = n
+		if maxD > nCap {
+			maxD = nCap
 		}
-		if n := t1.Len() + t2.Len(); maxI > n {
-			maxI = n
+		if maxI > nCap {
+			maxI = nCap
 		}
 	}
 	inf := math.Inf(1)
@@ -124,13 +132,37 @@ func (r *Runner) spfLR(view1 zsview, v1 int, view2 zsview, v2 int, cm *cost.Comp
 		}
 		w := s2k + 1 // scratch row width
 
+		if banded {
+			maxIK := maxI
+			if sharp && cm.InsSub != nil {
+				if iminR := cm.InsSub[view2.nodeOf(kc)]; iminR > imin {
+					maxIK = bandWidth(tcut, iminR)
+					if maxIK > nCap {
+						maxIK = nCap
+					}
+				}
+			}
+			if bw := maxD + maxIK + 1; r.sparse && bw < w {
+				fdB := growF64(&r.ar.fdB, (s1+1)*bw)
+				r.stats.CompressedRows += int64(s1) + 1
+				r.stats.RowCells += int64(s1+1) * int64(bw)
+				r.spfLRSparseKeyroot(view1, lo1, s1, view2, jlo, kc, cm, dv, fdB, maxD, maxIK)
+				continue
+			}
+			fd := growF64(&r.ar.fd, (s1+1)*w)
+			r.stats.RowCells += int64(s1+1) * int64(w)
+			fd[0] = 0
+			for dj := 1; dj <= s2k; dj++ {
+				fd[dj] = fd[dj-1] + cm.Ins[view2.nodeOf(jlo+dj-1)]
+			}
+			r.spfLRBandedKeyroot(view1, lo1, s1, view2, jlo, kc, cm, dv, fd, maxD, maxIK)
+			continue
+		}
+		fd := growF64(&r.ar.fd, (s1+1)*w)
+		r.stats.RowCells += int64(s1+1) * int64(w)
 		fd[0] = 0
 		for dj := 1; dj <= s2k; dj++ {
 			fd[dj] = fd[dj-1] + cm.Ins[view2.nodeOf(jlo+dj-1)]
-		}
-		if banded {
-			r.spfLRBandedKeyroot(view1, lo1, s1, view2, jlo, kc, cm, dv, fd, maxD, maxI)
-			continue
 		}
 		for di := 1; di <= s1; di++ {
 			i := lo1 + di - 1
@@ -272,6 +304,123 @@ func (r *Runner) spfLRBandedKeyroot(view1 zsview, lo1, s1 int, view2 zsview, jlo
 				m = match
 			}
 			fd[di*w+dj] = m
+			if tt {
+				dv.set(n1, n2, m)
+			}
+		}
+	}
+}
+
+// spfLRSparseKeyroot is spfLRBandedKeyroot on band-compressed row storage:
+// the scratch slab fd holds only the bw = maxD+maxI+1 admissible cells of
+// each of the s1+1 rows, with cell (di, dj) at fd[di*bw + (dj−di+maxD)] —
+// offset-indexed by the band diagonal, so walking a row walks contiguous
+// memory exactly as in the dense layout. A cell outside the band has no
+// storage at all; every read that could cross the band edge carries the
+// same integer predicate as the dense banded path and yields a virtual
+// +Inf instead of touching memory (row 0 is materialized only up to
+// offset maxI, column 0 only down to row maxD, matching the dense path's
+// guards). Because the predicates, the evaluation order and the float
+// arithmetic are all identical, the computed cells, the published matrix
+// entries and every stats counter except CompressedRows/RowCells are
+// bit-identical to the dense banded keyroot — only the memory streamed
+// per row shrinks from w to bw.
+func (r *Runner) spfLRSparseKeyroot(view1 zsview, lo1, s1 int, view2 zsview, jlo, kc int, cm *cost.Compiled, dv dview, fd []float64, maxD, maxI int) {
+	inf := math.Inf(1)
+	s2k := kc - jlo + 1
+	bw := maxD + maxI + 1
+	// The T2 path chain of this keyroot (see spfLRBandedKeyroot).
+	chD := r.ar.chainDJ[:0]
+	chN := r.ar.chainN2[:0]
+	for n := view2.nodeOf(jlo); ; n = view2.t.Parent(n) {
+		cc := view2.coordOf(n)
+		chD = append(chD, int32(cc-jlo+1))
+		chN = append(chN, int32(n))
+		if cc == kc {
+			break
+		}
+	}
+	r.ar.chainDJ, r.ar.chainN2 = chD, chN
+
+	// Row 0 (pure-insertion prefixes) exists only for dj ≤ maxI; the same
+	// prefix-sum accumulation as the dense init keeps the floats identical.
+	fd[maxD] = 0
+	hi0 := maxI
+	if hi0 > s2k {
+		hi0 = s2k
+	}
+	for dj := 1; dj <= hi0; dj++ {
+		fd[maxD+dj] = fd[maxD+dj-1] + cm.Ins[view2.nodeOf(jlo+dj-1)]
+	}
+
+	for di := 1; di <= s1; di++ {
+		i := lo1 + di - 1
+		n1 := view1.nodeOf(i)
+		del1 := cm.Del[n1]
+		row := di * bw
+		prow := row - bw
+		// Column 0 (pure-deletion prefixes) exists only for di ≤ maxD.
+		if di <= maxD {
+			fd[row+maxD-di] = fd[prow+maxD-di+1] + del1
+		}
+		fl1 := view1.leafmost(i)
+		onPath1 := fl1 == lo1
+		lo := di - maxD
+		if lo < 1 {
+			lo = 1
+		}
+		hi := di + maxI
+		if hi > s2k {
+			hi = s2k
+		}
+		var skipped int64
+		if lo > hi { // whole row out of band
+			skipped = int64(s2k)
+		} else {
+			skipped = int64(lo-1) + int64(s2k-hi)
+			r.stats.Subproblems += int64(hi - lo + 1)
+		}
+		r.stats.PrunedSubproblems += skipped
+		r.stats.BandSkippedCells += skipped
+		if onPath1 && skipped > 0 {
+			// Saturate the matrix entries of band-skipped chain cells.
+			for ci := 0; ci < len(chD) && int(chD[ci]) < lo; ci++ {
+				dv.set(n1, int(chN[ci]), inf)
+			}
+			for ci := len(chD) - 1; ci >= 0 && int(chD[ci]) > hi; ci-- {
+				dv.set(n1, int(chN[ci]), inf)
+			}
+		}
+		for dj := lo; dj <= hi; dj++ {
+			j := jlo + dj - 1
+			n2 := view2.nodeOf(j)
+			fl2 := view2.leafmost(j)
+			tt := onPath1 && fl2 == jlo
+			off := dj - di + maxD // band offset of (di, dj)
+			// Neighbour cells sit at off±1 in the adjacent rows; the
+			// diagonal (di−1, dj−1) shares this cell's offset.
+			del := inf
+			if dj-(di-1) <= maxI {
+				del = fd[prow+off+1] + del1
+			}
+			ins := inf
+			if di-(dj-1) <= maxD {
+				ins = fd[row+off-1] + cm.Ins[n2]
+			}
+			match := inf
+			if tt {
+				match = fd[prow+off] + cm.Ren(n1, n2)
+			} else if a, b := fl1-lo1, fl2-jlo; a-b <= maxD && b-a <= maxI {
+				match = fd[a*bw+b-a+maxD] + dv.get(n1, n2)
+			}
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if match < m {
+				m = match
+			}
+			fd[row+off] = m
 			if tt {
 				dv.set(n1, n2, m)
 			}

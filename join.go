@@ -91,7 +91,9 @@ func WithIndex(m IndexMode) Option {
 // algorithms — the per-pair strategy override (RTED is the engine
 // default).
 func (c config) batchOpts(workers int) []batch.Option {
-	opts := []batch.Option{batch.WithWorkers(workers), batch.WithCost(c.model)}
+	opts := []batch.Option{batch.WithWorkers(workers), batch.WithCost(c.model),
+		batch.WithBanding(!c.unbanded), batch.WithSparseRows(!c.noSparse),
+		batch.WithSharpBands(!c.noSharp)}
 	if c.alg != RTED {
 		a := c.alg
 		opts = append(opts, batch.WithStrategy(func(f, g *tree.Tree) strategy.Strategy {

@@ -49,6 +49,8 @@ type Server struct {
 	prunedSubs  atomic.Int64
 	bandCells   atomic.Int64
 	prunedKroot atomic.Int64
+	compRows    atomic.Int64
+	rowCells    atomic.Int64
 
 	maxBody    int64
 	maxNodes   int
@@ -348,6 +350,8 @@ func (s *Server) Stats() StatsResponse {
 		PrunedSubproblems: s.prunedSubs.Load(),
 		BandSkippedCells:  s.bandCells.Load(),
 		PrunedKeyroots:    s.prunedKroot.Load(),
+		CompressedRows:    s.compRows.Load(),
+		RowCells:          s.rowCells.Load(),
 	}
 }
 
@@ -414,6 +418,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	s.prunedSubs.Add(st.PrunedSubproblems)
 	s.bandCells.Add(st.BandSkippedCells)
 	s.prunedKroot.Add(st.PrunedKeyroots)
+	s.compRows.Add(st.CompressedRows)
+	s.rowCells.Add(st.RowCells)
 	resp := JoinResponse{Count: len(ms), Stats: joinStats(st)}
 	if len(ms) > limit {
 		ms = ms[:limit]
@@ -446,6 +452,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.prunedSubs.Add(st.PrunedSubproblems)
 	s.bandCells.Add(st.BandSkippedCells)
 	s.prunedKroot.Add(st.PrunedKeyroots)
+	s.compRows.Add(st.CompressedRows)
+	s.rowCells.Add(st.RowCells)
 	resp := TopKResponse{Matches: make([]TopKMatch, len(ms)), Stats: topKStats(st, time.Since(start))}
 	for i, m := range ms {
 		resp.Matches[i] = TopKMatch{Tree: int64(m.Tree), Root: m.Root, Dist: m.Dist}
@@ -633,6 +641,8 @@ func joinStats(st batch.JoinStats) JoinStats {
 		PrunedSubproblems: st.PrunedSubproblems,
 		BandSkippedCells:  st.BandSkippedCells,
 		PrunedKeyroots:    st.PrunedKeyroots,
+		CompressedRows:    st.CompressedRows,
+		RowCells:          st.RowCells,
 		Mode:              st.Mode.String(),
 		ElapsedMS:         st.Elapsed.Milliseconds(),
 	}

@@ -94,6 +94,8 @@ func (s *Server) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 	s.prunedSubs.Add(st.PrunedSubproblems)
 	s.bandCells.Add(st.BandSkippedCells)
 	s.prunedKroot.Add(st.PrunedKeyroots)
+	s.compRows.Add(st.CompressedRows)
+	s.rowCells.Add(st.RowCells)
 	done := JoinStreamRecord{Done: &JoinStreamDone{Count: count, Truncated: count > limit, Stats: joinStats(st)}}
 	if enc.Encode(done) == nil {
 		rc.Flush()
@@ -142,6 +144,8 @@ func (s *Server) handleTopKStream(w http.ResponseWriter, r *http.Request) {
 	s.prunedSubs.Add(st.PrunedSubproblems)
 	s.bandCells.Add(st.BandSkippedCells)
 	s.prunedKroot.Add(st.PrunedKeyroots)
+	s.compRows.Add(st.CompressedRows)
+	s.rowCells.Add(st.RowCells)
 	if enc.Encode(TopKStreamRecord{Done: &TopKStreamDone{Stats: topKStats(st, time.Since(start))}}) == nil {
 		rc.Flush()
 	}
@@ -153,6 +157,8 @@ func topKStats(st batch.Stats, elapsed time.Duration) TopKStats {
 		PrunedSubproblems: st.PrunedSubproblems,
 		BandSkippedCells:  st.BandSkippedCells,
 		PrunedKeyroots:    st.PrunedKeyroots,
+		CompressedRows:    st.CompressedRows,
+		RowCells:          st.RowCells,
 		ElapsedMS:         elapsed.Milliseconds(),
 	}
 }

@@ -69,11 +69,16 @@ type JoinStats struct {
 	// DP cells the exact stage skipped under the threshold cutoff, the
 	// subset of those skipped as whole ranges by the structural band,
 	// and keyroot subproblem DPs the band refused outright.
-	PrunedSubproblems int64  `json:"pruned_subproblems"`
-	BandSkippedCells  int64  `json:"band_skipped_cells"`
-	PrunedKeyroots    int64  `json:"pruned_keyroots"`
-	Mode              string `json:"mode"`
-	ElapsedMS         int64  `json:"elapsed_ms"`
+	PrunedSubproblems int64 `json:"pruned_subproblems"`
+	BandSkippedCells  int64 `json:"band_skipped_cells"`
+	PrunedKeyroots    int64 `json:"pruned_keyroots"`
+	// DP rows materialized band-compressed and total row cells
+	// materialized (×8 = bytes of row storage streamed) by the exact
+	// stage — the sparse-row ablation's serving-side counters.
+	CompressedRows int64  `json:"compressed_rows"`
+	RowCells       int64  `json:"row_cells"`
+	Mode           string `json:"mode"`
+	ElapsedMS      int64  `json:"elapsed_ms"`
 }
 
 // JoinResponse: Count is the full match count; Matches holds at most
@@ -108,6 +113,8 @@ type TopKStats struct {
 	PrunedSubproblems int64 `json:"pruned_subproblems"`
 	BandSkippedCells  int64 `json:"band_skipped_cells"`
 	PrunedKeyroots    int64 `json:"pruned_keyroots"`
+	CompressedRows    int64 `json:"compressed_rows"`
+	RowCells          int64 `json:"row_cells"`
 	ElapsedMS         int64 `json:"elapsed_ms"`
 }
 
@@ -205,6 +212,11 @@ type StatsResponse struct {
 	PrunedSubproblems int64 `json:"pruned_subproblems"`
 	BandSkippedCells  int64 `json:"band_skipped_cells"`
 	PrunedKeyroots    int64 `json:"pruned_keyroots"`
+	// Cumulative band-compressed rows and total row cells materialized
+	// (×8 = bytes of row storage streamed) — the serving-side view of
+	// the `tedbench -exp sparse` ablation.
+	CompressedRows int64 `json:"compressed_rows"`
+	RowCells       int64 `json:"row_cells"`
 }
 
 // TenantStats is one tenant's admission outcomes in /v1/stats.

@@ -120,9 +120,18 @@ type Stats struct {
 	// pruning to the band versus the per-cell predicate.
 	BandSkippedCells int64
 	// PrunedKeyroots counts keyroot subproblem DPs a bounded call
-	// skipped entirely because the size or height offset of the subtree
-	// pair already exceeded its cutoff.
+	// skipped entirely because the size, height or depth-spectra offset
+	// of the subtree pair already exceeded its cutoff.
 	PrunedKeyroots int64
+	// CompressedRows counts forest-distance DP rows a bounded call
+	// materialized in band-compressed form (WithSparseRows): only the
+	// admissible band cells of the row were stored. Zero for exact calls
+	// and with WithSparseRows(false).
+	CompressedRows int64
+	// RowCells counts the DP row cells materialized across the call's row
+	// storage; ×8 it is the bytes of row scratch streamed, the
+	// memory-traffic measure band compression shrinks.
+	RowCells int64
 	// SPFCalls counts single-path function invocations.
 	SPFCalls int64
 	// StrategyTime is the time spent computing the optimal strategy
@@ -142,6 +151,8 @@ type config struct {
 	indexed  bool
 	imode    IndexMode
 	unbanded bool
+	noSparse bool
+	noSharp  bool
 }
 
 // Option configures Distance, Mapping and Join.
@@ -161,6 +172,18 @@ func WithStats(s *Stats) Option { return func(c *config) { c.stats = s } }
 // the cutoff one at a time — same answers bit for bit, more cells
 // touched. Exists for ablation and differential testing; leave it on.
 func WithBanding(on bool) Option { return func(c *config) { c.unbanded = !on } }
+
+// WithSparseRows toggles band-compressed DP row storage of bounded calls
+// (default on): when a keyroot's admissible band is narrower than its
+// row, only the band cells are materialized. Same answers bit for bit;
+// off restores full-width rows for ablation and differential testing.
+func WithSparseRows(on bool) Option { return func(c *config) { c.noSparse = !on } }
+
+// WithSharpBands toggles the sharper band bounds of bounded calls
+// (default on): label-aware per-region band pricing and the depth-spectra
+// keyroot band. Same answers bit for bit; off restores the globally
+// priced band for ablation.
+func WithSharpBands(on bool) Option { return func(c *config) { c.noSharp = !on } }
 
 func buildConfig(opts []Option) config {
 	c := config{alg: RTED, model: UnitCost}
@@ -276,6 +299,8 @@ func DistanceBounded(f, g *Tree, tau float64, opts ...Option) (float64, bool) {
 	}
 	run := gted.New(f, g, c.model, StrategyFor(alg, f, g))
 	run.SetBanding(!c.unbanded)
+	run.SetSparseRows(!c.noSparse)
+	run.SetSharpBands(!c.noSharp)
 	d, ok := run.RunBounded(tau)
 	if c.stats != nil {
 		st := run.Stats()
@@ -284,6 +309,8 @@ func DistanceBounded(f, g *Tree, tau float64, opts ...Option) (float64, bool) {
 			PrunedSubproblems: st.PrunedSubproblems,
 			BandSkippedCells:  st.BandSkippedCells,
 			PrunedKeyroots:    st.PrunedKeyroots,
+			CompressedRows:    st.CompressedRows,
+			RowCells:          st.RowCells,
 			SPFCalls:          st.SPFCalls,
 			TotalTime:         time.Since(start),
 			MaxLiveRows:       st.MaxLiveRows,

@@ -94,6 +94,8 @@ func TopKSubtreesAcross(query *Tree, data []*Tree, k int, opts ...Option) []Cros
 		c.stats.PrunedSubproblems = st.PrunedSubproblems
 		c.stats.BandSkippedCells = st.BandSkippedCells
 		c.stats.PrunedKeyroots = st.PrunedKeyroots
+		c.stats.CompressedRows = st.CompressedRows
+		c.stats.RowCells = st.RowCells
 		c.stats.SPFCalls = st.SPFCalls
 		c.stats.MaxLiveRows = st.MaxLiveRows
 	}
