@@ -231,6 +231,23 @@ type Stats struct {
 	MaxLiveRows int
 }
 
+// Merge folds another call's instrumentation into s — the coordinator
+// path of a distributed top-k, where each worker scans a disjoint slice
+// of the corpus and the summed counters must equal a single-node scan's.
+// Additive counters sum; MaxLiveRows takes the maximum.
+func (s *Stats) Merge(o Stats) {
+	s.Subproblems += o.Subproblems
+	s.PrunedSubproblems += o.PrunedSubproblems
+	s.BandSkippedCells += o.BandSkippedCells
+	s.PrunedKeyroots += o.PrunedKeyroots
+	s.CompressedRows += o.CompressedRows
+	s.RowCells += o.RowCells
+	s.SPFCalls += o.SPFCalls
+	if o.MaxLiveRows > s.MaxLiveRows {
+		s.MaxLiveRows = o.MaxLiveRows
+	}
+}
+
 func (s *Stats) add(g gted.Stats) {
 	s.Subproblems += g.Subproblems
 	s.PrunedSubproblems += g.PrunedSubproblems

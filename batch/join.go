@@ -113,6 +113,36 @@ type JoinStats struct {
 	IndexTime time.Duration
 }
 
+// Merge folds another call's accounting into s — the coordinator path
+// of a distributed join, where each worker evaluates a disjoint range
+// of the pair space and the summed counters must equal a single-node
+// run's (so /v1/stats stays truthful about work actually done). Every
+// additive counter sums; Elapsed and IndexTime take the maximum (the
+// ranges run concurrently, so wall-clock is the slowest worker, and the
+// caller typically overwrites Elapsed with its own measured wall time);
+// Mode keeps s's value unless unset.
+func (s *JoinStats) Merge(o JoinStats) {
+	s.Comparisons += o.Comparisons
+	s.Subproblems += o.Subproblems
+	s.LowerPruned += o.LowerPruned
+	s.UpperAccepted += o.UpperAccepted
+	s.ExactComputed += o.ExactComputed
+	s.PrunedSubproblems += o.PrunedSubproblems
+	s.BandSkippedCells += o.BandSkippedCells
+	s.PrunedKeyroots += o.PrunedKeyroots
+	s.CompressedRows += o.CompressedRows
+	s.RowCells += o.RowCells
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+	if o.IndexTime > s.IndexTime {
+		s.IndexTime = o.IndexTime
+	}
+	if s.Mode == IndexAuto && o.Mode != IndexAuto {
+		s.Mode = o.Mode
+	}
+}
+
 // joinOutcome is the per-pair record a worker writes; aggregation
 // happens sequentially afterwards so the output is deterministic.
 type joinOutcome struct {

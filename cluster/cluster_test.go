@@ -1,0 +1,190 @@
+package cluster_test
+
+import (
+	"math"
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/batch"
+	"repro/cluster"
+	"repro/corpus"
+	"repro/gen"
+)
+
+// buildSnapshot writes a snapshot with near-duplicate clusters (and a
+// few exact duplicates) spread over the whole ID range, so joins at
+// every tau — zero included — have matches in every partition.
+func buildSnapshot(t *testing.T, seed int64) string {
+	t.Helper()
+	c := corpus.New(corpus.WithHistogramIndex())
+	for i := 0; i < 12; i++ {
+		base := gen.Random(seed+int64(i), gen.RandomSpec{Size: 14 + i%5, MaxDepth: 6, MaxFanout: 4, Labels: 8})
+		c.Add(base)
+		c.Add(gen.RenameSome(base, 1+i%2, int64(i)))
+		if i%3 == 0 {
+			c.Add(base) // exact duplicate: a distance-0 pair
+		}
+	}
+	path := filepath.Join(t.TempDir(), "snap.tedc")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startWorker loads the snapshot into a fresh worker process stand-in
+// (own corpus, own engine, own listener) and serves it.
+func startWorker(t *testing.T, path string) (string, *cluster.Worker) {
+	t.Helper()
+	c, err := corpus.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cluster.NewWorker(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(ln)
+	t.Cleanup(func() { w.Close() })
+	return ln.Addr().String(), w
+}
+
+// TestClusterJoinIdentity pins the acceptance bar: the clustered join's
+// match set — pair for pair, distance for distance — equals single-node
+// corpus.Join over the same snapshot, at tau zero, finite, and +Inf,
+// under both the auto and the forced-enumerate candidate generators.
+func TestClusterJoinIdentity(t *testing.T) {
+	path := buildSnapshot(t, 300)
+	a1, _ := startWorker(t, path)
+	a2, _ := startWorker(t, path)
+	co := cluster.NewCoordinator([]string{a1, a2})
+
+	ref, err := corpus.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ref.Engine()
+
+	for _, tau := range []float64{0, 3, math.Inf(1)} {
+		for _, mode := range []batch.IndexMode{batch.IndexAuto, batch.IndexEnumerate} {
+			opts := batch.JoinOptions{Mode: mode}
+			want, wantSt := ref.Join(e, tau, opts)
+			got, gotSt, err := co.Join(tau, opts)
+			if err != nil {
+				t.Fatalf("tau %g mode %v: %v", tau, mode, err)
+			}
+			if len(got) == 0 && len(want) == 0 {
+				if tau > 0 {
+					t.Fatalf("tau %g: no matches on either side — the fixture proves nothing", tau)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tau %g mode %v: clustered join diverged\ngot  %v\nwant %v", tau, mode, got, want)
+			}
+			// Additive counters survive the merge: every pair the
+			// single-node join evaluated exactly was evaluated exactly
+			// somewhere in the cluster.
+			if gotSt.ExactComputed != wantSt.ExactComputed {
+				t.Errorf("tau %g mode %v: exact_computed = %d clustered, %d single-node", tau, mode, gotSt.ExactComputed, wantSt.ExactComputed)
+			}
+		}
+	}
+}
+
+// TestClusterTopKIdentity: the distributed top-k merge reconstructs
+// corpus.TopKAcross exactly — each range's local top-k under the global
+// (dist, tree, root) order contains every global winner.
+func TestClusterTopKIdentity(t *testing.T) {
+	path := buildSnapshot(t, 500)
+	a1, _ := startWorker(t, path)
+	a2, _ := startWorker(t, path)
+	co := cluster.NewCoordinator([]string{a1, a2})
+
+	ref, err := corpus.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ref.Engine()
+	query := gen.Random(501, gen.RandomSpec{Size: 10, MaxDepth: 4, MaxFanout: 3, Labels: 8})
+
+	for _, k := range []int{1, 5, 1000} {
+		want, _ := ref.TopKAcross(e, ref.PrepareQuery(e, query), k)
+		got, _, err := co.TopK(query, k)
+		if err != nil {
+			t.Fatalf("k %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k %d: clustered topk diverged\ngot  %v\nwant %v", k, got, want)
+		}
+	}
+}
+
+// TestClusterWorkerKillReassignment: a worker that dies mid-stream
+// loses only its in-flight range — the coordinator drops the partial
+// results, retires the worker, and re-dispatches the range, so the
+// merged match set is still exactly the single-node one (nothing lost,
+// nothing duplicated).
+func TestClusterWorkerKillReassignment(t *testing.T) {
+	path := buildSnapshot(t, 700)
+	a1, _ := startWorker(t, path)
+	a2, w2 := startWorker(t, path)
+	a3, _ := startWorker(t, path)
+	// Dies while streaming its first match frame: the info exchange
+	// succeeds (only data frames count), the first range it takes fails
+	// mid-stream.
+	w2.FailAfterFrames(1)
+	co := cluster.NewCoordinator([]string{a1, a2, a3})
+
+	ref, err := corpus.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ref.Engine()
+	// tau = +Inf: every pair matches, so every range streams frames and
+	// the armed worker is guaranteed to die.
+	want, _ := ref.Join(e, math.Inf(1), batch.JoinOptions{})
+	got, _, err := co.Join(math.Inf(1), batch.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join after worker kill diverged (%d vs %d matches)", len(got), len(want))
+	}
+	// The fault actually fired: the worker's listener is closed.
+	if conn, err := net.Dial("tcp", a2); err == nil {
+		conn.Close()
+		t.Fatal("armed worker still accepting connections — the kill never happened")
+	}
+}
+
+// TestClusterAllWorkersDead: when every worker dies with ranges
+// outstanding, the coordinator reports the failure rather than
+// returning a silently partial match set.
+func TestClusterAllWorkersDead(t *testing.T) {
+	path := buildSnapshot(t, 900)
+	a1, w1 := startWorker(t, path)
+	w1.FailAfterFrames(1)
+	co := cluster.NewCoordinator([]string{a1})
+	if _, _, err := co.Join(math.Inf(1), batch.JoinOptions{}); err == nil {
+		t.Fatal("join with no surviving workers returned success")
+	}
+}
+
+// TestClusterSnapshotMismatch: workers over different snapshots must be
+// refused up front — partitioning positions across diverging corpora
+// would merge garbage quietly.
+func TestClusterSnapshotMismatch(t *testing.T) {
+	a1, _ := startWorker(t, buildSnapshot(t, 300))
+	a2, _ := startWorker(t, buildSnapshot(t, 301))
+	co := cluster.NewCoordinator([]string{a1, a2})
+	if _, _, err := co.Join(3, batch.JoinOptions{}); err == nil {
+		t.Fatal("join across mismatched snapshots returned success")
+	}
+	if _, err := co.Info(); err == nil {
+		t.Fatal("Info across mismatched snapshots returned success")
+	}
+}

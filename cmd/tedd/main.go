@@ -36,9 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/cluster"
 	"repro/corpus"
 	"repro/server"
 )
@@ -77,6 +80,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		noCheckpoint = fs.Bool("no-checkpoint", false, "skip folding the WAL into a snapshot on shutdown")
 		ckptEvery    = fs.Duration("checkpoint-interval", 5*time.Minute, "fold the WAL into the snapshot whenever it has grown after this interval (0 = shutdown only)")
 		drainWait    = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+		follow       = fs.String("follow", "", "follower mode: tail this primary's WAL (http://host:port) and serve reads from the replicated corpus; mutations get 403")
+		maxStale     = fs.Duration("max-staleness", 0, "follower mode: refuse reads with 503 when last provably caught up longer ago than this (0 = serve regardless)")
+		clusterList  = fs.String("cluster-workers", "", "comma-separated tedc worker addresses; joins and top-k fan out to them instead of evaluating locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,11 +109,33 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	}
 
 	start := time.Now()
-	c, err := corpus.Open(*corpusPath, copts...)
-	if err != nil {
-		return err
+	var (
+		c   *corpus.Corpus
+		fl  *cluster.Follower
+		err error
+	)
+	if *follow != "" {
+		// Follower mode: the corpus converges to the primary's over its
+		// replicated WAL (see cluster.Follower); cur() must be re-read per
+		// use because a checkpoint ship replaces the store wholesale.
+		fl, err = cluster.NewFollower(*corpusPath, strings.TrimRight(*follow, "/"), copts...)
+		if err != nil {
+			return err
+		}
+		c = fl.Corpus()
+	} else {
+		c, err = corpus.Open(*corpusPath, copts...)
+		if err != nil {
+			return err
+		}
 	}
-	defer c.Close()
+	cur := func() *corpus.Corpus {
+		if fl != nil {
+			return fl.Corpus()
+		}
+		return c
+	}
+	defer func() { cur().Close() }()
 	fmt.Fprintf(logw, "tedd: corpus %s: %d trees (opened in %v)\n", *corpusPath, c.Len(), time.Since(start).Round(time.Millisecond))
 
 	sopts := []server.Option{
@@ -128,11 +156,47 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	if *tenantQuota > 0 {
 		sopts = append(sopts, server.WithTenantQuota(*tenantQuota))
 	}
-	srv := server.New(c, sopts...)
-	if !*noWarm {
-		start = time.Now()
-		srv.Warm()
-		fmt.Fprintf(logw, "tedd: warmed %d trees in %v\n", c.Len(), time.Since(start).Round(time.Millisecond))
+	if *clusterList != "" {
+		var addrs []string
+		for _, a := range strings.Split(*clusterList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return errors.New("-cluster-workers needs at least one address")
+		}
+		sopts = append(sopts, server.WithClusterWorkers(addrs))
+		fmt.Fprintf(logw, "tedd: joins/top-k fan out to %d workers: %s\n", len(addrs), strings.Join(addrs, ", "))
+	}
+	if fl != nil {
+		sopts = append(sopts, server.WithReplica(replicationStats(fl), fl.Staleness, *maxStale))
+	}
+	mkServer := func(c *corpus.Corpus) *server.Server {
+		s := server.New(c, sopts...)
+		if !*noWarm {
+			start := time.Now()
+			s.Warm()
+			fmt.Fprintf(logw, "tedd: warmed %d trees in %v\n", c.Len(), time.Since(start).Round(time.Millisecond))
+		}
+		return s
+	}
+	// The live server sits behind an atomic pointer so a follower's
+	// checkpoint ship — which replaces the corpus — swaps in a fresh
+	// warmed server without dropping a request.
+	var srvPtr atomic.Pointer[server.Server]
+	srvPtr.Store(mkServer(c))
+	srv := srvPtr.Load
+	if fl != nil {
+		fl.OnSwap = func(_, nw *corpus.Corpus) {
+			srvPtr.Store(mkServer(nw))
+			fmt.Fprintf(logw, "tedd: checkpoint shipped from %s: %d trees\n", *follow, nw.Len())
+		}
+		go func() {
+			if err := fl.Run(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(logw, "tedd: follower stopped: %v\n", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -143,13 +207,13 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	// body is decoded, so without them N slow-body clients could pin all
 	// MaxInFlight slots forever and 503 the service until restart.
 	hs := &http.Server{
-		Handler:           srv,
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { srv().ServeHTTP(w, r) }),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Fprintf(logw, "tedd: serving on %s (%d workers, %d in-flight, %d heavy, tenant quota %d)\n",
-		ln.Addr(), srv.Engine().Workers(), srv.MaxInFlight(), srv.HeavySlots(), srv.TenantQuota())
+		ln.Addr(), srv().Engine().Workers(), srv().MaxInFlight(), srv().HeavySlots(), srv().TenantQuota())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -170,11 +234,11 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					if !c.LogPending() {
+					if !cur().LogPending() {
 						continue // nothing logged since the last fold
 					}
 					start := time.Now()
-					if err := c.Checkpoint(); err != nil {
+					if err := cur().Checkpoint(); err != nil {
 						fmt.Fprintf(logw, "tedd: periodic checkpoint: %v\n", err)
 						continue
 					}
@@ -194,7 +258,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	// stop reaching the engine, then let http.Server wait out the
 	// requests already in flight.
 	fmt.Fprintf(logw, "tedd: draining\n")
-	srv.Drain()
+	srv().Drain()
 	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -202,10 +266,29 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	}
 	if !*noCheckpoint {
 		start = time.Now()
-		if err := c.Checkpoint(); err != nil {
+		if err := cur().Checkpoint(); err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
 		}
-		fmt.Fprintf(logw, "tedd: checkpointed %d trees in %v\n", c.Len(), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(logw, "tedd: checkpointed %d trees in %v\n", cur().Len(), time.Since(start).Round(time.Millisecond))
 	}
-	return c.Close()
+	return cur().Close()
+}
+
+// replicationStats adapts the follower's telemetry to the server's
+// /v1/stats wire form.
+func replicationStats(fl *cluster.Follower) func() server.ReplicationStats {
+	return func() server.ReplicationStats {
+		fs := fl.Stats()
+		return server.ReplicationStats{
+			Primary:         fs.Primary,
+			Gen:             fs.Gen,
+			AppliedSeq:      fs.AppliedSeq,
+			PrimarySeq:      fs.PrimarySeq,
+			Lag:             fs.Lag,
+			Records:         fs.Records,
+			CheckpointShips: fs.Ships,
+			StalenessMS:     fl.Staleness().Milliseconds(),
+			LastErr:         fs.LastErr,
+		}
+	}
 }

@@ -11,8 +11,18 @@
 //	tedload -url ... -mix join_stream=1 -tau 6              # NDJSON streaming joins
 //	tedload -url ... -tenant batch -rate 100 &              # two tenants
 //	tedload -url ... -tenant web -seed 2 -rate 100          #   driving one server
+//	tedload -url http://host:8420,http://host:8421 \
+//	        -mix distance=4,bounded=3,topk=2                # round-robin over replicas
 //	tedload -url ... -out BENCH_serve.json -fail-on-error   # the CI invocation
 //	tedload -check BENCH_serve.json                         # validate a committed artifact
+//
+// -url takes a comma-separated list: with several targets the request
+// stream (unchanged — generation is target-blind) is dealt across them
+// round-robin, and the report carries a per-target breakdown next to
+// the merged totals, so a slow or stale replica shows up instead of
+// averaging away. The targets must serve the same corpus (a primary
+// and its read replicas); keep mutate out of the mix, since replicas
+// refuse writes with 403.
 //
 // The request stream is generated deterministically from -seed and a
 // snapshot of the served corpus (taken over the API before the run), so
@@ -52,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tedload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		url       = fs.String("url", "", "target server base URL, e.g. http://127.0.0.1:8420 (required)")
+		url       = fs.String("url", "", "target base URL(s), comma-separated; several round-robin across replicas (required)")
 		mixStr    = fs.String("mix", "distance=4,bounded=3,topk=2,join=0.2,mutate=1", "endpoint mix in ratio weights")
 		tau       = fs.Float64("tau", 8, "bounded-distance and join threshold")
 		k         = fs.Int("k", 3, "top-k request size")
@@ -101,21 +111,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	var targets []string
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			targets = append(targets, u)
+		}
+	}
+	if len(targets) == 0 {
+		return errors.New("-url needs at least one target URL")
+	}
+
 	client := &http.Client{Timeout: *timeout}
-	base := strings.TrimRight(*url, "/")
-	snap, err := load.FetchSnapshot(client, base)
+	// One snapshot seeds the whole stream: the targets serve the same
+	// corpus, so the first one speaks for the fleet.
+	snap, err := load.FetchSnapshot(client, targets[0])
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "tedload: snapshot: %d live trees; %d+%d requests (%s)\n",
-		len(snap.IDs), spec.Warmup, spec.Requests, arrivalMode(spec))
+	fmt.Fprintf(stderr, "tedload: snapshot: %d live trees; %d+%d requests (%s) over %d target(s)\n",
+		len(snap.IDs), spec.Warmup, spec.Requests, arrivalMode(spec), len(targets))
 
 	r := &load.Runner{
-		Base:   base,
-		Client: client,
-		Spec:   spec,
-		Snap:   snap,
-		GitRev: gitRev(*rev),
+		Base:    targets[0],
+		Targets: targets,
+		Client:  client,
+		Spec:    spec,
+		Snap:    snap,
+		GitRev:  gitRev(*rev),
 	}
 	rep, err := r.Run(context.Background())
 	if err != nil {

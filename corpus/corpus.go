@@ -113,6 +113,18 @@ type Corpus struct {
 	snapPath string
 	mutSeq   uint64
 	ckptMu   sync.Mutex
+
+	// Replication state (repl.go): the in-memory record bodies of the
+	// current log generation, the generation id itself, and the carryover
+	// position of the previous generation so a fully caught-up follower
+	// survives a checkpoint without re-shipping the snapshot. replCh is a
+	// broadcast channel, closed and replaced whenever the buffer or the
+	// generation changes.
+	replGen   string
+	replRecs  [][]byte
+	prevGen   string
+	prevCount int
+	replCh    chan struct{}
 }
 
 // Option configures New.

@@ -1,0 +1,218 @@
+package corpus_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/corpus"
+	"repro/internal/tree"
+)
+
+func mustParse(t *testing.T, s string) *tree.Tree {
+	t.Helper()
+	tr, err := tree.ParseBracket(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestWALFrameRoundTrip: the wire framing (shared with the on-disk log)
+// carries bodies back intact, reports a clean EOF exactly at a frame
+// boundary, and distinguishes the two failure modes a follower must
+// react to — a torn tail mid-frame and a corrupted byte.
+func TestWALFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{{1}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 1000)}
+	var buf []byte
+	for _, b := range bodies {
+		buf = corpus.AppendWALFrame(buf, b)
+	}
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+	for i, want := range bodies {
+		got, err := corpus.ReadWALFrame(br)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q, %v", i, got, err)
+		}
+	}
+	if _, err := corpus.ReadWALFrame(br); err != io.EOF {
+		t.Fatalf("clean boundary must read io.EOF, got %v", err)
+	}
+
+	// Torn tail: every proper prefix that cuts into a frame is
+	// io.ErrUnexpectedEOF after the complete frames before it.
+	brTorn := bufio.NewReader(bytes.NewReader(buf[:len(buf)-3]))
+	for range bodies[:2] {
+		if _, err := corpus.ReadWALFrame(brTorn); err != nil {
+			t.Fatalf("complete frame before the tear failed: %v", err)
+		}
+	}
+	if _, err := corpus.ReadWALFrame(brTorn); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn tail must read io.ErrUnexpectedEOF, got %v", err)
+	}
+
+	// Byte flip: each single-bit corruption of the last frame must fail
+	// loudly (never io.EOF, never a wrong body returned as valid).
+	lastStart := len(buf) - len(corpus.AppendWALFrame(nil, bodies[2]))
+	for off := lastStart; off < len(buf); off++ {
+		flipped := append([]byte(nil), buf...)
+		flipped[off] ^= 0x01
+		brf := bufio.NewReader(bytes.NewReader(flipped))
+		var err error
+		var body []byte
+		for err == nil {
+			body, err = corpus.ReadWALFrame(brf)
+			if err == nil && !bytes.Equal(body, bodies[0]) && !bytes.Equal(body, bodies[1]) && !bytes.Equal(body, bodies[2]) {
+				t.Fatalf("offset %d: corrupted frame decoded to a novel body", off)
+			}
+		}
+		if err == io.EOF && brf.Buffered() == 0 {
+			// A flip inside the length prefix can re-frame the stream; it
+			// must still never return a novel body (checked above) — but a
+			// clean EOF that consumed everything while returning only valid
+			// bodies means corruption went unnoticed.
+			t.Fatalf("offset %d: flip went undetected (clean EOF)", off)
+		}
+	}
+}
+
+// TestProgressFrames: liveness frames round-trip and are never confused
+// with mutation record bodies.
+func TestProgressFrames(t *testing.T) {
+	for _, seq := range []int{0, 1, 255, 1 << 20} {
+		body := corpus.ProgressBody(seq)
+		got, ok := corpus.DecodeProgress(body)
+		if !ok || got != seq {
+			t.Fatalf("progress %d decoded to %d, %v", seq, got, ok)
+		}
+	}
+	if _, ok := corpus.DecodeProgress([]byte{1, 0}); ok {
+		t.Fatal("a mutation record body decoded as progress")
+	}
+	if _, ok := corpus.DecodeProgress(nil); ok {
+		t.Fatal("empty body decoded as progress")
+	}
+}
+
+// TestReplBufferLifecycle pins the generation protocol the WAL-shipping
+// endpoints are built on: records accumulate under one generation id,
+// ReplRecords serves suffixes, a checkpoint rotates the generation and
+// maps exactly-caught-up positions across while refusing stale ones.
+func TestReplBufferLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	c, err := corpus.Open(filepath.Join(dir, "c.tedc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Replicable() {
+		t.Fatal("corpus with a WAL must be replicable")
+	}
+
+	c.Add(mustParse(t, "{a{b}}"))
+	c.Add(mustParse(t, "{a{c}}"))
+	c.Add(mustParse(t, "{x}"))
+
+	pos := c.ReplState()
+	if pos.Gen == "" || pos.Seq != 3 {
+		t.Fatalf("ReplState = %+v, want gen set and seq 3", pos)
+	}
+
+	// A follower from 0 reads all three; from 2, the suffix.
+	recs, next, ok := c.ReplRecords(corpus.ReplPos{Gen: pos.Gen, Seq: 0}, 100)
+	if !ok || len(recs) != 3 || next.Seq != 3 {
+		t.Fatalf("ReplRecords(0) = %d recs, next %+v, %v", len(recs), next, ok)
+	}
+	if recs2, _, ok := c.ReplRecords(corpus.ReplPos{Gen: pos.Gen, Seq: 2}, 100); !ok || len(recs2) != 1 || !bytes.Equal(recs2[0], recs[2]) {
+		t.Fatalf("suffix read diverged")
+	}
+
+	// Replaying the records into a second corpus reproduces the trees.
+	c2, err := corpus.Open(filepath.Join(dir, "c2.tedc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, rec := range recs {
+		if err := c2.ApplyReplicated(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(c2.IDs(), c.IDs()) {
+		t.Fatalf("replayed IDs %v, want %v", c2.IDs(), c.IDs())
+	}
+
+	// Unknown generation: refused, a ship is the only way back.
+	if _, ok := c.ReplCheck(corpus.ReplPos{Gen: "feedbeef00000000", Seq: 0}); ok {
+		t.Fatal("unknown generation accepted")
+	}
+
+	// Rotation: the caught-up position maps to the new generation's
+	// start; any position short of the fold is refused.
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	newPos := c.ReplState()
+	if newPos.Gen == pos.Gen || newPos.Seq != 0 {
+		t.Fatalf("after checkpoint ReplState = %+v, want fresh generation at 0", newPos)
+	}
+	mapped, ok := c.ReplCheck(corpus.ReplPos{Gen: pos.Gen, Seq: 3})
+	if !ok || mapped != newPos {
+		t.Fatalf("caught-up position mapped to %+v, %v; want %+v", mapped, ok, newPos)
+	}
+	if _, ok := c.ReplCheck(corpus.ReplPos{Gen: pos.Gen, Seq: 2}); ok {
+		t.Fatal("stale position survived the rotation")
+	}
+}
+
+// TestReplBufferSeededByReplay: reopening a corpus with unfolded WAL
+// records seeds the replication buffer with them, so SnapshotBytes +
+// the live buffer always cover the generation's whole history.
+func TestReplBufferSeededByReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.tedc")
+	c, err := corpus.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(mustParse(t, "{a{b}}"))
+	c.Add(mustParse(t, "{a{b}{c}}"))
+	if err := c.Close(); err != nil { // Close keeps the log; only Checkpoint folds it
+		t.Fatal(err)
+	}
+
+	c, err = corpus.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pos := c.ReplState()
+	if pos.Seq != 2 {
+		t.Fatalf("replayed corpus ReplState.Seq = %d, want 2", pos.Seq)
+	}
+	recs, _, ok := c.ReplRecords(corpus.ReplPos{Gen: pos.Gen, Seq: 0}, 100)
+	if !ok || len(recs) != 2 {
+		t.Fatalf("replayed records not in the buffer: %d, %v", len(recs), ok)
+	}
+
+	// SnapshotBytes is an atomic cut: its position matches its contents.
+	snap, spos, err := c.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spos != pos {
+		t.Fatalf("SnapshotBytes position %+v, want %+v", spos, pos)
+	}
+	sc, err := corpus.Load(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 2 {
+		t.Fatalf("snapshot holds %d trees, want 2", sc.Len())
+	}
+}

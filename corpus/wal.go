@@ -113,16 +113,30 @@ func (w *wal) fail(err error) {
 	w.mu.Unlock()
 }
 
-// append writes one record. t is nil for deletes.
-func (w *wal) append(op byte, id ID, t *tree.Tree) {
+// append writes one record and returns its body bytes (valid until the
+// next append — the buffer is reused; callers that keep the body copy
+// it). t is nil for deletes. Returns nil when the log is already failed.
+func (w *wal) append(op byte, id ID, t *tree.Tree) []byte {
 	if w.getErr() != nil {
-		return
+		return nil
 	}
 	body := w.buf[:0]
 	body = append(body, op)
 	body = binary.AppendUvarint(body, uint64(id))
 	if t != nil {
 		body = appendTreePayload(body, t)
+	}
+	w.buf = body[:0]
+	w.appendBody(body)
+	return body
+}
+
+// appendBody frames and writes one already-assembled record body — the
+// shared path for local mutations and replicated records, which must
+// land on disk byte-identical to the primary's log.
+func (w *wal) appendBody(body []byte) {
+	if w.getErr() != nil {
+		return
 	}
 	// Frame: length | body | crc, assembled in a second reused buffer so
 	// the steady state allocates nothing. One Write call, so a torn tail
@@ -132,7 +146,6 @@ func (w *wal) append(op byte, id ID, t *tree.Tree) {
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
 	rec = append(rec, crc[:]...)
-	w.buf = body[:0]
 	w.frame = rec[:0]
 	if _, err := w.f.Write(rec); err != nil {
 		w.fail(fmt.Errorf("corpus: write-ahead log append: %w", err))
@@ -408,6 +421,11 @@ func (c *Corpus) replayOne(br *bufio.Reader, remaining int64) (int64, error) {
 	if !c.applyRecord(body) {
 		return 0, errors.New("invalid record body")
 	}
+	// Replayed records seed the replication buffer: a follower that
+	// checkpoint-ships right after this Open must be able to tail from
+	// the snapshot base, and base + replayed + live is this generation's
+	// whole history.
+	c.replAppendLocked(body)
 	return lenBytes + bodyLen + 4, nil
 }
 
@@ -629,7 +647,14 @@ func (c *Corpus) swapSnapshotLocked(tmp string) error {
 	if err := syncDir(filepath.Dir(c.snapPath)); err != nil {
 		return err
 	}
-	return c.wal.reset()
+	if err := c.wal.reset(); err != nil {
+		return err
+	}
+	// The log generation ends here: records folded into the snapshot
+	// leave the replication buffer, and followers identify their position
+	// by (generation, index) — see repl.go.
+	c.rotateReplLocked()
+	return nil
 }
 
 // writeFileSync writes data to path (created or truncated) and fsyncs
@@ -701,6 +726,8 @@ func (c *Corpus) Close() error {
 func (c *Corpus) logMutation(op byte, id ID, t *tree.Tree) {
 	c.mutSeq++
 	if c.wal != nil {
-		c.wal.append(op, id, t)
+		if body := c.wal.append(op, id, t); body != nil {
+			c.replAppendLocked(body)
+		}
 	}
 }

@@ -142,10 +142,21 @@
 //	│      nothing acknowledged)        mutation before it returns and
 //	│                                    replays over the snapshot at
 //	│                                    startup; Checkpoint compacts
-//	└── other services are the      → cmd/tedd (package server): the
-//	      callers (HTTP clients,       corpus behind a JSON API with
-//	      load balancers, probes)      admission control, WAL-durable
-//	                                    mutations and graceful drain
+//	├── other services are the      → cmd/tedd (package server): the
+//	│     callers (HTTP clients,       corpus behind a JSON API with
+//	│     load balancers, probes)      admission control, WAL-durable
+//	│                                   mutations and graceful drain
+//	└── one machine is not enough   → package cluster (cmd/tedc):
+//	      ├── compute-bound joins     → tedc workers over one shared
+//	      │     (cores are the limit)    snapshot + a coordinator (tedc
+//	      │                              join / tedd -cluster-workers):
+//	      │                              range partitioning, dead-worker
+//	      │                              reassignment, the single-node
+//	      │                              match set exactly
+//	      └── read-bound serving      → tedd -follow replicas: ship the
+//	            (traffic is the limit)   primary's checkpoint, tail its
+//	                                     WAL over HTTP, serve reads with
+//	                                     a staleness guard; writes 403
 //
 // Persist when the per-tree work is paid more than once per build:
 // restarts, repeated batch jobs over one collection, or any fan-out

@@ -7,7 +7,11 @@
 // cd = ci = 1 and cr = 0 if the labels match, 1 otherwise.
 package cost
 
-import "repro/internal/tree"
+import (
+	"math"
+
+	"repro/internal/tree"
+)
 
 // Model assigns costs to the three edit operations based on node labels.
 // Implementations must return non-negative values; Rename(a, a) should be
@@ -166,16 +170,69 @@ func (c *Compiled) Ren(v, w int) float64 {
 		}
 		return 1
 	}
-	// Identical labels still consult the model: a custom model may
-	// charge a nonzero self-rename (which breaks the identity axiom but
-	// is the model author's choice).
+	return c.renByID(a, b)
+}
+
+// renByID prices a rename by interned label ids through the memo.
+// Identical labels still consult the model: a custom model may charge a
+// nonzero self-rename (which breaks the identity axiom but is the model
+// author's choice).
+func (c *Compiled) renByID(a, b int) float64 {
 	key := [2]int{a, b}
-	if v, ok := c.memo[key]; ok {
-		return v
+	if r, ok := c.memo[key]; ok {
+		return r
 	}
 	r := c.model.Rename(c.labels[a], c.labels[b])
 	c.memo[key] = r
 	return r
+}
+
+// RenFloors returns the per-subtree rename floors of the forward
+// orientation: out[v] is the cheapest Rename(a, b) over any label a
+// present in the subtree of f rooted at v and any label b present
+// anywhere in G — a lower bound on the cost of any single rename whose
+// source node lies in F_v. The G-side floors of a pair (a lower bound on
+// renames whose target lands in G_w) are c.Transpose().RenFloors(g),
+// since the transposed orientation swaps the rename arguments.
+//
+// The floors feed the keyroot-level band of bounded GTED: under a model
+// that charges every available rename at least r > 0, matching nodes is
+// no longer free, so a pair's size bound tightens from |Δsize|·c_min to
+// a price on all max(|F_v|, |G_w|) nodes. Nil under the unit model,
+// where Rename(a, a) = 0 makes every floor 0 as soon as the trees share
+// one label — a structural question this per-label-pair pricing does
+// not answer. f must be the F tree the Compiled form was built for.
+func (c *Compiled) RenFloors(f *tree.Tree) []float64 {
+	if c.unit {
+		return nil
+	}
+	// Distinct G label ids, each priced once per distinct F label: the
+	// whole table costs O(distinct_F × distinct_G) model calls, all
+	// memoized for the DP that follows.
+	seen := make(map[int]struct{}, 16)
+	var gids []int
+	for _, b := range c.GID {
+		if _, ok := seen[b]; !ok {
+			seen[b] = struct{}{}
+			gids = append(gids, b)
+		}
+	}
+	fmin := make(map[int]float64, 16)
+	per := make([]float64, len(c.FID))
+	for v, a := range c.FID {
+		m, ok := fmin[a]
+		if !ok {
+			m = math.Inf(1)
+			for _, b := range gids {
+				if r := c.renByID(a, b); r < m {
+					m = r
+				}
+			}
+			fmin[a] = m
+		}
+		per[v] = m
+	}
+	return subtreeMin(f, per)
 }
 
 // Transpose returns the compiled costs for the swapped direction: the

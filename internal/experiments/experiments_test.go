@@ -10,8 +10,8 @@ import (
 // scale; each experiment's internal assertions (RTED never worse than
 // the best competitor, optima consistent, etc.) run as part of it.
 func TestAllExperimentsRun(t *testing.T) {
-	if len(All()) != 26 {
-		t.Fatalf("registered %d experiments, want 26", len(All()))
+	if len(All()) != 27 {
+		t.Fatalf("registered %d experiments, want 27", len(All()))
 	}
 	for _, r := range All() {
 		r := r

@@ -130,6 +130,11 @@ type Runner struct {
 	// standalone runners build them lazily into arena scratch.
 	spF, spG []int32
 	spReady  bool
+	// Per-subtree rename floors (cost.Compiled.RenFloors) of the two
+	// sides, built lazily for the sharp keyroot band under non-unit
+	// models; nil under unit costs.
+	renF, renG []float64
+	renReady   bool
 }
 
 // opCosts holds the extrema of the per-node delete/insert costs of one
@@ -314,12 +319,16 @@ func (r *Runner) SetSparseRows(on bool) { r.sparse = on }
 // SetSharpBands toggles the sharper band bounds of banded bounded runs
 // (on by default): label-aware per-region band pricing (band widths
 // priced at the cheapest operation cost present in the relevant subtree,
-// cost.Compiled.DelSub/InsSub, instead of the global minimum) and the
+// cost.Compiled.DelSub/InsSub, instead of the global minimum), the
 // depth-spectra keyroot band (quantized per-subtree depth histograms
-// pruning keyroot DPs the height-only bound admits). Both only shrink
-// the set of cells touched; results are bit-identical either way. Off,
-// bands are priced at the global c_min and keyroots tested on size and
-// height alone — the PR 7 behaviour kept for ablation.
+// pruning keyroot DPs the height-only bound admits), and — under
+// non-unit models — the per-label-pair rename floor in the keyroot
+// bound (renames priced at the cheapest rename available between the
+// two regions' label sets, cost.Compiled.RenFloors, instead of zero).
+// All of these only shrink the set of cells touched; results are
+// bit-identical either way. Off, bands are priced at the global c_min
+// and keyroots tested on size and height alone — the PR 7 behaviour
+// kept for ablation.
 func (r *Runner) SetSharpBands(on bool) { r.sharp = on }
 
 // SetDepthSpectra supplies precomputed per-subtree depth spectra for the
@@ -406,6 +415,19 @@ func (r *Runner) regionMins(v, w int) (dmin, imin float64) {
 // per-node cost of its direction: the deleted nodes all come from F_v and
 // the inserted ones all land in G_w, so with sharp pricing the floors are
 // the pair's own regional minima.
+//
+// Under non-unit models sharp pricing adds the per-label-pair rename
+// floor: any mapping with m matched pairs pays at least
+//
+//	(|F_v|−m)·dmin + (|G_w|−m)·imin + m·rf
+//
+// where rf = max(renF[v], renG[w]) bounds every single rename of the
+// pair from below (its source is in F_v and its target in G_w, so both
+// sides' floors apply). The expression is linear in m, so its minimum
+// over m ∈ [0, min] sits at an endpoint: when rf ≥ dmin+imin matching
+// never beats delete+insert and every node is priced; otherwise the
+// smaller side matches fully and still pays rf per pair. With rf = 0
+// (any shared-label region) this degenerates to the |Δsize| bound.
 func (r *Runner) subtreeLower(v, w int) float64 {
 	dmin, imin := r.regionMins(v, w)
 	hf, hg := r.heights()
@@ -424,7 +446,48 @@ func (r *Runner) subtreeLower(v, w int) float64 {
 			lb = b
 		}
 	}
+	if r.sharp && !r.cm.IsUnit() {
+		if rnF, rnG := r.renFloors(); rnF != nil {
+			rf := rnF[v]
+			if g := rnG[w]; g > rf {
+				rf = g
+			}
+			if rf > 0 {
+				sf, sg := float64(r.f.Size(v)), float64(r.g.Size(w))
+				var b float64
+				switch {
+				case rf >= dmin+imin:
+					b = sf*dmin + sg*imin
+				case sf >= sg:
+					b = (sf-sg)*dmin + sg*rf
+				default:
+					b = (sg-sf)*imin + sf*rf
+				}
+				if b > lb {
+					lb = b
+				}
+			}
+		}
+	}
 	return lb
+}
+
+// renFloors lazily builds the pair's per-subtree rename floors: renF[v]
+// bounds any rename out of F_v from below, renG[w] any rename into G_w.
+// Nil under the unit model. The G-side floors come from the transposed
+// orientation, whose renames swap arguments.
+func (r *Runner) renFloors() ([]float64, []float64) {
+	if !r.renReady {
+		r.renF = r.cm.RenFloors(r.f)
+		if r.renF != nil {
+			if r.cmT == nil {
+				r.cmT = r.cm.Transpose()
+			}
+			r.renG = r.cmT.RenFloors(r.g)
+		}
+		r.renReady = true
+	}
+	return r.renF, r.renG
 }
 
 // spectraHopeless reports whether the quantized depth spectra of the

@@ -44,18 +44,18 @@
 // compose into one multi-tenant overload experiment against a single
 // server.
 //
-// # The BENCH_serve.json schema (version 2)
+// # The BENCH_serve.json schema (version 3)
 //
 // Report is the schema; Report.Validate is the contract checker CI
-// runs (it accepts version 1 artifacts, which simply predate the
-// streaming and pacing fields). The fields:
+// runs (it accepts version 1 and 2 artifacts, which simply predate the
+// streaming/pacing fields and the multi-target breakdown). The fields:
 //
 //	{
 //	  "bench": "serve",              // always "serve"
-//	  "schema_version": 2,           // load.SchemaVersion
+//	  "schema_version": 3,           // load.SchemaVersion
 //	  "git_rev": "abc1234",          // the measured revision
 //	  "started_at": "RFC3339",       // run start (UTC)
-//	  "target": "http://host:port",  // the driven server
+//	  "target": "http://host:port",  // the driven server(s), comma-joined
 //	  "spec": { ... },               // the full workload Spec (see Spec)
 //	  "wall_seconds": 1.23,          // measured-phase wall clock
 //	  "warmup_errors": 0,            // failures before measurement began
@@ -77,15 +77,26 @@
 //	      }
 //	    }, ...
 //	  },
-//	  "totals": { ... }              // same shape, streams omitted
+//	  "totals": { ... },             // same shape, streams omitted
+//	  "targets": {                   // multi-target runs only: the same
+//	    "http://host:8420": { ... }, //   measured requests sliced by the
+//	    "http://host:8421": { ... }  //   replica they were sent to
+//	  }
 //	}
 //
 // Invariants Validate enforces: requests = ok + errors + shed per
 // entry; 0 < p50 ≤ p90 ≤ p99 ≤ max and throughput > 0 whenever ok > 0;
 // 0 < ttfm ≤ ttlm per quantile whenever a stream block is present;
-// totals.requests equals the endpoint sum. Percentiles are conservative
-// (never below the true nearest-rank value, at most 3.2% above — see
-// Hist.Quantile); max is exact.
+// totals.requests equals the endpoint sum, and the targets block (when
+// present) sums to it too. Percentiles are conservative (never below
+// the true nearest-rank value, at most 3.2% above — see Hist.Quantile);
+// max is exact.
+//
+// Multi-target runs (Runner.Targets, tedload -url with a comma list)
+// deal the unchanged deterministic request stream round-robin across a
+// replica fleet — request i to target i mod len — so the merged totals
+// stay comparable with single-target points while the per-target block
+// exposes a slow or stale replica that totals would average away.
 //
 // requested_rps vs achieved_rps is the open-loop honesty check: the
 // pacer walks an absolute arrival schedule (each deadline derived from

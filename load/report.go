@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 )
 
@@ -13,9 +14,11 @@ import (
 // accept the versions still in the trajectory. Version 2 added the
 // streaming endpoints (join_stream/topk_stream with their TTFM/TTLM
 // stream blocks), the tenant tag in the spec, and the open-loop
-// requested/achieved rate pair; version-1 artifacts (no such fields)
+// requested/achieved rate pair. Version 3 added multi-target runs: the
+// targets block with one whole-run EndpointStats per replica driven
+// round-robin. Version-1 and version-2 artifacts (no such fields)
 // still validate.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // EndpointStats is one endpoint's (or the run total's) measured-phase
 // accounting. Requests = OK + Errors + Shed: a shed (503) request is
@@ -87,6 +90,13 @@ type Report struct {
 
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Totals    EndpointStats            `json:"totals"`
+
+	// Targets breaks the run down by target when requests were
+	// round-robined across several replicas (Runner.Targets): one
+	// whole-run EndpointStats per base URL, so a slow or stale replica is
+	// visible instead of averaged away in Totals. Absent on single-target
+	// runs. Stream blocks are omitted here (they remain per-endpoint).
+	Targets map[string]EndpointStats `json:"targets,omitempty"`
 }
 
 // Validate checks the report against the schema contract: a report that
@@ -96,8 +106,8 @@ func (r *Report) Validate() error {
 	if r.Bench != "serve" {
 		return fmt.Errorf("bench must be %q (got %q)", "serve", r.Bench)
 	}
-	if r.SchemaVersion != 1 && r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("schema_version must be 1 or %d (got %d)", SchemaVersion, r.SchemaVersion)
+	if r.SchemaVersion < 1 || r.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("schema_version must be 1..%d (got %d)", SchemaVersion, r.SchemaVersion)
 	}
 	if r.GitRev == "" {
 		return fmt.Errorf("git_rev is required")
@@ -126,6 +136,20 @@ func (r *Report) Validate() error {
 	}
 	if r.Totals.Requests != total {
 		return fmt.Errorf("totals.requests = %d, endpoints sum to %d", r.Totals.Requests, total)
+	}
+	if len(r.Targets) > 0 {
+		// The target breakdown slices the same measured requests a second
+		// way, so it must reconcile against the same total.
+		var ttotal int64
+		for tgt, st := range r.Targets {
+			if err := st.validate(); err != nil {
+				return fmt.Errorf("target %s: %w", tgt, err)
+			}
+			ttotal += st.Requests
+		}
+		if ttotal != r.Totals.Requests {
+			return fmt.Errorf("targets sum to %d requests, totals has %d", ttotal, r.Totals.Requests)
+		}
 	}
 	return nil
 }
@@ -206,6 +230,16 @@ func (r *Report) WriteTable(w io.Writer) {
 		}
 	}
 	row("TOTAL", r.Totals)
+	if len(r.Targets) > 0 {
+		tgts := make([]string, 0, len(r.Targets))
+		for tgt := range r.Targets {
+			tgts = append(tgts, tgt)
+		}
+		sort.Strings(tgts)
+		for _, tgt := range tgts {
+			row("  @"+tgt, r.Targets[tgt])
+		}
+	}
 	if r.RequestedRPS > 0 && r.AchievedRPS > 0 {
 		fmt.Fprintf(w, "# offered rate: requested %.1f rps, achieved %.1f rps\n", r.RequestedRPS, r.AchievedRPS)
 	}

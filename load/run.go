@@ -9,18 +9,30 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Runner executes one workload against one target. The target is any
-// server speaking the package server JSON API: a live tedd over TCP or
-// an httptest.Server wrapping server.New in-process — the harness is
+// Runner executes one workload against one target — or, with Targets
+// set, round-robin across a replica fleet. A target is any server
+// speaking the package server JSON API: a live tedd over TCP or an
+// httptest.Server wrapping server.New in-process — the harness is
 // identical either way, which is what lets the e2e tests hold it to the
 // engine's correctness bar.
 type Runner struct {
 	// Base is the target URL prefix, e.g. "http://127.0.0.1:8420".
 	Base string
+	// Targets, when non-empty, overrides Base with several target URL
+	// prefixes; the generated request stream is dealt across them
+	// round-robin (request i goes to target i mod len). This is the
+	// replica-fleet mode: the stream stays deterministic and identical to
+	// a single-target run, only the dispatch fans out, and the report
+	// carries a per-target breakdown next to the merged totals. The
+	// targets must serve the same corpus (primary + its read replicas) —
+	// the snapshot is taken once, and a mutating mix will 403 on
+	// read-only replicas.
+	Targets []string
 	// Client issues the requests (http.DefaultClient if nil).
 	Client *http.Client
 	Spec   Spec
@@ -47,6 +59,13 @@ type shard struct {
 	errors   map[string]int64
 	shed     map[string]int64
 	firstErr map[string]string
+
+	// The same measured exchanges keyed by target instead of endpoint —
+	// populated only on multi-target runs, merged into Report.Targets.
+	tgtHists    map[string]*Hist
+	tgtErrors   map[string]int64
+	tgtShed     map[string]int64
+	tgtFirstErr map[string]string
 }
 
 func newShard() *shard {
@@ -57,6 +76,11 @@ func newShard() *shard {
 		errors:   map[string]int64{},
 		shed:     map[string]int64{},
 		firstErr: map[string]string{},
+
+		tgtHists:    map[string]*Hist{},
+		tgtErrors:   map[string]int64{},
+		tgtShed:     map[string]int64{},
+		tgtFirstErr: map[string]string{},
 	}
 }
 
@@ -69,16 +93,23 @@ func observe(m map[string]*Hist, ep string, d time.Duration) {
 	h.Observe(d)
 }
 
-func (sh *shard) fail(ep, msg string) {
+func (sh *shard) fail(ep, tgt, msg string) {
 	sh.errors[ep]++
 	if sh.firstErr[ep] == "" {
 		sh.firstErr[ep] = msg
+	}
+	sh.tgtErrors[tgt]++
+	if sh.tgtFirstErr[tgt] == "" {
+		sh.tgtFirstErr[tgt] = msg
 	}
 }
 
 type job struct {
 	req  Request
 	warm bool
+	// tgt is the URL prefix this request is dispatched to — Base on
+	// single-target runs, the round-robin pick from Targets otherwise.
+	tgt string
 }
 
 // Run drives the workload to completion and reports. The request
@@ -98,6 +129,10 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		client = http.DefaultClient
 	}
 
+	targets := r.Targets
+	if len(targets) == 0 {
+		targets = []string{r.Base}
+	}
 	total := r.Spec.Warmup + r.Spec.Requests
 	jobs := make(chan job, r.Spec.Conc)
 	shards := make([]*shard, r.Spec.Conc)
@@ -122,9 +157,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		if j.req.Body != nil {
 			body = bytes.NewReader(j.req.Body)
 		}
-		hr, err := http.NewRequestWithContext(ctx, j.req.Method, r.Base+j.req.Path, body)
+		hr, err := http.NewRequestWithContext(ctx, j.req.Method, j.tgt+j.req.Path, body)
 		if err != nil {
-			sh.fail(ep, fmt.Sprintf("build request: %v", err))
+			sh.fail(ep, j.tgt, fmt.Sprintf("build request: %v", err))
 			return
 		}
 		if body != nil {
@@ -158,6 +193,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			// open-loop overload the shed rate is the measurement.
 			if !j.warm {
 				sh.shed[ep]++
+				sh.tgtShed[j.tgt]++
 			}
 		case resp.StatusCode >= 200 && resp.StatusCode < 300:
 			if r.Check != nil {
@@ -168,6 +204,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			}
 			if !j.warm {
 				observe(sh.hists, ep, elapsed)
+				observe(sh.tgtHists, j.tgt, elapsed)
 			}
 		default:
 			r.recordFailure(sh, j, ep, fmt.Sprintf("status %d: %s", resp.StatusCode, truncate(raw, 200)), &warmupErrs, &warmupMu)
@@ -210,7 +247,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			// instead of assumed away.
 			next := time.Now()
 			for i := 0; i < total; i++ {
-				j := job{req: gen.Next(), warm: i < r.Spec.Warmup}
+				j := job{req: gen.Next(), warm: i < r.Spec.Warmup, tgt: targets[i%len(targets)]}
 				next = next.Add(time.Duration(gaps.ExpFloat64() / r.Spec.Rate * float64(time.Second)))
 				if d := time.Until(next); d > 0 {
 					select {
@@ -252,7 +289,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			defer close(jobs)
 			for i := 0; i < total; i++ {
 				select {
-				case jobs <- job{req: gen.Next(), warm: i < r.Spec.Warmup}:
+				case jobs <- job{req: gen.Next(), warm: i < r.Spec.Warmup, tgt: targets[i%len(targets)]}:
 				case <-ctx.Done():
 					return
 				}
@@ -274,7 +311,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		wall = time.Since(measureStart)
 	}
 
-	rep := r.report(shards, wall, started)
+	rep := r.report(shards, wall, started, targets)
 	rep.WarmupErrors = warmupErrs
 	if r.Spec.Rate > 0 {
 		rep.RequestedRPS = r.Spec.Rate
@@ -349,6 +386,7 @@ func (r *Runner) consumeStream(j job, sh *shard, resp *http.Response, start time
 	}
 	if !j.warm {
 		observe(sh.hists, ep, elapsed)
+		observe(sh.tgtHists, j.tgt, elapsed)
 		// TTFM/TTLM are defined only for streams that carried ≥ 1 match;
 		// an empty (but complete) stream contributes to the exchange
 		// histogram alone.
@@ -370,11 +408,11 @@ func (r *Runner) recordFailure(sh *shard, j job, ep, msg string, warmupErrs *int
 		mu.Unlock()
 		return
 	}
-	sh.fail(ep, msg)
+	sh.fail(ep, j.tgt, msg)
 }
 
 // report merges the per-worker shards into the wire-form Report.
-func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time) *Report {
+func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time, targets []string) *Report {
 	rev := r.GitRev
 	if rev == "" {
 		rev = "unknown"
@@ -384,7 +422,7 @@ func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time) 
 		SchemaVersion: SchemaVersion,
 		GitRev:        rev,
 		StartedAt:     started.UTC().Format(time.RFC3339),
-		Target:        r.Base,
+		Target:        strings.Join(targets, ","),
 		Spec:          r.Spec,
 		WallSeconds:   wall.Seconds(),
 		Endpoints:     map[string]EndpointStats{},
@@ -435,6 +473,28 @@ func (r *Runner) report(shards []*shard, wall time.Duration, started time.Time) 
 		}
 	}
 	rep.Totals = statsToEndpoint(totalHist, totalErrs, totalShed, totalFirst, wall)
+	if len(targets) > 1 {
+		// The per-target breakdown slices the same measured exchanges a
+		// second way (every OK/error/shed above was also booked against
+		// its target), so the block reconciles against Totals exactly.
+		rep.Targets = map[string]EndpointStats{}
+		for _, tgt := range targets {
+			merged := &Hist{}
+			var errs, shed int64
+			first := ""
+			for _, sh := range shards {
+				if h := sh.tgtHists[tgt]; h != nil {
+					merged.Merge(h)
+				}
+				errs += sh.tgtErrors[tgt]
+				shed += sh.tgtShed[tgt]
+				if first == "" {
+					first = sh.tgtFirstErr[tgt]
+				}
+			}
+			rep.Targets[tgt] = statsToEndpoint(merged, errs, shed, first, wall)
+		}
+	}
 	return rep
 }
 

@@ -1,0 +1,17 @@
+package server
+
+import (
+	ted "repro"
+	"repro/batch"
+	"repro/cluster"
+	"repro/corpus"
+)
+
+// coordinator abstracts the distributed fan-out behind WithClusterWorkers
+// so the handlers stay transport-free and tests can stub it.
+type coordinator interface {
+	Join(tau float64, opts batch.JoinOptions) ([]corpus.Match, batch.JoinStats, error)
+	TopK(query *ted.Tree, k int) ([]corpus.CrossMatch, batch.Stats, error)
+}
+
+func newCoordinator(addrs []string) coordinator { return cluster.NewCoordinator(addrs) }

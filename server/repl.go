@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/corpus"
+)
+
+// Replication endpoints and replica-mode guards. A primary serves its
+// write-ahead log as a chunked stream of records in the log's on-disk
+// framing (GET /v1/wal) and its snapshot bytes for catch-up shipping
+// (GET /v1/checkpoint); a follower process (cluster.Follower) tails the
+// former and falls back to the latter when its position has been
+// truncated away. A server running over a follower's corpus is
+// configured with WithReplica: mutations are refused with 403, reads
+// optionally guarded by a staleness bound, and /v1/stats grows a
+// replication block.
+//
+// Both endpoints bypass the admission gate: they are cluster-internal,
+// long-lived (the WAL stream long-polls), and must stay available while
+// query traffic saturates the slot pool — a replica that cannot fetch
+// the log because clients are busy reading would never converge.
+
+// walStreamBatch bounds how many records one write batch carries, and
+// walWakeEvery how often an idle stream emits a progress frame so the
+// follower can measure lag and liveness.
+const (
+	walStreamBatch = 256
+	walWakeEvery   = 5 * time.Second
+	walMaxWait     = 60 * time.Second
+)
+
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if !s.c.Replicable() {
+		writeError(w, http.StatusServiceUnavailable, "corpus has no write-ahead log (not opened with Open)")
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.Atoi(q.Get("from"))
+	if err != nil || from < 0 {
+		writeError(w, http.StatusBadRequest, "from must be a non-negative integer")
+		return
+	}
+	wait := time.Duration(0)
+	if ws := q.Get("wait"); ws != "" {
+		if wait, err = time.ParseDuration(ws); err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, "wait must be a non-negative duration")
+			return
+		}
+		if wait > walMaxWait {
+			wait = walMaxWait
+		}
+	}
+	pos, ok := s.c.ReplCheck(corpus.ReplPos{Gen: q.Get("gen"), Seq: from})
+	if !ok {
+		// The follower's position is gone — truncated into a snapshot it
+		// never saw. 409 tells it to ship /v1/checkpoint instead.
+		writeError(w, http.StatusConflict, "position truncated away; fetch /v1/checkpoint and resume from its position")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ted-Wal-Gen", pos.Gen)
+	w.Header().Set("X-Ted-Wal-Seq", strconv.Itoa(pos.Seq))
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+
+	deadline := time.Now().Add(wait)
+	var buf []byte
+	for {
+		if s.draining.Load() || r.Context().Err() != nil {
+			return
+		}
+		recs, next, ok := s.c.ReplRecords(pos, walStreamBatch)
+		if !ok || next.Gen != pos.Gen {
+			// The generation rotated under the stream: one stream is one
+			// generation, so close cleanly and let the follower reconnect
+			// (ReplCheck maps a caught-up position across the rotation).
+			return
+		}
+		if len(recs) == 0 {
+			buf = corpus.AppendWALFrame(buf[:0], corpus.ProgressBody(pos.Seq))
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			if !time.Now().Before(deadline) {
+				return
+			}
+			wake := walWakeEvery
+			if until := time.Until(deadline); until < wake {
+				wake = until
+			}
+			wctx, cancel := context.WithTimeout(r.Context(), wake)
+			s.c.ReplWait(wctx, pos)
+			cancel()
+			continue
+		}
+		for _, rec := range recs {
+			buf = corpus.AppendWALFrame(buf[:0], rec)
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		pos = next
+	}
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.c.Replicable() {
+		writeError(w, http.StatusServiceUnavailable, "corpus has no write-ahead log (not opened with Open)")
+		return
+	}
+	snap, pos, err := s.c.SnapshotBytes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(snap)))
+	w.Header().Set("X-Ted-Wal-Gen", pos.Gen)
+	w.Header().Set("X-Ted-Wal-Seq", strconv.Itoa(pos.Seq))
+	w.WriteHeader(http.StatusOK)
+	w.Write(snap)
+}
+
+// mutating guards a write handler: a replica refuses with 403 and
+// points at the primary — writes flow one way, through the log.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.readOnly {
+			writeError(w, http.StatusForbidden, "read-only replica; send writes to the primary")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// fresh guards a read handler with the replica's staleness bound: when
+// the follower has not been provably caught up within the configured
+// window, reads get 503 rather than silently serving arbitrarily old
+// data. Unbounded (the default) serves always.
+func (s *Server) fresh(h http.HandlerFunc) http.HandlerFunc {
+	if s.staleness == nil || s.maxStale <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if st := s.staleness(); st > s.maxStale {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				"replica stale: "+st.Truncate(time.Millisecond).String()+" behind the primary (bound "+s.maxStale.String()+")")
+			return
+		}
+		h(w, r)
+	}
+}

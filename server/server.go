@@ -58,6 +58,19 @@ type Server struct {
 	maxMatches int
 	maxLabels  int
 	workers    int
+
+	// Replica mode (see repl.go): mutations 403, reads optionally
+	// guarded by the staleness bound, /v1/stats grows the replication
+	// block.
+	readOnly  bool
+	maxStale  time.Duration
+	staleness func() time.Duration
+	replStats func() ReplicationStats
+
+	// Distributed mode (see cluster.go): joins and top-k fan out to
+	// these worker addresses instead of evaluating locally.
+	clusterAddrs []string
+	coord        coordinator
 }
 
 // Option configures New.
@@ -156,6 +169,33 @@ func WithMaxMatches(n int) Option {
 	return func(s *Server) { s.maxMatches = n }
 }
 
+// WithReplica puts the server in read replica mode: mutation endpoints
+// refuse with 403, stats reports the replication telemetry from stats
+// and staleness (both typically backed by a cluster.Follower), and —
+// when maxStaleness is positive — read endpoints refuse with 503
+// whenever staleness() exceeds it, so a partitioned replica degrades
+// loudly instead of serving arbitrarily old data.
+func WithReplica(stats func() ReplicationStats, staleness func() time.Duration, maxStaleness time.Duration) Option {
+	return func(s *Server) {
+		s.readOnly = true
+		s.replStats = stats
+		s.staleness = staleness
+		s.maxStale = maxStaleness
+	}
+}
+
+// WithClusterWorkers makes the server a serving coordinator: joins and
+// top-k queries are partitioned over the given worker addresses
+// (cluster.Worker processes holding the same snapshot) and merged,
+// instead of evaluating on the local corpus. Point lookups and
+// mutations still serve locally. Match sets are identical to local
+// evaluation as long as the workers' snapshot matches the local corpus
+// — keeping them in sync is the operator's contract (see
+// scripts/cluster_smoke.sh).
+func WithClusterWorkers(addrs []string) Option {
+	return func(s *Server) { s.clusterAddrs = append([]string(nil), addrs...) }
+}
+
 // New builds a server over c. The engine is corpus-attached
 // (corpus.Corpus.Engine), so every stored tree hydrates from its
 // persisted artifacts; call Warm before accepting traffic to hydrate
@@ -188,6 +228,9 @@ func New(c *corpus.Corpus, opts ...Option) *Server {
 	s.maxInFlight = s.gate.capTotal
 	s.heavySlots = s.gate.heavyCap
 	s.tenantQuota = s.gate.tenantCap
+	if len(s.clusterAddrs) > 0 && s.coord == nil {
+		s.coord = newCoordinator(s.clusterAddrs)
+	}
 	s.routes()
 	return s
 }
@@ -231,16 +274,18 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.Handle("POST /v1/distance", s.admit(classPoint, s.handleDistance))
-	s.mux.Handle("POST /v1/distance-bounded", s.admit(classPoint, s.handleDistanceBounded))
-	s.mux.Handle("POST /v1/join", s.admit(classHeavy, s.handleJoin))
-	s.mux.Handle("POST /v1/join/stream", s.admit(classHeavy, s.handleJoinStream))
-	s.mux.Handle("POST /v1/topk", s.admit(classHeavy, s.handleTopK))
-	s.mux.Handle("POST /v1/topk/stream", s.admit(classHeavy, s.handleTopKStream))
-	s.mux.Handle("POST /v1/trees", s.admit(classPoint, s.handleAddTree))
-	s.mux.Handle("GET /v1/trees/{id}", s.admit(classPoint, s.handleGetTree))
-	s.mux.Handle("PUT /v1/trees/{id}", s.admit(classPoint, s.handlePutTree))
-	s.mux.Handle("DELETE /v1/trees/{id}", s.admit(classPoint, s.handleDeleteTree))
+	s.mux.HandleFunc("GET /v1/wal", s.handleWAL)
+	s.mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
+	s.mux.Handle("POST /v1/distance", s.admit(classPoint, s.fresh(s.handleDistance)))
+	s.mux.Handle("POST /v1/distance-bounded", s.admit(classPoint, s.fresh(s.handleDistanceBounded)))
+	s.mux.Handle("POST /v1/join", s.admit(classHeavy, s.fresh(s.handleJoin)))
+	s.mux.Handle("POST /v1/join/stream", s.admit(classHeavy, s.fresh(s.handleJoinStream)))
+	s.mux.Handle("POST /v1/topk", s.admit(classHeavy, s.fresh(s.handleTopK)))
+	s.mux.Handle("POST /v1/topk/stream", s.admit(classHeavy, s.fresh(s.handleTopKStream)))
+	s.mux.Handle("POST /v1/trees", s.admit(classPoint, s.mutating(s.handleAddTree)))
+	s.mux.Handle("GET /v1/trees/{id}", s.admit(classPoint, s.fresh(s.handleGetTree)))
+	s.mux.Handle("PUT /v1/trees/{id}", s.admit(classPoint, s.mutating(s.handlePutTree)))
+	s.mux.Handle("DELETE /v1/trees/{id}", s.admit(classPoint, s.mutating(s.handleDeleteTree)))
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -332,7 +377,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // trip — the hook in-process harnesses and tests use to reconcile
 // client-observed 503s against the server's own shed accounting.
 func (s *Server) Stats() StatsResponse {
-	return StatsResponse{
+	st := StatsResponse{
 		Trees:       s.c.Len(),
 		Labels:      s.e.Interner().Len(),
 		Workers:     s.e.Workers(),
@@ -352,7 +397,19 @@ func (s *Server) Stats() StatsResponse {
 		PrunedKeyroots:    s.prunedKroot.Load(),
 		CompressedRows:    s.compRows.Load(),
 		RowCells:          s.rowCells.Load(),
+
+		ReadOnly:       s.readOnly,
+		ClusterWorkers: len(s.clusterAddrs),
 	}
+	if s.c.Replicable() {
+		pos := s.c.ReplState()
+		st.WALGen, st.WALSeq = pos.Gen, pos.Seq
+	}
+	if s.replStats != nil {
+		rs := s.replStats()
+		st.Replication = &rs
+	}
+	return st
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
@@ -414,7 +471,19 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if req.Limit > 0 && req.Limit < limit {
 		limit = req.Limit
 	}
-	ms, st := s.c.Join(s.e, req.Tau, batch.JoinOptions{Mode: mode, Q: req.Q})
+	var (
+		ms []corpus.Match
+		st batch.JoinStats
+	)
+	if s.coord != nil {
+		var err error
+		if ms, st, err = s.coord.Join(req.Tau, batch.JoinOptions{Mode: mode, Q: req.Q}); err != nil {
+			writeError(w, http.StatusBadGateway, "cluster join: "+err.Error())
+			return
+		}
+	} else {
+		ms, st = s.c.Join(s.e, req.Tau, batch.JoinOptions{Mode: mode, Q: req.Q})
+	}
 	s.prunedSubs.Add(st.PrunedSubproblems)
 	s.bandCells.Add(st.BandSkippedCells)
 	s.prunedKroot.Add(st.PrunedKeyroots)
@@ -446,7 +515,19 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	ms, st := s.c.TopKAcross(s.e, q, req.K)
+	var (
+		ms []corpus.CrossMatch
+		st batch.Stats
+	)
+	if s.coord != nil {
+		var err error
+		if ms, st, err = s.coord.TopK(q.Tree(), req.K); err != nil {
+			writeError(w, http.StatusBadGateway, "cluster topk: "+err.Error())
+			return
+		}
+	} else {
+		ms, st = s.c.TopKAcross(s.e, q, req.K)
+	}
 	// The scan's pruning feeds the same cumulative counters joins feed;
 	// before this, top-k work was invisible in /v1/stats.
 	s.prunedSubs.Add(st.PrunedSubproblems)

@@ -217,6 +217,36 @@ type StatsResponse struct {
 	// the `tedbench -exp sparse` ablation.
 	CompressedRows int64 `json:"compressed_rows"`
 	RowCells       int64 `json:"row_cells"`
+	// Replication position of this server's own write-ahead log (absent
+	// for corpora without one): the log generation and how many records
+	// it holds. Followers tail GET /v1/wal from such a position.
+	WALGen string `json:"wal_gen,omitempty"`
+	WALSeq int    `json:"wal_seq,omitempty"`
+	// ReadOnly marks a replica: mutations get 403.
+	ReadOnly bool `json:"read_only,omitempty"`
+	// Replication is the follower-side lag gauge, present only on
+	// replicas (servers started with WithReplica).
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	// ClusterWorkers is the number of distributed join workers this
+	// server proxies heavy queries to (absent when serving locally).
+	ClusterWorkers int `json:"cluster_workers,omitempty"`
+}
+
+// ReplicationStats is a replica's view of its own convergence: the
+// primary it follows, the log position it has applied through, the
+// primary's last announced position, and the lag between them.
+// StalenessMS is how long ago the replica last knew it was fully caught
+// up — the quantity the max-staleness read guard bounds.
+type ReplicationStats struct {
+	Primary         string `json:"primary"`
+	Gen             string `json:"gen"`
+	AppliedSeq      int    `json:"applied_seq"`
+	PrimarySeq      int    `json:"primary_seq"`
+	Lag             int    `json:"lag"`
+	Records         int64  `json:"records"`
+	CheckpointShips int64  `json:"checkpoint_ships"`
+	StalenessMS     int64  `json:"staleness_ms"`
+	LastErr         string `json:"last_err,omitempty"`
 }
 
 // TenantStats is one tenant's admission outcomes in /v1/stats.
